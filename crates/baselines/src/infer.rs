@@ -1,0 +1,131 @@
+//! fb-infer's "Dead Store" check.
+//!
+//! Per §8.4.2, Infer-unused finds flow-sensitive dead stores but is
+//! "incomplete in detecting all types of unused definitions in programs like
+//! overwritten/ignored arguments and field unused definitions", does not
+//! filter by authorship, and "cursor assignments ... are not excluded from
+//! fb-infer results". We reproduce exactly that surface: `vc-dataflow`'s
+//! dead-store finder restricted to whole-local, non-parameter, non-synthetic
+//! stores, with no pruning at all — except Infer's own whitelist of
+//! variables whose name contains `unused` (mirroring its dead-store check's
+//! suppression list).
+
+use vc_dataflow::dead_stores;
+use vc_ir::{
+    cfg::Cfg,
+    ir::{
+        Inst,
+        LocalKind,
+        Operand,
+        StoreInfo, //
+    },
+    Program,
+    VarKey, //
+};
+
+use crate::finding::{
+    Finding,
+    Tool, //
+};
+
+/// Runs the Infer-style dead-store check over a program.
+pub fn infer_unused(prog: &Program) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &prog.funcs {
+        let cfg = Cfg::new(f);
+        for d in dead_stores(f, &cfg) {
+            // No field sensitivity: field dead stores are invisible.
+            let VarKey::Local(l) = d.key else { continue };
+            // No argument analysis: parameter entry definitions are skipped.
+            if matches!(d.info, StoreInfo::ParamInit { .. }) {
+                continue;
+            }
+            // An ignored call result is not a "store" in Infer's sense.
+            if f.local(l).kind == LocalKind::Synthetic {
+                continue;
+            }
+            // Infer's own suppression: `unused`-named variables.
+            if f.local(l).name.to_ascii_lowercase().contains("unused") {
+                continue;
+            }
+            // Infer's own suppression: defensive initialization with a
+            // constant (`int t = 0;` before a reassignment is idiomatic C).
+            let stored = &f.block(d.block).insts[d.inst_idx];
+            if let Inst::Store {
+                value: Operand::Const(_) | Operand::Null | Operand::Str(_),
+                ..
+            } = stored
+            {
+                continue;
+            }
+            out.push(Finding {
+                tool: Tool::InferUnused,
+                file: prog.source.name(d.span.file).to_string(),
+                line: d.span.line(),
+                function: f.name.clone(),
+                variable: f.var_key_name(d.key),
+                kind: "dead-store".to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let prog = Program::build(&[("a.c", src)], &[]).unwrap();
+        infer_unused(&prog)
+    }
+
+    #[test]
+    fn detects_flow_sensitive_dead_store() {
+        let f = run("void f(int a) { int x = a + 1; x = 2; use(x); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].variable, "x");
+    }
+
+    #[test]
+    fn suppresses_constant_defensive_initialization() {
+        let f = run("void f(int a) { int x = 0; x = a; use(x); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn misses_overwritten_argument() {
+        let f = run("int open(char *p, int bufsz) { bufsz = 1400; return bufsz; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn misses_field_dead_store() {
+        let f = run(
+            "struct s { int a; int b; };\n\
+             void f(void) { struct s v; v.a = 1; v.a = 2; use(v.a); use(v.b); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn misses_ignored_return_value() {
+        let f = run("int g(void);\nvoid f(void) { g(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn suppresses_unused_named_variables() {
+        let f = run("void f(void) { int rc_unused = g(); rc_unused = 0; use(rc_unused); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn reports_cursors_as_false_positives() {
+        // The trailing increment is a dead store; Infer has no cursor
+        // pruning, so it warns (a documented false-positive source).
+        let f = run("void f(char *o) { *o++ = 'a'; *o++ = '\\0'; }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].variable, "o");
+    }
+}

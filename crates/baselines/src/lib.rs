@@ -1,0 +1,29 @@
+//! # vc-baselines — the comparison tools of Table 5
+//!
+//! Re-implementations of the four baseline detectors exactly as §8.4 of the
+//! paper characterizes them, so the comparison experiment exercises the same
+//! mechanisms the paper describes:
+//!
+//! - [`clang::clang_unused`] — AST walking; silent whenever a variable is
+//!   referenced anywhere;
+//! - [`infer::infer_unused`] — flow-sensitive dead stores, but blind to
+//!   arguments, fields and ignored call results, with no pruning;
+//! - [`smatch::smatch_unused`] — syntactic unused/unchecked return values
+//!   (and, in the harness, Linux-only, as it fails to build elsewhere);
+//! - [`coverity::coverity_unused`] — unused values plus usage-ratio-inferred
+//!   unchecked returns, with historic-warning suppression.
+
+pub mod clang;
+pub mod coverity;
+pub mod finding;
+pub mod infer;
+pub mod smatch;
+
+pub use clang::clang_unused;
+pub use coverity::coverity_unused;
+pub use finding::{
+    Finding,
+    Tool, //
+};
+pub use infer::infer_unused;
+pub use smatch::smatch_unused;

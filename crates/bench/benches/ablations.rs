@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - field-sensitive vs field-insensitive pointer analysis (§4.1 cites
+//!   Andersen's field-sensitive variant for scalability);
+//! - alias analysis on/off in detection;
+//! - pruning-pipeline order sensitivity (Fig. 2 applies Config → Cursor →
+//!   Hints → Peer);
+//! - the peer-definition thresholds (">10 occurrences", ">50% unused").
+
+use criterion::{
+    criterion_group,
+    criterion_main,
+    BenchmarkId,
+    Criterion, //
+};
+use valuecheck::{
+    authorship::AuthorshipCtx,
+    detect::{
+        detect_program,
+        DetectConfig, //
+    },
+    prune::{
+        prune,
+        PeerStats,
+        PruneConfig, //
+    },
+};
+use vc_ir::Program;
+use vc_pointer::{
+    Config as PtConfig,
+    PointsTo, //
+};
+use vc_workload::{
+    generate,
+    AppProfile, //
+};
+
+fn pointer_field_sensitivity(c: &mut Criterion) {
+    let app = generate(&AppProfile::mysql().scaled(0.05));
+    let sources = app.source_refs();
+    let prog = Program::build(&sources, &app.defines).expect("workload builds");
+    let mut group = c.benchmark_group("andersen_field_sensitivity");
+    group.sample_size(20);
+    for (label, fs) in [("field_sensitive", true), ("field_insensitive", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &fs, |b, &fs| {
+            b.iter(|| {
+                PointsTo::solve_with(&prog, PtConfig { field_sensitive: fs }).fact_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn detection_alias_ablation(c: &mut Criterion) {
+    let app = generate(&AppProfile::openssl().scaled(0.1));
+    let sources = app.source_refs();
+    let prog = Program::build(&sources, &app.defines).expect("workload builds");
+    let mut group = c.benchmark_group("detection_alias_analysis");
+    group.sample_size(20);
+    for (label, alias) in [("with_alias", true), ("without_alias", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &alias, |b, &alias| {
+            b.iter(|| {
+                detect_program(&prog, DetectConfig {
+                    use_alias_analysis: alias,
+                    field_sensitive_pointers: true,
+                })
+                .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn peer_thresholds(c: &mut Criterion) {
+    let app = generate(&AppProfile::nfs_ganesha().scaled(0.3));
+    let sources = app.source_refs();
+    let prog = Program::build(&sources, &app.defines).expect("workload builds");
+    let candidates = detect_program(&prog, DetectConfig::default());
+    let ctx = AuthorshipCtx::new(&prog, &app.repo);
+    let attributed: Vec<_> = ctx
+        .attribute_all(&candidates)
+        .into_iter()
+        .filter(|a| a.cross_scope)
+        .collect();
+    let peers = PeerStats::compute(&prog);
+
+    let mut group = c.benchmark_group("peer_threshold_sweep");
+    group.sample_size(20);
+    for min_occ in [2usize, 5, 10, 20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_occ),
+            &min_occ,
+            |b, &min_occ| {
+                let config = PruneConfig {
+                    peer_min_occurrences: min_occ,
+                    ..PruneConfig::default()
+                };
+                b.iter(|| prune(&prog, &config, &peers, attributed.clone()).kept.len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn prune_order(c: &mut Criterion) {
+    // The pipeline order affects attribution, not the surviving set; this
+    // bench measures the cost of each single-pruner configuration.
+    let app = generate(&AppProfile::linux().scaled(0.2));
+    let sources = app.source_refs();
+    let prog = Program::build(&sources, &app.defines).expect("workload builds");
+    let candidates = detect_program(&prog, DetectConfig::default());
+    let ctx = AuthorshipCtx::new(&prog, &app.repo);
+    let attributed: Vec<_> = ctx
+        .attribute_all(&candidates)
+        .into_iter()
+        .filter(|a| a.cross_scope)
+        .collect();
+    let peers = PeerStats::compute(&prog);
+
+    let configs: [(&str, PruneConfig); 5] = [
+        ("all", PruneConfig::default()),
+        ("only_config", only(|c| c.config_dependency = true)),
+        ("only_cursor", only(|c| c.cursor = true)),
+        ("only_hints", only(|c| c.unused_hints = true)),
+        ("only_peer", only(|c| c.peer_definitions = true)),
+    ];
+    let mut group = c.benchmark_group("prune_single_pattern");
+    group.sample_size(20);
+    for (label, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| prune(&prog, config, &peers, attributed.clone()).kept.len());
+        });
+    }
+    group.finish();
+}
+
+fn only(enable: impl Fn(&mut PruneConfig)) -> PruneConfig {
+    let mut c = PruneConfig {
+        config_dependency: false,
+        cursor: false,
+        unused_hints: false,
+        peer_definitions: false,
+        ..PruneConfig::default()
+    };
+    enable(&mut c);
+    c
+}
+
+criterion_group!(
+    benches,
+    pointer_field_sensitivity,
+    detection_alias_ablation,
+    peer_thresholds,
+    prune_order
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Per-stage costs of the pipeline on one workload: parsing+lowering,
+//! liveness, pointer analysis, detection, authorship, pruning, ranking.
+//! Backs the Table 7 discussion of where the time goes.
+
+use criterion::{
+    criterion_group,
+    criterion_main,
+    Criterion, //
+};
+use valuecheck::{
+    authorship::AuthorshipCtx,
+    detect::{
+        detect_program,
+        DetectConfig, //
+    },
+    prune::{
+        prune,
+        PeerStats,
+        PruneConfig, //
+    },
+    rank::{
+        rank,
+        RankConfig, //
+    },
+};
+use vc_dataflow::liveness::live_variables;
+use vc_ir::{
+    cfg::Cfg,
+    Program, //
+};
+use vc_pointer::PointsTo;
+use vc_workload::{
+    generate,
+    AppProfile, //
+};
+
+fn stages(c: &mut Criterion) {
+    let profile = AppProfile::openssl().scaled(0.15);
+    let app = generate(&profile);
+    let sources = app.source_refs();
+    let prog = Program::build(&sources, &app.defines).expect("workload builds");
+
+    let mut group = c.benchmark_group("analysis_stages");
+    group.sample_size(20);
+
+    group.bench_function("parse_and_lower", |b| {
+        b.iter(|| Program::build(&sources, &app.defines).expect("builds"));
+    });
+
+    group.bench_function("liveness_all_functions", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for f in &prog.funcs {
+                let cfg = Cfg::new(f);
+                total += live_variables(f, &cfg).iterations;
+            }
+            total
+        });
+    });
+
+    group.bench_function("pointer_analysis", |b| {
+        b.iter(|| PointsTo::solve(&prog).fact_count());
+    });
+
+    group.bench_function("detection", |b| {
+        b.iter(|| detect_program(&prog, DetectConfig::default()).len());
+    });
+
+    let candidates = detect_program(&prog, DetectConfig::default());
+    group.bench_function("authorship_lookup", |b| {
+        b.iter(|| {
+            let ctx = AuthorshipCtx::new(&prog, &app.repo);
+            ctx.attribute_all(&candidates).len()
+        });
+    });
+
+    let ctx = AuthorshipCtx::new(&prog, &app.repo);
+    let attributed: Vec<_> = ctx
+        .attribute_all(&candidates)
+        .into_iter()
+        .filter(|a| a.cross_scope)
+        .collect();
+    group.bench_function("pruning", |b| {
+        b.iter(|| {
+            let peers = PeerStats::compute(&prog);
+            prune(&prog, &PruneConfig::default(), &peers, attributed.clone())
+                .kept
+                .len()
+        });
+    });
+
+    let peers = PeerStats::compute(&prog);
+    let kept = prune(&prog, &PruneConfig::default(), &peers, attributed).kept;
+    group.bench_function("familiarity_ranking", |b| {
+        b.iter(|| rank(&prog, &app.repo, &RankConfig::default(), kept.clone()).len());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, stages);
+criterion_main!(benches);

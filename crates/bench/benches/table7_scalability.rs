@@ -1,0 +1,75 @@
+//! Table 7 as a Criterion bench: whole-application analysis time and
+//! per-commit incremental time, per application profile.
+
+use criterion::{
+    criterion_group,
+    criterion_main,
+    BenchmarkId,
+    Criterion, //
+};
+use valuecheck::{
+    incremental::analyze_commit,
+    pipeline::{
+        run,
+        Options, //
+    },
+    prune::PruneConfig,
+    rank::RankConfig,
+};
+use vc_ir::Program;
+use vc_workload::{
+    generate,
+    AppProfile, //
+};
+
+/// Bench scale: small enough for Criterion's repeated sampling.
+const SCALE: f64 = 0.1;
+
+fn full_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_full_analysis");
+    group.sample_size(10);
+    for profile in AppProfile::all() {
+        let profile = profile.scaled(SCALE);
+        let app = generate(&profile);
+        let sources = app.source_refs();
+        let prog = Program::build(&sources, &app.defines).expect("workload builds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &(),
+            |b, _| {
+                b.iter(|| run(&prog, &app.repo, &Options::paper()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn incremental_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_incremental");
+    group.sample_size(10);
+    for profile in AppProfile::all() {
+        let profile = profile.scaled(SCALE);
+        let app = generate(&profile);
+        let head = app.repo.head().expect("non-empty history");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    analyze_commit(
+                        &app.repo,
+                        head,
+                        &app.defines,
+                        &PruneConfig::default(),
+                        &RankConfig::default(),
+                    )
+                    .expect("incremental analysis succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_analysis, incremental_analysis);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! `tables` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! Usage: tables [--scale F] [--out DIR] [--only NAME[,NAME...]]
+//!
+//!   --scale F   workload scale factor (default 1.0 = published sizes)
+//!   --out DIR   CSV output directory (default result/)
+//!   --only X    run a subset: table2 table3 table4 table5 table6 table7
+//!               figure7 figure9 prelim dokfit ea
+//! ```
+
+use std::collections::BTreeSet;
+
+use vc_bench::{
+    experiments,
+    prepare, //
+};
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut out_dir = "result".to_string();
+    let mut only: BTreeSet<String> = BTreeSet::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--out" => {
+                out_dir = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--only" => {
+                let list = args.next().unwrap_or_else(|| die("--only needs names"));
+                only.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: tables [--scale F] [--out DIR] [--only NAME,...]\n\
+                     Experiments: table2 table3 table4 table5 table6 table7 \
+                     figure7 figure9 prelim dokfit ea"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let want = |name: &str| only.is_empty() || only.contains(name);
+
+    eprintln!("generating workloads (scale {scale}) and running the pipeline ...");
+    let runs = prepare(scale);
+    for r in &runs {
+        eprintln!(
+            "  {}: {} LOC, {} commits, pipeline {:.2}s",
+            r.name(),
+            r.app.loc(),
+            r.app.repo.commits().len(),
+            r.full_time.as_secs_f64()
+        );
+    }
+
+    std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+        die(&format!("cannot create {out_dir}: {e}"));
+    });
+
+    let mut outputs = Vec::new();
+    if want("table2") {
+        outputs.push(experiments::table2(&runs));
+    }
+    if want("table3") {
+        outputs.push(experiments::table3(&runs));
+    }
+    if want("table4") {
+        outputs.push(experiments::table4(&runs));
+    }
+    if want("table5") {
+        outputs.push(experiments::table5(&runs));
+    }
+    if want("table6") {
+        outputs.push(experiments::table6(&runs));
+    }
+    if want("table7") {
+        outputs.push(experiments::table7(&runs));
+    }
+    if want("figure7") {
+        outputs.push(experiments::figure7(&runs));
+    }
+    if want("figure9") {
+        outputs.push(experiments::figure9(&runs));
+    }
+    if want("prelim") {
+        outputs.push(experiments::prelim_and_recall(&runs));
+    }
+    if want("dokfit") {
+        outputs.push(experiments::dok_calibration(&runs));
+    }
+    if want("ea") {
+        outputs.push(experiments::ea_alternative(&runs));
+    }
+
+    for out in &outputs {
+        println!("{}", out.text);
+        for (name, csv) in &out.csv {
+            let path = format!("{out_dir}/{name}");
+            std::fs::write(&path, csv).unwrap_or_else(|e| {
+                die(&format!("cannot write {path}: {e}"));
+            });
+        }
+    }
+    // Per-app detected.csv like the paper artifact.
+    for r in &runs {
+        let dir = format!("{out_dir}/{}", r.name());
+        std::fs::create_dir_all(&dir).ok();
+        std::fs::write(format!("{dir}/detected.csv"), r.analysis.report.to_csv()).ok();
+    }
+    eprintln!("CSV written to {out_dir}/");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tables: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,14 @@
+//! # vc-bench — evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§8) from
+//! the synthetic workloads: Tables 2–7, Figures 7 and 9, the §3.1
+//! preliminary experiment, and the §8.3.2 recall measurement. The `tables`
+//! binary renders them as text plus CSV files under `result/`.
+
+pub mod experiments;
+pub mod runs;
+
+pub use runs::{
+    prepare,
+    AppRun, //
+};

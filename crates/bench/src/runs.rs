@@ -1,0 +1,207 @@
+//! Shared experiment state: generated applications with their programs and
+//! pipeline analyses, plus small text-table rendering helpers.
+
+use std::time::{
+    Duration,
+    Instant, //
+};
+
+use valuecheck::pipeline::{
+    run,
+    Analysis,
+    Options, //
+};
+use vc_ir::Program;
+use vc_workload::{
+    generate,
+    AppProfile,
+    GeneratedApp, //
+};
+
+/// One evaluated application: workload, compiled program, pipeline analysis.
+pub struct AppRun {
+    /// The generated workload.
+    pub app: GeneratedApp,
+    /// The compiled program at head.
+    pub prog: Program,
+    /// The paper-configuration pipeline result.
+    pub analysis: Analysis,
+    /// Wall-clock duration of the full pipeline run.
+    pub full_time: Duration,
+}
+
+impl AppRun {
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.app.profile.name
+    }
+
+    /// Confirmed (ground-truth) bugs among the pipeline's report.
+    pub fn confirmed_detected(&self) -> usize {
+        self.analysis
+            .report
+            .rows
+            .iter()
+            .filter(|r| self.app.truth.is_confirmed_bug(&r.function))
+            .count()
+    }
+
+    /// Confirmed bugs among the top `k` ranked findings.
+    pub fn confirmed_in_top(&self, k: usize) -> usize {
+        self.analysis
+            .report
+            .rows
+            .iter()
+            .take(k)
+            .filter(|r| self.app.truth.is_confirmed_bug(&r.function))
+            .count()
+    }
+}
+
+/// Generates, compiles and analyses every paper profile at `scale`
+/// (1.0 = the full published sizes).
+pub fn prepare(scale: f64) -> Vec<AppRun> {
+    AppProfile::all()
+        .into_iter()
+        .map(|p| {
+            let profile = if (scale - 1.0).abs() < 1e-9 {
+                p
+            } else {
+                p.scaled(scale)
+            };
+            prepare_one(&profile)
+        })
+        .collect()
+}
+
+/// Generates and analyses a single profile.
+pub fn prepare_one(profile: &AppProfile) -> AppRun {
+    let app = generate(profile);
+    let prog = Program::build(&app.source_refs(), &app.defines)
+        .unwrap_or_else(|e| panic!("{}: generated sources fail to build: {e}", profile.name));
+    let t0 = Instant::now();
+    let analysis = run(&prog, &app.repo, &Options::paper());
+    let full_time = t0.elapsed();
+    AppRun {
+        app,
+        prog,
+        analysis,
+        full_time,
+    }
+}
+
+/// Renders rows as a fixed-width text table with a header rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV with the given header.
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// A deterministic xorshift sampler for the paper's random-sampling steps.
+pub struct Sampler(u64);
+
+impl Sampler {
+    /// Creates a sampler with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next value in `[0, bound)`.
+    pub fn next(&mut self, bound: usize) -> usize {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x % bound.max(1) as u64) as usize
+    }
+
+    /// Samples `k` distinct indices from `0..n` (all of them if `k >= n`).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates.
+        let take = k.min(n);
+        for i in 0..take {
+            let j = i + self.next(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(take);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(&["a", "bb"], &[
+            vec!["1".into(), "2".into()],
+            vec!["333".into(), "4".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+    }
+
+    #[test]
+    fn sampler_yields_distinct_indices() {
+        let mut s = Sampler::new(42);
+        let picks = s.sample_indices(100, 10);
+        assert_eq!(picks.len(), 10);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn sampler_caps_at_population() {
+        let mut s = Sampler::new(7);
+        assert_eq!(s.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn prepare_one_runs_scaled_profile() {
+        let run = prepare_one(&AppProfile::openssl().scaled(0.1));
+        assert!(run.analysis.detected() > 0);
+        assert!(run.confirmed_detected() <= run.analysis.detected());
+    }
+}

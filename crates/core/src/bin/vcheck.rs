@@ -1,0 +1,120 @@
+//! `vcheck` — ValueCheck from the command line.
+//!
+//! ```text
+//! Usage: vcheck <project-dir> [options]
+//!
+//!   <project-dir>        directory with *.c sources and, ideally, a
+//!                        history.json (see vc_vcs::HistorySpec)
+//!   --define SYM         enable a preprocessor symbol (repeatable)
+//!   --all                keep non-cross-scope unused definitions too
+//!   --no-rank            keep detection order instead of DOK ranking
+//!   --no-prune           disable all pruning patterns
+//!   --top N              print only the N highest-priority findings
+//!   --json               emit findings as JSON instead of CSV
+//! ```
+//!
+//! Exit status: 0 with no findings, 1 with findings, 2 on usage/load errors.
+
+use std::path::PathBuf;
+
+use valuecheck::{
+    pipeline::{
+        run,
+        Options, //
+    },
+    project::load_dir,
+    prune::PruneConfig,
+    rank::RankConfig,
+};
+use vc_ir::Program;
+
+fn main() {
+    let mut dir: Option<PathBuf> = None;
+    let mut defines: Vec<String> = Vec::new();
+    let mut opts = Options::paper();
+    let mut top: Option<usize> = None;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--define" => {
+                defines.push(args.next().unwrap_or_else(|| die("--define needs a symbol")));
+            }
+            "--all" => opts.cross_scope_only = false,
+            "--no-rank" => {
+                opts.rank = RankConfig {
+                    enabled: false,
+                    ..RankConfig::default()
+                };
+            }
+            "--no-prune" => {
+                opts.prune = PruneConfig {
+                    config_dependency: false,
+                    cursor: false,
+                    unused_hints: false,
+                    peer_definitions: false,
+                    ..PruneConfig::default()
+                };
+            }
+            "--top" => {
+                top = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--top needs a number")),
+                );
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: vcheck <project-dir> [--define SYM]... [--all] [--no-rank] \
+                     [--no-prune] [--top N] [--json]"
+                );
+                return;
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| die("missing <project-dir>"));
+
+    let project = load_dir(&dir).unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
+    if !project.has_history {
+        eprintln!(
+            "vcheck: no history.json found — using a single-author working-tree history; \
+             cross-scope detection is limited to library return values"
+        );
+    }
+    let prog = Program::build(&project.source_refs(), &defines)
+        .unwrap_or_else(|e| die(&format!("build failed: {e}")));
+
+    let analysis = run(&prog, &project.repo, &opts);
+    eprintln!(
+        "vcheck: {} unused definitions, {} cross-scope, {} pruned, {} reported",
+        analysis.raw_candidates,
+        analysis.cross_scope_candidates,
+        analysis.prune_outcome.total_pruned(),
+        analysis.detected()
+    );
+
+    let mut report = analysis.report.clone();
+    if let Some(n) = top {
+        report.rows.truncate(n);
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        print!("{}", report.to_csv());
+    }
+    std::process::exit(if report.rows.is_empty() { 0 } else { 1 });
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("vcheck: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,72 @@
+//! Unused-definition candidates and their scenario classification.
+
+use serde::Serialize;
+use vc_ir::{
+    FuncId,
+    Span,
+    StoreInfo,
+    VarKey, //
+};
+
+/// Which of the paper's three cross-scope scenarios (§3.1) a candidate
+/// belongs to.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum Scenario {
+    /// Scenario 1: an ignored or unused return value. `callees` lists the
+    /// possible called functions (one for direct calls; the points-to set
+    /// for calls through function pointers).
+    RetVal {
+        /// Possible callees.
+        callees: Vec<String>,
+    },
+    /// Scenario 2: a function argument whose incoming value is overwritten
+    /// or ignored inside the function.
+    Param {
+        /// Zero-based parameter index.
+        index: usize,
+    },
+    /// Scenario 3: an ordinary definition overwritten by later definitions
+    /// on all successor paths (or never read before the function returns).
+    Overwritten,
+}
+
+/// One unused definition found by the detector, before authorship filtering
+/// and pruning.
+#[derive(Clone, Debug, Serialize)]
+pub struct Candidate {
+    /// The containing function.
+    pub func: FuncId,
+    /// Its name (for reports).
+    pub func_name: String,
+    /// The defined variable (or field).
+    pub key: VarKey,
+    /// Human-readable variable name (`buf`, `sctx#2`, `$ret_printf_12`).
+    pub var_name: String,
+    /// Span of the defining store.
+    pub span: Span,
+    /// Scenario classification.
+    pub scenario: Scenario,
+    /// Spans of the definitions that overwrite this one downstream
+    /// (the define-set of Fig. 3/4 at this point). Empty when the value is
+    /// simply never read before the function returns.
+    pub overwriters: Vec<Span>,
+    /// Provenance of the stored value (cursor detection, synthetic slots).
+    pub info: StoreInfo,
+    /// Whether the destination is a compiler-synthesized slot (a call whose
+    /// result the source ignores entirely).
+    pub synthetic: bool,
+    /// Whether the destination variable carries an `unused` attribute.
+    pub unused_attr: bool,
+}
+
+impl Candidate {
+    /// A stable identity for deduplication and diffing: function, variable,
+    /// and definition line.
+    pub fn identity(&self) -> (String, String, u32) {
+        (
+            self.func_name.clone(),
+            self.var_name.clone(),
+            self.span.line(),
+        )
+    }
+}

@@ -1,0 +1,445 @@
+//! Cross-scope unused-definition detection — the algorithm of Fig. 4.
+//!
+//! The detector runs the liveness analysis of §4.1 extended with the
+//! *define set* of §4.2: alongside the live-variable set, each program point
+//! tracks, per variable, the set of next definitions downstream. When a
+//! store is found dead, the define set names exactly the definitions that
+//! overwrite it — the spans whose authors the authorship phase compares.
+//!
+//! Exclusions mirror the paper: address-taken locals (the value may be read
+//! through a pointer) and locals the pointer analysis marks as aliased-read
+//! are never candidates.
+
+use std::collections::{
+    BTreeMap,
+    BTreeSet,
+    HashMap, //
+};
+
+use vc_dataflow::{
+    framework::{
+        solve,
+        DataflowAnalysis,
+        Direction, //
+    },
+    liveness::escaped_locals,
+    varset::VarKeySet,
+};
+use vc_ir::{
+    cfg::Cfg,
+    ir::{
+        BlockId,
+        Callee,
+        Inst,
+        LocalKind,
+        Operand,
+        StoreInfo,
+        TempId,
+        TempOrigin, //
+    },
+    FuncId,
+    Function,
+    Program,
+    Span,
+    VarKey, //
+};
+use vc_pointer::{
+    AliasUses,
+    PointsTo, //
+};
+
+use crate::candidate::{
+    Candidate,
+    Scenario, //
+};
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectConfig {
+    /// Run the pointer analysis and drop aliased-read candidates (§4.1,
+    /// "Pointer and Alias"). Disabling this is the alias-ablation mode.
+    pub use_alias_analysis: bool,
+    /// Field-sensitive pointer analysis (ablation knob; detection liveness
+    /// is always field-sensitive, matching the paper).
+    pub field_sensitive_pointers: bool,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        Self {
+            use_alias_analysis: true,
+            field_sensitive_pointers: true,
+        }
+    }
+}
+
+/// The joint fact of Fig. 4: live variables plus the define set.
+#[derive(Clone, Debug, PartialEq, Default)]
+struct LiveDefFact {
+    live: VarKeySet,
+    /// For each key, the spans of the next definitions downstream.
+    defs: BTreeMap<VarKey, BTreeSet<Span>>,
+}
+
+struct LiveDefAnalysis;
+
+impl LiveDefFact {
+    /// Applies one instruction's backward transfer.
+    fn transfer(&mut self, inst: &Inst) {
+        match inst {
+            Inst::Load { place, .. } | Inst::AddrOf { place, .. } => {
+                if let Some(key) = place.var_key() {
+                    self.live.insert(key);
+                }
+            }
+            Inst::Store { place, span, .. } => {
+                if let Some(key) = place.var_key() {
+                    self.live.remove_killed(key);
+                    // This store becomes the (sole) next definition for
+                    // everything it overwrites.
+                    if let VarKey::Local(l) = key {
+                        let stale: Vec<VarKey> = self
+                            .defs
+                            .range(VarKey::Field(l, 0)..=VarKey::Field(l, u32::MAX))
+                            .map(|(k, _)| *k)
+                            .collect();
+                        for k in stale {
+                            self.defs.remove(&k);
+                        }
+                    }
+                    self.defs.insert(key, BTreeSet::from([*span]));
+                }
+            }
+            Inst::Bin { .. } | Inst::Un { .. } | Inst::Call { .. } => {}
+        }
+    }
+
+    /// The overwriting definitions of `key` at this point: exact entry plus,
+    /// for field keys, whole-variable stores.
+    fn overwriters(&self, key: VarKey) -> Vec<Span> {
+        let mut out: BTreeSet<Span> = self.defs.get(&key).cloned().unwrap_or_default();
+        if let VarKey::Field(l, _) = key {
+            if let Some(extra) = self.defs.get(&VarKey::Local(l)) {
+                out.extend(extra.iter().copied());
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+impl DataflowAnalysis for LiveDefAnalysis {
+    type Fact = LiveDefFact;
+    const DIRECTION: Direction = Direction::Backward;
+
+    fn boundary_fact(&self, _f: &Function) -> LiveDefFact {
+        LiveDefFact::default()
+    }
+
+    fn init_fact(&self, _f: &Function) -> LiveDefFact {
+        LiveDefFact::default()
+    }
+
+    fn join(&self, into: &mut LiveDefFact, from: &LiveDefFact) {
+        into.live.union_with(&from.live);
+        for (k, spans) in &from.defs {
+            into.defs.entry(*k).or_default().extend(spans.iter().copied());
+        }
+    }
+
+    fn transfer_block(&self, f: &Function, bb: BlockId, fact: &mut LiveDefFact) {
+        for inst in f.block(bb).insts.iter().rev() {
+            fact.transfer(inst);
+        }
+    }
+}
+
+/// Maps each call-result temp of a function to its possible callees.
+fn call_result_map(
+    prog: &Program,
+    fid: FuncId,
+    f: &Function,
+    pts: Option<&PointsTo>,
+) -> HashMap<TempId, Vec<String>> {
+    let mut out = HashMap::new();
+    for bb in &f.blocks {
+        for inst in &bb.insts {
+            if let Inst::Call {
+                dst: Some(d),
+                callee,
+                ..
+            } = inst
+            {
+                let names = match callee {
+                    Callee::Direct(n) => vec![n.clone()],
+                    Callee::Indirect(t) => match pts {
+                        Some(p) => p.resolve_fn_ptr(fid, *t),
+                        None => Vec::new(),
+                    },
+                };
+                out.insert(*d, names);
+            }
+        }
+    }
+    let _ = prog;
+    out
+}
+
+/// Detects unused-definition candidates in one function.
+pub fn detect_function(
+    prog: &Program,
+    fid: FuncId,
+    pts: Option<&PointsTo>,
+    alias: Option<&AliasUses>,
+) -> Vec<Candidate> {
+    let f = prog.func(fid);
+    let cfg = Cfg::new(f);
+    let facts = solve(f, &cfg, &LiveDefAnalysis);
+    let escaped = escaped_locals(f);
+    let retvals = call_result_map(prog, fid, f, pts);
+
+    let excluded = |key: VarKey| -> bool {
+        let l = key.local();
+        if escaped.contains(&l) {
+            return true;
+        }
+        if let Some(a) = alias {
+            if a.is_aliased_read(fid, l) {
+                return true;
+            }
+        }
+        false
+    };
+
+    let mut out = Vec::new();
+    for (bid, bb) in f.iter_blocks() {
+        let mut fact = facts.exit(bid).clone();
+        for inst in bb.insts.iter().rev() {
+            if let Inst::Store {
+                place,
+                value,
+                info,
+                span,
+            } = inst
+            {
+                if let Some(key) = place.var_key() {
+                    if !fact.live.contains_covering(key) && !excluded(key) {
+                        let local = f.local(key.local());
+                        let scenario = classify(f, &retvals, value, info);
+                        out.push(Candidate {
+                            func: fid,
+                            func_name: f.name.clone(),
+                            key,
+                            var_name: f.var_key_name(key),
+                            span: *span,
+                            scenario,
+                            overwriters: fact.overwriters(key),
+                            info: info.clone(),
+                            synthetic: local.kind == LocalKind::Synthetic,
+                            unused_attr: local.unused_attr,
+                        });
+                    }
+                }
+            }
+            fact.transfer(inst);
+        }
+    }
+    // Drop synthetic helper slots that are not call results (e.g. ternary
+    // staging slots): they are compiler artifacts, not source definitions.
+    out.retain(|c| !c.synthetic || matches!(c.scenario, Scenario::RetVal { .. }));
+    out.sort_by_key(|c| (c.span, c.var_name.clone()));
+    out
+}
+
+/// Classifies a dead store into the paper's scenarios.
+fn classify(
+    f: &Function,
+    retvals: &HashMap<TempId, Vec<String>>,
+    value: &Operand,
+    info: &StoreInfo,
+) -> Scenario {
+    if let StoreInfo::ParamInit { index } = info {
+        return Scenario::Param { index: *index };
+    }
+    if let Operand::Temp(t) = value {
+        if let Some(callees) = retvals.get(t) {
+            return Scenario::RetVal {
+                callees: callees.clone(),
+            };
+        }
+        if matches!(
+            f.temp_origins.get(t.0 as usize),
+            Some(TempOrigin::Call(_)) | Some(TempOrigin::IndirectCall)
+        ) {
+            // A call result reaching the store through the origin table even
+            // if the call-site map missed it (defensive).
+            if let Some(TempOrigin::Call(name)) = f.temp_origins.get(t.0 as usize) {
+                return Scenario::RetVal {
+                    callees: vec![name.clone()],
+                };
+            }
+            return Scenario::RetVal { callees: vec![] };
+        }
+    }
+    Scenario::Overwritten
+}
+
+/// Detects candidates across the whole program.
+///
+/// Runs the pointer analysis once (when enabled) and reuses it for every
+/// function, mirroring the paper's per-bitcode SVF invocation.
+pub fn detect_program(prog: &Program, config: DetectConfig) -> Vec<Candidate> {
+    let pts = config.use_alias_analysis.then(|| {
+        PointsTo::solve_with(
+            prog,
+            vc_pointer::Config {
+                field_sensitive: config.field_sensitive_pointers,
+            },
+        )
+    });
+    let alias = pts.as_ref().map(|p| AliasUses::compute(prog, p));
+    let mut out = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        out.extend(detect_function(
+            prog,
+            FuncId(fi as u32),
+            pts.as_ref(),
+            alias.as_ref(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates(src: &str) -> Vec<Candidate> {
+        let prog = Program::build(&[("a.c", src)], &[]).unwrap();
+        detect_program(&prog, DetectConfig::default())
+    }
+
+    fn names(cands: &[Candidate]) -> Vec<String> {
+        cands.iter().map(|c| c.var_name.clone()).collect()
+    }
+
+    #[test]
+    fn detects_overwritten_definition_with_overwriter_span() {
+        let c = candidates("void f(void) { int x = 1; x = 2; use(x); }");
+        assert_eq!(names(&c), vec!["x"]);
+        assert_eq!(c[0].scenario, Scenario::Overwritten);
+        assert_eq!(c[0].overwriters.len(), 1);
+        assert_eq!(c[0].overwriters[0].line(), 1);
+    }
+
+    #[test]
+    fn detects_unused_retval_scenario() {
+        let c = candidates(
+            "int get_permset(void);\n\
+             int calc_mask(void);\n\
+             void f(void) {\n\
+               int ret = get_permset();\n\
+               ret = calc_mask();\n\
+               if (ret) { handle(); }\n\
+             }",
+        );
+        assert_eq!(c.len(), 1);
+        match &c[0].scenario {
+            Scenario::RetVal { callees } => assert_eq!(callees, &vec!["get_permset".to_string()]),
+            other => panic!("unexpected scenario {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_overwritten_param_scenario() {
+        let c = candidates(
+            "int open_log(char *path, size_t bufsz) { bufsz = 1400; if (bufsz > 0) { go(path, \
+             bufsz); } return 0; }",
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].scenario, Scenario::Param { index: 1 });
+        assert_eq!(c[0].var_name, "bufsz");
+        // The overwriter is the `bufsz = 1400` line.
+        assert_eq!(c[0].overwriters.len(), 1);
+    }
+
+    #[test]
+    fn detects_ignored_call_result_as_synthetic_retval() {
+        let c = candidates("int log_write(char *msg);\nvoid f(void) { log_write(\"hi\"); }");
+        assert_eq!(c.len(), 1);
+        assert!(c[0].synthetic);
+        assert!(matches!(&c[0].scenario, Scenario::RetVal { callees } if callees == &vec!["log_write".to_string()]));
+    }
+
+    #[test]
+    fn branch_overwriters_are_all_collected() {
+        let c = candidates(
+            "void f(int cond) { int x = 1; if (cond) { x = 2; } else { x = 3; } use(x); }",
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].overwriters.len(), 2, "{:?}", c[0].overwriters);
+    }
+
+    #[test]
+    fn aliased_locals_are_excluded() {
+        let c = candidates(
+            "int deref(int *p) { return *p; }\n\
+             void f(void) { int x = 1; int r = deref(&x); x = 2; use(r); }",
+        );
+        // `x = 2` is dead but x is aliased (address taken): no candidates
+        // for x. (r is used.)
+        assert!(names(&c).iter().all(|n| n != "x"), "{c:?}");
+    }
+
+    #[test]
+    fn indirect_call_retval_resolves_callees() {
+        let c = candidates(
+            "int ha(void) { return 1; }\n\
+             int hb(void) { return 2; }\n\
+             void f(int w) {\n\
+               int *fp = ha;\n\
+               if (w) { fp = hb; }\n\
+               int r = fp();\n\
+               r = 5;\n\
+               use(r);\n\
+             }",
+        );
+        let r = c.iter().find(|c| c.var_name == "r").expect("r candidate");
+        match &r.scenario {
+            Scenario::RetVal { callees } => {
+                let mut cs = callees.clone();
+                cs.sort();
+                assert_eq!(cs, vec!["ha".to_string(), "hb".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_staging_slots_are_not_reported() {
+        let c = candidates("void f(int x) { int y = x ? 1 : 2; use(y); }");
+        assert!(c.is_empty(), "{c:?}");
+    }
+
+    #[test]
+    fn field_candidate_includes_whole_store_overwriter() {
+        let c = candidates(
+            "struct s { int a; int b; };\n\
+             struct s mk(void);\n\
+             void f(void) { struct s v; v.a = 1; v = mk(); use_s(v); }",
+        );
+        let fa = c.iter().find(|c| c.var_name == "v#0").expect("field candidate");
+        assert_eq!(fa.overwriters.len(), 1);
+    }
+
+    #[test]
+    fn no_candidates_in_clean_code() {
+        let c = candidates(
+            "int sum(int *a, int n) {\n\
+               int s = 0;\n\
+               for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }\n\
+               return s;\n\
+             }",
+        );
+        assert!(c.is_empty(), "{c:?}");
+    }
+}

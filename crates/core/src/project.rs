@@ -1,0 +1,189 @@
+//! Project loading for the `vcheck` command-line tool: a directory of MiniC
+//! sources plus an optional `history.json` ([`vc_vcs::HistorySpec`]).
+
+use std::{
+    fs,
+    io,
+    path::Path,
+};
+
+use vc_vcs::{
+    HistorySpec,
+    Repository, //
+};
+
+/// A loaded project ready for analysis.
+#[derive(Debug)]
+pub struct Project {
+    /// `(relative path, content)` pairs, sorted by path.
+    pub sources: Vec<(String, String)>,
+    /// The version-control history (synthesized single-author history when
+    /// the project ships no `history.json`).
+    pub repo: Repository,
+    /// Whether a real history was found.
+    pub has_history: bool,
+}
+
+impl Project {
+    /// Sources as `(&str, &str)` pairs for `Program::build`.
+    pub fn source_refs(&self) -> Vec<(&str, &str)> {
+        self.sources
+            .iter()
+            .map(|(p, c)| (p.as_str(), c.as_str()))
+            .collect()
+    }
+}
+
+/// Loads a project directory: every `*.c` file under `dir` (recursively,
+/// relative paths as file names) plus `dir/history.json` when present.
+///
+/// With a history, analysis uses its blame; without one, a synthetic
+/// single-author history is built from the working tree — cross-scope
+/// findings are then limited to library-return-value cases, and `vcheck`
+/// warns accordingly.
+pub fn load_dir(dir: &Path) -> io::Result<Project> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    collect_c_files(dir, dir, &mut sources)?;
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
+    if sources.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no .c files under {}", dir.display()),
+        ));
+    }
+
+    let history_path = dir.join("history.json");
+    if history_path.exists() {
+        let text = fs::read_to_string(&history_path)?;
+        let spec: HistorySpec = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("history.json: {e}")))?;
+        let repo = spec.build();
+        // The working tree must match the history head, or blame lines
+        // would not line up with the parsed sources.
+        for (path, content) in &sources {
+            let head = repo.file_content(path).map(|c| c + "\n");
+            if head.as_deref() != Some(content.as_str())
+                && head.as_deref() != Some(content.trim_end_matches('\n'))
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("history.json head does not match working tree for {path}"),
+                ));
+            }
+        }
+        Ok(Project {
+            sources,
+            repo,
+            has_history: true,
+        })
+    } else {
+        let repo = HistorySpec::single_author(&sources).build();
+        Ok(Project {
+            sources,
+            repo,
+            has_history: false,
+        })
+    }
+}
+
+fn collect_c_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, String)>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_c_files(root, &path, out)?;
+        } else if path.extension().map(|e| e == "c").unwrap_or(false) {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vcheck_test_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        dir
+    }
+
+    #[test]
+    fn loads_tree_without_history() {
+        let dir = tmpdir("nohist");
+        fs::write(dir.join("src/a.c"), "int f(void) { return 1; }\n").unwrap();
+        let p = load_dir(&dir).unwrap();
+        assert!(!p.has_history);
+        assert_eq!(p.sources.len(), 1);
+        assert_eq!(p.sources[0].0, "src/a.c");
+        assert_eq!(p.repo.author_count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loads_tree_with_matching_history() {
+        let dir = tmpdir("hist");
+        let content = "int f(void) { return 1; }\n";
+        fs::write(dir.join("src/a.c"), content).unwrap();
+        let spec = vc_vcs::HistorySpec {
+            commits: vec![vc_vcs::spec::CommitSpec {
+                author: "alice".into(),
+                timestamp: 5,
+                message: "init".into(),
+                writes: vec![vc_vcs::spec::WriteSpec {
+                    path: "src/a.c".into(),
+                    content: content.into(),
+                }],
+            }],
+        };
+        fs::write(
+            dir.join("history.json"),
+            serde_json::to_string_pretty(&spec).unwrap(),
+        )
+        .unwrap();
+        let p = load_dir(&dir).unwrap();
+        assert!(p.has_history);
+        assert_eq!(
+            p.repo
+                .blame_author("src/a.c", 1)
+                .map(|a| p.repo.author(a).name.clone()),
+            Some("alice".to_string())
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_mismatched_history() {
+        let dir = tmpdir("mismatch");
+        fs::write(dir.join("src/a.c"), "int f(void) { return 2; }\n").unwrap();
+        let spec = vc_vcs::HistorySpec {
+            commits: vec![vc_vcs::spec::CommitSpec {
+                author: "alice".into(),
+                timestamp: 5,
+                message: "init".into(),
+                writes: vec![vc_vcs::spec::WriteSpec {
+                    path: "src/a.c".into(),
+                    content: "int f(void) { return 1; }\n".into(),
+                }],
+            }],
+        };
+        fs::write(
+            dir.join("history.json"),
+            serde_json::to_string(&spec).unwrap(),
+        )
+        .unwrap();
+        assert!(load_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,434 @@
+//! False-positive pruning — the four patterns of §5, applied as a pipeline
+//! in the order of Fig. 2 / Table 4: configuration dependency → cursor →
+//! unused hints → peer definitions. A candidate matching several patterns is
+//! counted against the first one that fires, exactly as the paper's prune
+//! accounting works ("some false positives may match multiple patterns but
+//! are pruned by the earlier stage").
+
+use std::collections::{
+    HashMap,
+    HashSet, //
+};
+
+use serde::Serialize;
+use vc_dataflow::dead_stores;
+use vc_ir::{
+    cfg::Cfg,
+    ir::{
+        Inst,
+        StoreInfo, //
+    },
+    types::Type,
+    Program,
+    VarKey, //
+};
+
+use crate::{
+    authorship::Attributed,
+    candidate::Scenario, //
+};
+
+/// Which pruner removed a candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum PruneReason {
+    /// §5.1 — a use exists under a preprocessor guard in the same function.
+    ConfigDependency,
+    /// §5.2 — the definition is a cursor (repeated constant self-increment).
+    Cursor,
+    /// §5.3 — the developer marked the definition as intentionally unused.
+    UnusedHint,
+    /// §5.4 — most peer definitions are also unused.
+    PeerDefinition,
+}
+
+/// Pruning configuration; every pattern can be toggled for ablations.
+#[derive(Clone, Copy, Debug)]
+pub struct PruneConfig {
+    /// Enable §5.1.
+    pub config_dependency: bool,
+    /// Enable §5.2.
+    pub cursor: bool,
+    /// Enable §5.3.
+    pub unused_hints: bool,
+    /// Enable §5.4.
+    pub peer_definitions: bool,
+    /// Peer pruning: minimum number of peer occurrences ("over ten").
+    pub peer_min_occurrences: usize,
+    /// Peer pruning: minimum unused fraction ("over half").
+    pub peer_unused_ratio: f64,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self {
+            config_dependency: true,
+            cursor: true,
+            unused_hints: true,
+            peer_definitions: true,
+            peer_min_occurrences: 10,
+            peer_unused_ratio: 0.5,
+        }
+    }
+}
+
+/// The outcome of the pruning pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct PruneOutcome {
+    /// Candidates that survived every pruner.
+    pub kept: Vec<Attributed>,
+    /// Pruned candidates with the (first) reason that fired.
+    pub pruned: Vec<(Attributed, PruneReason)>,
+}
+
+impl PruneOutcome {
+    /// Number pruned by a particular pattern.
+    pub fn count(&self, reason: PruneReason) -> usize {
+        self.pruned.iter().filter(|(_, r)| *r == reason).count()
+    }
+
+    /// Total number pruned.
+    pub fn total_pruned(&self) -> usize {
+        self.pruned.len()
+    }
+}
+
+/// Program-wide usage statistics backing peer-definition pruning:
+/// per callee, how many call sites exist and how many ignore the result;
+/// per function signature and parameter index, how many functions leave the
+/// parameter unused.
+#[derive(Clone, Debug, Default)]
+pub struct PeerStats {
+    /// callee name → (call sites, sites whose result is unused).
+    pub retval: HashMap<String, (usize, usize)>,
+    /// (signature, param index) → (functions with that signature, functions
+    /// whose parameter at the index is unused).
+    pub params: HashMap<(Vec<Type>, usize), (usize, usize)>,
+}
+
+impl PeerStats {
+    /// Computes peer statistics for a program.
+    ///
+    /// A call site's return value counts as unused when the store of the
+    /// result (explicit or synthetic) is a dead store; call sites whose
+    /// result feeds an expression directly have no such store and count as
+    /// used. A parameter counts as unused when its entry definition is dead.
+    pub fn compute(prog: &Program) -> PeerStats {
+        Self::compute_filtered(prog, None, None)
+    }
+
+    /// Computes peer statistics restricted to the given callees and
+    /// parameter signatures — the incremental analyzer's fast path (§8.6):
+    /// only functions that call a relevant callee or share a relevant
+    /// signature need their dead stores computed.
+    pub fn compute_scoped(
+        prog: &Program,
+        callees: &std::collections::HashSet<String>,
+        sigs: &std::collections::HashSet<Vec<Type>>,
+    ) -> PeerStats {
+        Self::compute_filtered(prog, Some(callees), Some(sigs))
+    }
+
+    fn compute_filtered(
+        prog: &Program,
+        callees: Option<&std::collections::HashSet<String>>,
+        sigs: Option<&std::collections::HashSet<Vec<Type>>>,
+    ) -> PeerStats {
+        let mut stats = PeerStats::default();
+        // Count call sites per callee (an index scan; no analysis).
+        for (callee, sites) in prog.call_index() {
+            if callees.map(|cs| cs.contains(&callee)).unwrap_or(true) {
+                stats.retval.entry(callee).or_default().0 = sites.len();
+            }
+        }
+        for f in &prog.funcs {
+            let sig: Vec<Type> = f.params.iter().map(|p| p.ty.clone()).collect();
+            let sig_relevant = sigs.map(|ss| ss.contains(&sig)).unwrap_or(true);
+            let calls_relevant = match callees {
+                None => true,
+                Some(cs) => f.blocks.iter().any(|bb| {
+                    bb.insts.iter().any(|inst| {
+                        matches!(
+                            inst,
+                            Inst::Call {
+                                callee: vc_ir::ir::Callee::Direct(name),
+                                ..
+                            } if cs.contains(name)
+                        )
+                    })
+                }),
+            };
+            if !sig_relevant && !calls_relevant {
+                continue;
+            }
+            Self::accumulate(&mut stats, f, &sig, sig_relevant, calls_relevant, callees);
+        }
+        stats
+    }
+
+    fn accumulate(
+        stats: &mut PeerStats,
+        f: &vc_ir::Function,
+        sig: &[Type],
+        sig_relevant: bool,
+        calls_relevant: bool,
+        callees: Option<&std::collections::HashSet<String>>,
+    ) {
+        let cfg = Cfg::new(f);
+        let dead = dead_stores(f, &cfg);
+        let dead_keys: HashSet<(u32, usize)> =
+            dead.iter().map(|d| (d.block.0, d.inst_idx)).collect();
+        // Dead retval stores.
+        if calls_relevant {
+            for (bid, bb) in f.iter_blocks() {
+                for (idx, inst) in bb.insts.iter().enumerate() {
+                    if let Inst::Store {
+                        info: StoreInfo::RetVal { callee, .. },
+                        ..
+                    } = inst
+                    {
+                        let wanted = callees.map(|cs| cs.contains(callee)).unwrap_or(true);
+                        if wanted && dead_keys.contains(&(bid.0, idx)) {
+                            stats.retval.entry(callee.clone()).or_default().1 += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Parameter usage per signature.
+        if sig_relevant {
+            for (i, p) in f.params.iter().enumerate() {
+                let entry = stats.params.entry((sig.to_vec(), i)).or_default();
+                entry.0 += 1;
+                let param_dead = dead.iter().any(|d| {
+                    d.key == VarKey::Local(p.local)
+                        && matches!(d.info, StoreInfo::ParamInit { .. })
+                });
+                if param_dead {
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the pruning pipeline over attributed candidates.
+pub fn prune(
+    prog: &Program,
+    config: &PruneConfig,
+    peers: &PeerStats,
+    items: Vec<Attributed>,
+) -> PruneOutcome {
+    let mut out = PruneOutcome::default();
+    for item in items {
+        match prune_one(prog, config, peers, &item) {
+            Some(reason) => out.pruned.push((item, reason)),
+            None => out.kept.push(item),
+        }
+    }
+    out
+}
+
+/// Applies the pipeline to one candidate; returns the first reason that
+/// fires, or `None` to keep it.
+fn prune_one(
+    prog: &Program,
+    config: &PruneConfig,
+    peers: &PeerStats,
+    item: &Attributed,
+) -> Option<PruneReason> {
+    let cand = &item.candidate;
+    let f = prog.func(cand.func);
+
+    // §5.1 Configuration dependency: a use of this variable appears under a
+    // preprocessor directive in the same function (possibly compiled out).
+    if config.config_dependency {
+        let base_name = cand.var_name.split('#').next().unwrap_or(&cand.var_name);
+        if f.guarded_mentions.contains(base_name) {
+            return Some(PruneReason::ConfigDependency);
+        }
+    }
+
+    // §5.2 Cursor: the definition is a constant self-offset and every
+    // self-offset of this variable in the function uses the same constant.
+    if config.cursor {
+        if let StoreInfo::SelfOffset { delta } = cand.info {
+            let mut all_same = true;
+            for bb in &f.blocks {
+                for inst in &bb.insts {
+                    if let Inst::Store {
+                        place,
+                        info: StoreInfo::SelfOffset { delta: d },
+                        ..
+                    } = inst
+                    {
+                        if place.var_key() == Some(cand.key) && *d != delta {
+                            all_same = false;
+                        }
+                    }
+                }
+            }
+            if all_same {
+                return Some(PruneReason::Cursor);
+            }
+        }
+    }
+
+    // §5.3 Unused hints: attributes, or the keyword `unused` on the
+    // definition's source line.
+    if config.unused_hints {
+        if cand.unused_attr {
+            return Some(PruneReason::UnusedHint);
+        }
+        if let Some(file) = prog.source.file(cand.span.file) {
+            if let Some(line) = file.content.lines().nth((cand.span.line() as usize).saturating_sub(1)) {
+                if line.to_ascii_lowercase().contains("unused") {
+                    return Some(PruneReason::UnusedHint);
+                }
+            }
+        }
+    }
+
+    // §5.4 Peer definitions: if most peers are also unused, developers
+    // evidently do not care about this value.
+    if config.peer_definitions {
+        match &cand.scenario {
+            Scenario::RetVal { callees } => {
+                for callee in callees {
+                    if let Some((total, unused)) = peers.retval.get(callee) {
+                        if *total > config.peer_min_occurrences
+                            && (*unused as f64) > (*total as f64) * config.peer_unused_ratio
+                        {
+                            return Some(PruneReason::PeerDefinition);
+                        }
+                    }
+                }
+            }
+            Scenario::Param { index } => {
+                let sig: Vec<Type> = f.params.iter().map(|p| p.ty.clone()).collect();
+                if let Some((total, unused)) = peers.params.get(&(sig, *index)) {
+                    if *total > config.peer_min_occurrences
+                        && (*unused as f64) > (*total as f64) * config.peer_unused_ratio
+                    {
+                        return Some(PruneReason::PeerDefinition);
+                    }
+                }
+            }
+            Scenario::Overwritten => {}
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        authorship::AuthorshipCtx,
+        detect::{
+            detect_program,
+            DetectConfig, //
+        },
+    };
+    use vc_vcs::{
+        FileWrite,
+        Repository, //
+    };
+
+    fn run_prune(src: &str) -> (PruneOutcome, Program) {
+        let prog = Program::build(&[("a.c", src)], &[]).unwrap();
+        let mut repo = Repository::new();
+        let a = repo.add_author("solo");
+        repo.commit(
+            a,
+            1,
+            "init",
+            vec![FileWrite {
+                path: "a.c".into(),
+                content: src.into(),
+            }],
+        );
+        let cands = detect_program(&prog, DetectConfig::default());
+        let attributed = AuthorshipCtx::new(&prog, &repo).attribute_all(&cands);
+        let peers = PeerStats::compute(&prog);
+        let outcome = prune(&prog, &PruneConfig::default(), &peers, attributed);
+        (outcome, prog)
+    }
+
+    #[test]
+    fn config_dependency_prunes_guarded_use() {
+        let src = "void f(void) {\nint host = 1;\n#ifdef USE_ICMP\nlookup(host);\n#endif\n}\n";
+        let (out, _) = run_prune(src);
+        assert_eq!(out.count(PruneReason::ConfigDependency), 1);
+        assert!(out.kept.iter().all(|k| k.candidate.var_name != "host"));
+    }
+
+    #[test]
+    fn cursor_increment_is_pruned() {
+        // The final `o++` writes a value never read: a cursor, not a bug.
+        let src = "void f(char *o, int n) {\nfor (int i = 0; i < n; i = i + 1) {\n*o++ = '_';\n}\n*o++ = '\\0';\n}\n";
+        let (out, _) = run_prune(src);
+        assert!(out.count(PruneReason::Cursor) >= 1, "{:?}", out.pruned);
+    }
+
+    #[test]
+    fn unused_attr_is_pruned_as_hint() {
+        let src = "int f(int force [[maybe_unused]]) {\nreturn 0;\n}\n";
+        let (out, _) = run_prune(src);
+        assert_eq!(out.count(PruneReason::UnusedHint), 1);
+    }
+
+    #[test]
+    fn unused_keyword_on_line_is_pruned_as_hint() {
+        let src = "void f(void) {\nint x_unused = compute();\nx_unused = 0;\nuse(x_unused);\n}\nint compute(void);\n";
+        let (out, _) = run_prune(src);
+        assert!(out.count(PruneReason::UnusedHint) >= 1, "{:?}", out.pruned);
+    }
+
+    #[test]
+    fn peer_definition_prunes_commonly_ignored_retval() {
+        // 12 call sites ignore log_msg's result; one assigns it but never
+        // reads it. All are peers; the unused fraction is > 50%.
+        let mut src = String::from("int log_msg(char *m);\n");
+        for i in 0..12 {
+            src.push_str(&format!("void f{i}(void) {{\nlog_msg(\"x\");\n}}\n"));
+        }
+        src.push_str("void g(void) {\nint r = log_msg(\"y\");\nr = 0;\nuse(r);\n}\n");
+        let (out, _) = run_prune(&src);
+        assert!(
+            out.count(PruneReason::PeerDefinition) >= 12,
+            "pruned: {:?}",
+            out.pruned.iter().map(|(a, r)| (a.candidate.var_name.clone(), *r)).collect::<Vec<_>>()
+        );
+        assert!(out.kept.iter().all(|k| k.candidate.func_name != "g"));
+    }
+
+    #[test]
+    fn rarely_ignored_retval_survives_peer_pruning() {
+        // Only 3 call sites: below the ">10 occurrences" threshold.
+        let mut src = String::from("int read_cfg(void);\n");
+        src.push_str("void a(void) {\nint x = read_cfg();\nuse(x);\n}\n");
+        src.push_str("void b(void) {\nint y = read_cfg();\nuse(y);\n}\n");
+        src.push_str("void g(void) {\nint r = read_cfg();\nr = 0;\nuse(r);\n}\n");
+        let (out, _) = run_prune(&src);
+        assert_eq!(out.count(PruneReason::PeerDefinition), 0);
+        assert!(out.kept.iter().any(|k| k.candidate.func_name == "g"));
+    }
+
+    #[test]
+    fn pipeline_counts_first_matching_stage() {
+        // Guarded use AND unused keyword: config dependency fires first.
+        let src = "void f(void) {\nint flag_unused = 1;\n#ifdef DBG\ncheck(flag_unused);\n#endif\n}\n";
+        let (out, _) = run_prune(src);
+        assert_eq!(out.count(PruneReason::ConfigDependency), 1);
+        assert_eq!(out.count(PruneReason::UnusedHint), 0);
+    }
+
+    #[test]
+    fn clean_bug_candidate_is_kept() {
+        let src = "int get_permset(void);\nint calc_mask(void);\nvoid f(void) {\nint ret = get_permset();\nret = calc_mask();\nif (ret) { handle(); }\n}\n";
+        let (out, _) = run_prune(src);
+        assert_eq!(out.total_pruned(), 0, "{:?}", out.pruned);
+        assert_eq!(out.kept.len(), 1);
+    }
+}

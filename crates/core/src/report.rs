@@ -1,0 +1,131 @@
+//! Final bug reports: serializable rows plus CSV rendering, matching the
+//! artifact's `detected.csv` output.
+
+use serde::Serialize;
+use vc_vcs::Repository;
+
+use crate::{
+    candidate::Scenario,
+    rank::Ranked, //
+};
+
+/// One row of the final report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReportRow {
+    /// Rank position (1-based; 1 = least familiar author).
+    pub rank: usize,
+    /// File of the unused definition.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Containing function.
+    pub function: String,
+    /// Variable (or field) name.
+    pub variable: String,
+    /// Scenario label: `retval`, `param`, or `overwritten`.
+    pub scenario: String,
+    /// Resolved author name of the definition line, if known.
+    pub author: Option<String>,
+    /// Familiarity (DOK) score; lower = higher priority.
+    pub familiarity: Option<f64>,
+    /// Whether the finding crossed author scopes.
+    pub cross_scope: bool,
+}
+
+/// A complete report.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Report {
+    /// Ranked rows, highest priority first.
+    pub rows: Vec<ReportRow>,
+}
+
+impl Report {
+    /// Builds a report from ranked findings.
+    pub fn from_ranked(
+        prog: &vc_ir::Program,
+        repo: &Repository,
+        ranked: &[Ranked],
+    ) -> Report {
+        let rows = ranked
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let c = &r.item.candidate;
+                ReportRow {
+                    rank: i + 1,
+                    file: prog.source.name(c.span.file).to_string(),
+                    line: c.span.line(),
+                    function: c.func_name.clone(),
+                    variable: c.var_name.clone(),
+                    scenario: match &c.scenario {
+                        Scenario::RetVal { .. } => "retval".to_string(),
+                        Scenario::Param { .. } => "param".to_string(),
+                        Scenario::Overwritten => "overwritten".to_string(),
+                    },
+                    author: r.author.map(|a| repo.author(a).name.clone()),
+                    familiarity: r.familiarity,
+                    cross_scope: r.item.cross_scope,
+                }
+            })
+            .collect();
+        Report { rows }
+    }
+
+    /// Renders the report as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("rank,file,line,function,variable,scenario,author,familiarity,cross_scope\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.rank,
+                csv_escape(&r.file),
+                r.line,
+                csv_escape(&r.function),
+                csv_escape(&r.variable),
+                r.scenario,
+                csv_escape(r.author.as_deref().unwrap_or("")),
+                r.familiarity.map(|f| format!("{f:.3}")).unwrap_or_default(),
+                r.cross_scope,
+            ));
+        }
+        out
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn empty_report_has_header_only() {
+        let r = Report::default();
+        assert!(r.is_empty());
+        assert_eq!(r.to_csv().lines().count(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # vc-dataflow — worklist dataflow analyses over the MiniC IR
+//!
+//! The dataflow substrate of the ValueCheck reproduction:
+//!
+//! - a generic worklist [`framework`] (forward/backward, fixed-point),
+//! - field-sensitive [`liveness`] with a flow-sensitive dead-store finder —
+//!   the raw unused-definition detector of the paper's §4.1,
+//! - forward [`reaching`] definitions and def-use chains,
+//! - [`dominators`] as an independent control-flow oracle,
+//! - [`varset::VarKeySet`], the variable-key set with field-covering
+//!   semantics shared by every client.
+
+pub mod dominators;
+pub mod framework;
+pub mod liveness;
+pub mod reaching;
+pub mod varset;
+
+pub use framework::{
+    solve,
+    BlockFacts,
+    DataflowAnalysis,
+    Direction, //
+};
+pub use liveness::{
+    dead_stores,
+    escaped_locals,
+    live_variables,
+    DeadStore, //
+};
+pub use varset::VarKeySet;

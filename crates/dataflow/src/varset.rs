@@ -1,0 +1,159 @@
+//! Sets of [`VarKey`]s with field-covering semantics.
+//!
+//! Field-sensitive liveness needs "covering" membership: a use of the whole
+//! variable keeps each of its fields live, and a whole-variable store kills
+//! every field. [`VarKeySet`] centralizes those rules so liveness, the
+//! detector's define-set, and the baselines all agree on them.
+
+use std::collections::BTreeSet;
+
+use vc_ir::{
+    LocalId,
+    VarKey, //
+};
+
+/// A set of variable keys with field-covering queries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarKeySet {
+    set: BTreeSet<VarKey>,
+}
+
+impl VarKeySet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key, returning true if it was absent.
+    pub fn insert(&mut self, key: VarKey) -> bool {
+        self.set.insert(key)
+    }
+
+    /// Exact membership (no covering).
+    pub fn contains_exact(&self, key: VarKey) -> bool {
+        self.set.contains(&key)
+    }
+
+    /// Covering membership:
+    ///
+    /// - `Local(l)` is covered if the whole variable **or any field** of it
+    ///   is present (a live field keeps the aggregate live);
+    /// - `Field(l, n)` is covered if that field **or the whole variable** is
+    ///   present (a whole-variable use reads every field).
+    pub fn contains_covering(&self, key: VarKey) -> bool {
+        if self.set.contains(&key) {
+            return true;
+        }
+        match key {
+            VarKey::Local(l) => self.any_field_of(l),
+            VarKey::Field(l, _) => self.set.contains(&VarKey::Local(l)),
+        }
+    }
+
+    /// Whether any `Field(l, _)` key is present.
+    pub fn any_field_of(&self, l: LocalId) -> bool {
+        self.set
+            .range(VarKey::Field(l, 0)..=VarKey::Field(l, u32::MAX))
+            .next()
+            .is_some()
+    }
+
+    /// Removes everything a store to `key` overwrites: the key itself, and
+    /// for whole-variable stores every field of the variable.
+    pub fn remove_killed(&mut self, key: VarKey) {
+        self.set.remove(&key);
+        if let VarKey::Local(l) = key {
+            let fields: Vec<VarKey> = self
+                .set
+                .range(VarKey::Field(l, 0)..=VarKey::Field(l, u32::MAX))
+                .copied()
+                .collect();
+            for f in fields {
+                self.set.remove(&f);
+            }
+        }
+    }
+
+    /// Unions another set into this one; returns true if anything was added.
+    pub fn union_with(&mut self, other: &VarKeySet) -> bool {
+        let before = self.set.len();
+        self.set.extend(other.set.iter().copied());
+        self.set.len() != before
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates over keys in order.
+    pub fn iter(&self) -> impl Iterator<Item = VarKey> + '_ {
+        self.set.iter().copied()
+    }
+}
+
+impl FromIterator<VarKey> for VarKeySet {
+    fn from_iter<T: IntoIterator<Item = VarKey>>(iter: T) -> Self {
+        Self {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L0: LocalId = LocalId(0);
+    const L1: LocalId = LocalId(1);
+
+    #[test]
+    fn whole_var_use_covers_fields() {
+        let mut s = VarKeySet::new();
+        s.insert(VarKey::Local(L0));
+        assert!(s.contains_covering(VarKey::Field(L0, 3)));
+        assert!(!s.contains_covering(VarKey::Field(L1, 3)));
+    }
+
+    #[test]
+    fn field_use_covers_whole_var() {
+        let mut s = VarKeySet::new();
+        s.insert(VarKey::Field(L0, 2));
+        assert!(s.contains_covering(VarKey::Local(L0)));
+        assert!(!s.contains_exact(VarKey::Local(L0)));
+    }
+
+    #[test]
+    fn whole_store_kills_fields() {
+        let mut s: VarKeySet = [VarKey::Field(L0, 0), VarKey::Field(L0, 7), VarKey::Local(L1)]
+            .into_iter()
+            .collect();
+        s.remove_killed(VarKey::Local(L0));
+        assert!(!s.contains_covering(VarKey::Field(L0, 0)));
+        assert!(s.contains_exact(VarKey::Local(L1)));
+    }
+
+    #[test]
+    fn field_store_kills_only_that_field() {
+        let mut s: VarKeySet = [VarKey::Field(L0, 0), VarKey::Field(L0, 1)]
+            .into_iter()
+            .collect();
+        s.remove_killed(VarKey::Field(L0, 0));
+        assert!(!s.contains_exact(VarKey::Field(L0, 0)));
+        assert!(s.contains_exact(VarKey::Field(L0, 1)));
+    }
+
+    #[test]
+    fn union_reports_growth() {
+        let mut a: VarKeySet = [VarKey::Local(L0)].into_iter().collect();
+        let b: VarKeySet = [VarKey::Local(L1)].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the dataflow analyses, cross-checked against each
+//! other and against independent oracles on arbitrary generated programs.
+
+use proptest::prelude::*;
+use vc_dataflow::{
+    dead_stores,
+    liveness::{
+        live_variables,
+        transfer_inst, //
+    },
+    reaching::def_use_chains,
+    varset::VarKeySet,
+};
+use vc_ir::{
+    cfg::Cfg,
+    ir::{
+        LocalId,
+        VarKey, //
+    },
+    testing::source_from_seed,
+    Program,
+};
+
+fn build(seed: u64) -> Program {
+    let src = source_from_seed(seed);
+    Program::build(&[("g.c", src.as_str())], &[]).expect("generated source builds")
+}
+
+proptest! {
+    /// Liveness is at a fixed point: re-applying every block's transfer to
+    /// its exit fact reproduces its entry fact.
+    #[test]
+    fn liveness_is_a_fixed_point(seed in any::<u64>()) {
+        let prog = build(seed);
+        for f in &prog.funcs {
+            let cfg = Cfg::new(f);
+            let facts = live_variables(f, &cfg);
+            for (bid, bb) in f.iter_blocks() {
+                let mut fact = facts.exit(bid).clone();
+                for inst in bb.insts.iter().rev() {
+                    transfer_inst(inst, &mut fact);
+                }
+                prop_assert_eq!(&fact, facts.entry(bid));
+            }
+        }
+    }
+
+    /// Exit facts are the join of successor entry facts.
+    #[test]
+    fn exit_facts_join_successors(seed in any::<u64>()) {
+        let prog = build(seed);
+        for f in &prog.funcs {
+            let cfg = Cfg::new(f);
+            let facts = live_variables(f, &cfg);
+            for (bid, _) in f.iter_blocks() {
+                let mut joined = VarKeySet::new();
+                for &s in cfg.succs(bid) {
+                    joined.union_with(facts.entry(s));
+                }
+                prop_assert_eq!(&joined, facts.exit(bid), "block {:?}", bid);
+            }
+        }
+    }
+
+    /// Soundness cross-check: a dead store never has a def-use edge, and a
+    /// store with a def-use edge is never reported dead.
+    #[test]
+    fn dead_stores_have_no_uses(seed in any::<u64>()) {
+        let prog = build(seed);
+        for f in &prog.funcs {
+            let cfg = Cfg::new(f);
+            let dead = dead_stores(f, &cfg);
+            let edges = def_use_chains(f, &cfg);
+            for d in &dead {
+                prop_assert!(
+                    !edges.iter().any(|e| e.def.block == d.block
+                        && e.def.inst_idx as usize == d.inst_idx),
+                    "dead store {}:{} has a use in {}",
+                    d.block.0, d.inst_idx, f.name
+                );
+            }
+        }
+    }
+
+    /// Every store to a tracked local either reaches a use or is reported
+    /// dead (completeness against the reaching-definitions oracle), for
+    /// non-escaping locals.
+    #[test]
+    fn non_dead_stores_reach_a_use(seed in any::<u64>()) {
+        let prog = build(seed);
+        for f in &prog.funcs {
+            let cfg = Cfg::new(f);
+            let dead = dead_stores(f, &cfg);
+            let edges = def_use_chains(f, &cfg);
+            let escaped = vc_dataflow::escaped_locals(f);
+            for (bid, bb) in f.iter_blocks() {
+                for (idx, inst) in bb.insts.iter().enumerate() {
+                    let vc_ir::ir::Inst::Store { place, .. } = inst else { continue };
+                    let Some(key) = place.var_key() else { continue };
+                    if escaped.contains(&key.local()) {
+                        continue;
+                    }
+                    let has_use = edges
+                        .iter()
+                        .any(|e| e.def.block == bid && e.def.inst_idx as usize == idx);
+                    let is_dead = dead
+                        .iter()
+                        .any(|d| d.block == bid && d.inst_idx == idx);
+                    // Whole-variable stores can be kept live by field reads
+                    // through covering; allow has_use via covering too: the
+                    // def-use oracle already includes covering edges.
+                    prop_assert!(has_use || is_dead,
+                        "store {}:{} to {:?} neither used nor dead in {}",
+                        bid.0, idx, key, f.name);
+                }
+            }
+        }
+    }
+
+    /// VarKeySet covering semantics: inserting a whole variable covers all
+    /// its fields, and killing the whole variable removes them.
+    #[test]
+    fn varset_covering_laws(local in 0u32..8, fields in proptest::collection::vec(0u32..6, 0..6)) {
+        let l = LocalId(local);
+        let mut s = VarKeySet::new();
+        for &fi in &fields {
+            s.insert(VarKey::Field(l, fi));
+        }
+        for &fi in &fields {
+            prop_assert!(s.contains_covering(VarKey::Field(l, fi)));
+        }
+        if !fields.is_empty() {
+            prop_assert!(s.contains_covering(VarKey::Local(l)));
+        }
+        s.remove_killed(VarKey::Local(l));
+        for &fi in &fields {
+            prop_assert!(!s.contains_covering(VarKey::Field(l, fi)));
+        }
+        prop_assert!(s.is_empty());
+    }
+}

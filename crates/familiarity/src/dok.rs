@@ -1,0 +1,153 @@
+//! The degree-of-knowledge (DOK) code-familiarity model.
+//!
+//! `DOK = α₀ + α_FA·FA + α_DL·DL − α_AC·ln(1 + AC)` (§6 of the paper), with
+//! the weights the authors fitted from developer self-ratings:
+//! `α₀ = 3.1, α_FA = 1.2, α_DL = 0.2, α_AC = 0.5`.
+//!
+//! Lower DOK means the author is *less* familiar with the file, so unused
+//! definitions they introduced rank higher for review.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+use crate::metrics::Metrics;
+
+/// A linear DOK model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DokModel {
+    /// Intercept α₀.
+    pub alpha0: f64,
+    /// First-authorship weight α_FA.
+    pub alpha_fa: f64,
+    /// Deliveries weight α_DL.
+    pub alpha_dl: f64,
+    /// Acceptances weight α_AC (applied to `ln(1+AC)` with a minus sign).
+    pub alpha_ac: f64,
+}
+
+/// Which DOK factors are active; used by the Table 6 ablations
+/// (w/o AC, w/o DL, w/o FA).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactorMask {
+    /// Include the FA term.
+    pub fa: bool,
+    /// Include the DL term.
+    pub dl: bool,
+    /// Include the AC term.
+    pub ac: bool,
+}
+
+impl Default for FactorMask {
+    fn default() -> Self {
+        Self {
+            fa: true,
+            dl: true,
+            ac: true,
+        }
+    }
+}
+
+impl FactorMask {
+    /// All factors active.
+    pub const ALL: FactorMask = FactorMask {
+        fa: true,
+        dl: true,
+        ac: true,
+    };
+
+    /// Drops one factor by name (`"fa"`, `"dl"`, `"ac"`).
+    pub fn without(factor: &str) -> FactorMask {
+        let mut m = FactorMask::ALL;
+        match factor {
+            "fa" => m.fa = false,
+            "dl" => m.dl = false,
+            "ac" => m.ac = false,
+            _ => {}
+        }
+        m
+    }
+}
+
+impl DokModel {
+    /// The weights reported in §6 of the paper.
+    pub const PAPER: DokModel = DokModel {
+        alpha0: 3.1,
+        alpha_fa: 1.2,
+        alpha_dl: 0.2,
+        alpha_ac: 0.5,
+    };
+
+    /// Scores familiarity for the given metrics; higher = more familiar.
+    pub fn score(&self, m: &Metrics) -> f64 {
+        self.score_masked(m, FactorMask::ALL)
+    }
+
+    /// Scores with some factors ablated (Table 6).
+    pub fn score_masked(&self, m: &Metrics, mask: FactorMask) -> f64 {
+        let mut s = self.alpha0;
+        if mask.fa {
+            s += self.alpha_fa * m.fa;
+        }
+        if mask.dl {
+            s += self.alpha_dl * m.dl;
+        }
+        if mask.ac {
+            s -= self.alpha_ac * (1.0 + m.ac).ln();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(fa: f64, dl: f64, ac: f64) -> Metrics {
+        Metrics { fa, dl, ac }
+    }
+
+    #[test]
+    fn paper_weights_score_shape() {
+        let model = DokModel::PAPER;
+        // A first author with many deliveries is more familiar than a
+        // stranger to the file.
+        let owner = model.score(&m(1.0, 10.0, 2.0));
+        let stranger = model.score(&m(0.0, 0.0, 30.0));
+        assert!(owner > stranger);
+    }
+
+    #[test]
+    fn monotone_in_fa_and_dl() {
+        let model = DokModel::PAPER;
+        assert!(model.score(&m(1.0, 3.0, 5.0)) > model.score(&m(0.0, 3.0, 5.0)));
+        assert!(model.score(&m(0.0, 4.0, 5.0)) > model.score(&m(0.0, 3.0, 5.0)));
+    }
+
+    #[test]
+    fn antitone_in_ac() {
+        let model = DokModel::PAPER;
+        assert!(model.score(&m(0.0, 3.0, 10.0)) < model.score(&m(0.0, 3.0, 2.0)));
+    }
+
+    #[test]
+    fn masking_removes_factor_influence() {
+        let model = DokModel::PAPER;
+        let no_ac = FactorMask::without("ac");
+        assert_eq!(
+            model.score_masked(&m(1.0, 2.0, 5.0), no_ac),
+            model.score_masked(&m(1.0, 2.0, 50.0), no_ac)
+        );
+        let no_fa = FactorMask::without("fa");
+        assert_eq!(
+            model.score_masked(&m(0.0, 2.0, 5.0), no_fa),
+            model.score_masked(&m(1.0, 2.0, 5.0), no_fa)
+        );
+        let no_dl = FactorMask::without("dl");
+        assert_eq!(
+            model.score_masked(&m(1.0, 2.0, 5.0), no_dl),
+            model.score_masked(&m(1.0, 9.0, 5.0), no_dl)
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The EA (expertise-atom) alternative familiarity model.
+//!
+//! §9.2 of the paper discusses the EA model \[49\] as an alternative to DOK
+//! that "models the type of commits made by a developer, such as bug fixes,
+//! refactoring, and new functionality" without requiring developer
+//! participation. This implementation classifies a developer's commits to a
+//! file by message keywords and combines per-kind counts with fixed weights:
+//! authoring new functionality teaches more than a mechanical refactor.
+
+use vc_vcs::{
+    AuthorId,
+    Repository, //
+};
+
+/// Commit categories recognised by the EA model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitKind {
+    /// Bug fix (message mentions fix/bug/repair/fault).
+    BugFix,
+    /// Refactoring (refactor/cleanup/rename/move).
+    Refactor,
+    /// New functionality (anything else).
+    Feature,
+}
+
+/// Classifies a commit message by keyword.
+pub fn classify_message(message: &str) -> CommitKind {
+    let m = message.to_ascii_lowercase();
+    if ["fix", "bug", "repair", "fault", "cve"].iter().any(|k| m.contains(k)) {
+        CommitKind::BugFix
+    } else if ["refactor", "cleanup", "clean up", "rename", "move", "style"]
+        .iter()
+        .any(|k| m.contains(k))
+    {
+        CommitKind::Refactor
+    } else {
+        CommitKind::Feature
+    }
+}
+
+/// The EA familiarity model: weighted per-kind commit counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EaModel {
+    /// Weight of feature commits.
+    pub w_feature: f64,
+    /// Weight of bug-fix commits.
+    pub w_bugfix: f64,
+    /// Weight of refactor commits.
+    pub w_refactor: f64,
+}
+
+impl Default for EaModel {
+    fn default() -> Self {
+        // Writing new code builds the most knowledge; fixing bugs requires
+        // (and builds) understanding; refactors are often mechanical.
+        Self {
+            w_feature: 1.0,
+            w_bugfix: 0.8,
+            w_refactor: 0.3,
+        }
+    }
+}
+
+impl EaModel {
+    /// Scores the expertise of `author` on `path`; higher = more familiar.
+    pub fn score(&self, repo: &Repository, path: &str, author: AuthorId) -> f64 {
+        let mut s = 0.0;
+        for c in repo.log(path) {
+            let info = repo.commit_info(*c);
+            if info.author != author {
+                continue;
+            }
+            s += match classify_message(&info.message) {
+                CommitKind::Feature => self.w_feature,
+                CommitKind::BugFix => self.w_bugfix,
+                CommitKind::Refactor => self.w_refactor,
+            };
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vc_vcs::FileWrite;
+
+    fn write(path: &str, content: &str) -> FileWrite {
+        FileWrite {
+            path: path.into(),
+            content: content.into(),
+        }
+    }
+
+    #[test]
+    fn classification_by_keywords() {
+        assert_eq!(classify_message("Fix NULL deref in acl path"), CommitKind::BugFix);
+        assert_eq!(classify_message("refactor logging module"), CommitKind::Refactor);
+        assert_eq!(classify_message("add bitmap conversion"), CommitKind::Feature);
+    }
+
+    #[test]
+    fn feature_author_outranks_refactorer() {
+        let mut repo = Repository::new();
+        let dev = repo.add_author("dev");
+        let janitor = repo.add_author("janitor");
+        repo.commit(dev, 1, "add parser", vec![write("f.c", "a\n")]);
+        repo.commit(dev, 2, "add emitter", vec![write("f.c", "a\nb\n")]);
+        repo.commit(janitor, 3, "style cleanup", vec![write("f.c", "a\nb \n")]);
+        repo.commit(janitor, 4, "rename things", vec![write("f.c", "a2\nb \n")]);
+        let model = EaModel::default();
+        assert!(model.score(&repo, "f.c", dev) > model.score(&repo, "f.c", janitor));
+    }
+
+    #[test]
+    fn no_commits_means_zero() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        assert_eq!(EaModel::default().score(&repo, "f.c", a), 0.0);
+    }
+}

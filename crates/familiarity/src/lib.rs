@@ -1,0 +1,25 @@
+//! # vc-familiarity — code-familiarity models
+//!
+//! The software-engineering substrate of the ValueCheck reproduction's
+//! ranking stage (§6 of the paper):
+//!
+//! - [`metrics::Metrics`] — FA/DL/AC factor extraction from the VCS log;
+//! - [`dok::DokModel`] — the degree-of-knowledge linear model, with the
+//!   paper's fitted weights as [`dok::DokModel::PAPER`] and per-factor
+//!   ablation masks for the Table 6 experiment;
+//! - [`fit::fit_dok`] — OLS re-fitting of the weights from self-rating
+//!   samples, replicating the paper's calibration procedure;
+//! - [`ea::EaModel`] — the alternative EA model of §9.2.
+
+pub mod dok;
+pub mod ea;
+pub mod fit;
+pub mod metrics;
+
+pub use dok::{
+    DokModel,
+    FactorMask, //
+};
+pub use ea::EaModel;
+pub use fit::fit_dok;
+pub use metrics::Metrics;

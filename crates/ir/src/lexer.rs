@@ -1,0 +1,514 @@
+//! Hand-written lexer for MiniC.
+//!
+//! The lexer is line/column aware so that every token can be blamed against a
+//! version-control history. It recognises a small preprocessor-directive
+//! subset (`#if`/`#ifdef`/`#ifndef`/`#else`/`#endif`) as first-class tokens;
+//! the parser uses them to model configuration-dependent code without running
+//! a full preprocessor.
+
+use crate::{
+    span::{
+        FileId,
+        LineCol,
+        Span, //
+    },
+    token::{
+        Token,
+        TokenKind, //
+    },
+};
+
+/// An error produced while lexing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation of what went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    file: FileId,
+}
+
+/// Lexes `src` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// # Examples
+///
+/// ```
+/// use vc_ir::{lexer::lex, span::FileId, token::TokenKind};
+/// let toks = lex(FileId(0), "int x = 3;").unwrap();
+/// assert!(matches!(toks[0].kind, TokenKind::KwInt));
+/// assert!(matches!(toks.last().unwrap().kind, TokenKind::Eof));
+/// ```
+pub fn lex(file: FileId, src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        file,
+    };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let done = matches!(tok.kind, TokenKind::Eof);
+        out.push(tok);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn here(&self) -> LineCol {
+        LineCol::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, start: LineCol, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            span: Span {
+                file: self.file,
+                start,
+                end: self.here(),
+            },
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if (c as char).is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.error(start, "unterminated block comment")),
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let start = self.here();
+        let Some(c) = self.peek() else {
+            return Ok(self.token(start, TokenKind::Eof));
+        };
+        match c {
+            b'#' => self.lex_directive(start),
+            b'"' => self.lex_string(start),
+            b'\'' => self.lex_char(start),
+            b'0'..=b'9' => self.lex_number(start),
+            c if c == b'_' || (c as char).is_ascii_alphabetic() => self.lex_ident(start),
+            b'[' if self.peek2() == Some(b'[') => self.lex_bracket_attr(start),
+            _ => self.lex_operator(start),
+        }
+    }
+
+    fn token(&self, start: LineCol, kind: TokenKind) -> Token {
+        Token {
+            kind,
+            span: Span {
+                file: self.file,
+                start,
+                end: self.here(),
+            },
+        }
+    }
+
+    fn lex_directive(&mut self, start: LineCol) -> Result<Token, LexError> {
+        // Consume to end of line; directives are line-oriented.
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            text.push(self.bump().expect("peeked") as char);
+        }
+        let mut parts = text.split_whitespace();
+        let head = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").to_string();
+        let kind = match head {
+            "#if" | "#ifdef" => {
+                if arg.is_empty() {
+                    return Err(self.error(start, "missing guard symbol after #if"));
+                }
+                TokenKind::HashIf(arg)
+            }
+            "#ifndef" => {
+                if arg.is_empty() {
+                    return Err(self.error(start, "missing guard symbol after #ifndef"));
+                }
+                TokenKind::HashIfNot(arg)
+            }
+            "#else" => TokenKind::HashElse,
+            "#endif" => TokenKind::HashEndif,
+            other => return Err(self.error(start, format!("unsupported directive `{other}`"))),
+        };
+        Ok(self.token(start, kind))
+    }
+
+    fn lex_string(&mut self, start: LineCol) -> Result<Token, LexError> {
+        self.bump(); // Opening quote.
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error(start, "unterminated string literal")),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.error(start, "unterminated escape"))?;
+                    s.push(unescape(esc) as char);
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+        Ok(self.token(start, TokenKind::Str(s)))
+    }
+
+    fn lex_char(&mut self, start: LineCol) -> Result<Token, LexError> {
+        self.bump(); // Opening quote.
+        let c = match self.bump() {
+            None => return Err(self.error(start, "unterminated char literal")),
+            Some(b'\\') => {
+                let esc = self
+                    .bump()
+                    .ok_or_else(|| self.error(start, "unterminated escape"))?;
+                unescape(esc)
+            }
+            Some(c) => c,
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.error(start, "char literal must be a single character"));
+        }
+        Ok(self.token(start, TokenKind::Int(c as i64)))
+    }
+
+    fn lex_number(&mut self, start: LineCol) -> Result<Token, LexError> {
+        let mut text = String::new();
+        let hex = self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X'));
+        if hex {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek() {
+            if (c as char).is_ascii_alphanumeric() || c == b'_' {
+                text.push(self.bump().expect("peeked") as char);
+            } else {
+                break;
+            }
+        }
+        // Strip C suffixes (u, l, ul, ull...).
+        let digits = text.trim_end_matches(['u', 'U', 'l', 'L']);
+        let radix = if hex { 16 } else { 10 };
+        let value = i64::from_str_radix(digits, radix)
+            .map_err(|_| self.error(start, format!("invalid integer literal `{text}`")))?;
+        Ok(self.token(start, TokenKind::Int(value)))
+    }
+
+    fn lex_ident(&mut self, start: LineCol) -> Result<Token, LexError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'_' || (c as char).is_ascii_alphanumeric() {
+                text.push(self.bump().expect("peeked") as char);
+            } else {
+                break;
+            }
+        }
+        if text == "__attribute__" {
+            return self.lex_gnu_attr(start);
+        }
+        let kind = TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text));
+        Ok(self.token(start, kind))
+    }
+
+    /// Lexes `__attribute__((unused))` (the identifier part is consumed).
+    fn lex_gnu_attr(&mut self, start: LineCol) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let mut inner = String::new();
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                None => return Err(self.error(start, "unterminated __attribute__")),
+                Some(b'(') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(b')') => {
+                    self.bump();
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or_else(|| self.error(start, "unbalanced __attribute__"))?;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Some(c) => {
+                    inner.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+        if inner.contains("unused") {
+            Ok(self.token(start, TokenKind::AttrUnused))
+        } else {
+            Err(self.error(start, format!("unsupported attribute `{inner}`")))
+        }
+    }
+
+    /// Lexes `[[maybe_unused]]`-style attributes.
+    fn lex_bracket_attr(&mut self, start: LineCol) -> Result<Token, LexError> {
+        self.bump();
+        self.bump();
+        let mut inner = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error(start, "unterminated [[attribute]]")),
+                Some(b']') if self.peek2() == Some(b']') => {
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                Some(c) => {
+                    inner.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+        if inner.contains("unused") {
+            Ok(self.token(start, TokenKind::AttrUnused))
+        } else {
+            Err(self.error(start, format!("unsupported attribute `{inner}`")))
+        }
+    }
+
+    fn lex_operator(&mut self, start: LineCol) -> Result<Token, LexError> {
+        use TokenKind::*;
+        let c = self.bump().expect("caller checked peek");
+        let next = self.peek();
+        let two = |lx: &mut Self, kind: TokenKind| {
+            lx.bump();
+            kind
+        };
+        let kind = match (c, next) {
+            (b'(', _) => LParen,
+            (b')', _) => RParen,
+            (b'{', _) => LBrace,
+            (b'}', _) => RBrace,
+            (b'[', _) => LBracket,
+            (b']', _) => RBracket,
+            (b';', _) => Semi,
+            (b',', _) => Comma,
+            (b'.', _) => Dot,
+            (b'?', _) => Question,
+            (b':', _) => Colon,
+            (b'~', _) => Tilde,
+            (b'&', Some(b'&')) => two(self, AmpAmp),
+            (b'&', Some(b'=')) => two(self, AmpEq),
+            (b'&', _) => Amp,
+            (b'|', Some(b'|')) => two(self, PipePipe),
+            (b'|', Some(b'=')) => two(self, PipeEq),
+            (b'|', _) => Pipe,
+            (b'^', Some(b'=')) => two(self, CaretEq),
+            (b'^', _) => Caret,
+            (b'!', Some(b'=')) => two(self, BangEq),
+            (b'!', _) => Bang,
+            (b'+', Some(b'+')) => two(self, PlusPlus),
+            (b'+', Some(b'=')) => two(self, PlusEq),
+            (b'+', _) => Plus,
+            (b'-', Some(b'-')) => two(self, MinusMinus),
+            (b'-', Some(b'=')) => two(self, MinusEq),
+            (b'-', Some(b'>')) => two(self, Arrow),
+            (b'-', _) => Minus,
+            (b'*', Some(b'=')) => two(self, StarEq),
+            (b'*', _) => Star,
+            (b'/', Some(b'=')) => two(self, SlashEq),
+            (b'/', _) => Slash,
+            (b'%', Some(b'=')) => two(self, PercentEq),
+            (b'%', _) => Percent,
+            (b'<', Some(b'<')) => two(self, Shl),
+            (b'<', Some(b'=')) => two(self, LtEq),
+            (b'<', _) => Lt,
+            (b'>', Some(b'>')) => two(self, Shr),
+            (b'>', Some(b'=')) => two(self, GtEq),
+            (b'>', _) => Gt,
+            (b'=', Some(b'=')) => two(self, EqEq),
+            (b'=', _) => Eq,
+            (c, _) => {
+                return Err(self.error(start, format!("unexpected character `{}`", c as char)))
+            }
+        };
+        Ok(self.token(start, kind))
+    }
+}
+
+fn unescape(c: u8) -> u8 {
+    match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(FileId(0), src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![KwInt, Ident("x".into()), Eq, Int(42), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixed_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds("0x10 10UL"), vec![Int(16), Int(10), Eof]);
+    }
+
+    #[test]
+    fn lexes_char_literal_as_int() {
+        use TokenKind::*;
+        assert_eq!(kinds("'a' '\\0'"), vec![Int(97), Int(0), Eof]);
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("++ -- -> <= >= == != && || += <<"),
+            vec![
+                PlusPlus, MinusMinus, Arrow, LtEq, GtEq, EqEq, BangEq, AmpAmp, PipePipe, PlusEq,
+                Shl, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        use TokenKind::*;
+        assert_eq!(kinds("/* a */ x // b\n y"), vec![
+            Ident("x".into()),
+            Ident("y".into()),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex(FileId(0), "a\nb\n  c").unwrap();
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[2].span.start.line, 3);
+        assert_eq!(toks[2].span.start.col, 3);
+    }
+
+    #[test]
+    fn lexes_preprocessor_directives() {
+        use TokenKind::*;
+        assert_eq!(kinds("#ifdef USE_ICMP\nx\n#else\n#endif"), vec![
+            HashIf("USE_ICMP".into()),
+            Ident("x".into()),
+            HashElse,
+            HashEndif,
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_unused_attributes() {
+        use TokenKind::*;
+        assert_eq!(kinds("[[maybe_unused]]"), vec![AttrUnused, Eof]);
+        assert_eq!(kinds("__attribute__((unused))"), vec![AttrUnused, Eof]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex(FileId(0), "\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        assert!(lex(FileId(0), "#include <stdio.h>").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(FileId(0), r#""a\n\t""#).unwrap();
+        match &toks[0].kind {
+            TokenKind::Str(s) => assert_eq!(s, "a\n\t"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

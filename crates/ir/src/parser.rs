@@ -1,0 +1,1232 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! The grammar is a C subset rich enough to express every code pattern the
+//! paper discusses: struct field writes, pointer/cursor idioms (`*o++ = c`),
+//! ignored return values, `(void)` casts, `unused` attributes, and
+//! preprocessor-guarded statements.
+
+use crate::{
+    ast::{
+        BinOp,
+        Block,
+        Expr,
+        ExprKind,
+        FieldDef,
+        FuncDecl,
+        FuncDef,
+        GlobalDef,
+        Guard,
+        Item,
+        Module,
+        Param,
+        Stmt,
+        StmtKind,
+        StructDef,
+        SwitchCase,
+        UnOp, //
+    },
+    lexer::lex,
+    span::{
+        FileId,
+        Span, //
+    },
+    token::{
+        Token,
+        TokenKind, //
+    },
+    types::Type,
+};
+
+/// An error produced while parsing.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Explanation of what went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Parses one source file into a [`Module`].
+///
+/// # Examples
+///
+/// ```
+/// use vc_ir::{parser::parse, span::FileId};
+/// let m = parse(FileId(0), "int main(void) { return 0; }").unwrap();
+/// assert_eq!(m.items.len(), 1);
+/// ```
+pub fn parse(file: FileId, src: &str) -> Result<Module, ParseError> {
+    let tokens = lex(file, src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        guards: Vec::new(),
+    };
+    p.module()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    guards: Vec<Guard>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let sp = self.span();
+                self.bump();
+                Ok((name, sp))
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span: self.span(),
+        }
+    }
+
+    /// Consumes any preprocessor directives at the current position,
+    /// updating the guard stack. Returns an error on unbalanced `#endif`.
+    fn drain_directives(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek().clone() {
+                TokenKind::HashIf(sym) => {
+                    self.bump();
+                    self.guards.push(Guard::Defined(sym));
+                }
+                TokenKind::HashIfNot(sym) => {
+                    self.bump();
+                    self.guards.push(Guard::NotDefined(sym));
+                }
+                TokenKind::HashElse => {
+                    self.bump();
+                    let top = self
+                        .guards
+                        .pop()
+                        .ok_or_else(|| self.error("#else without matching #if"))?;
+                    self.guards.push(top.negate());
+                }
+                TokenKind::HashEndif => {
+                    self.bump();
+                    self.guards
+                        .pop()
+                        .ok_or_else(|| self.error("#endif without matching #if"))?;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    // ----- Items --------------------------------------------------------
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            self.drain_directives()?;
+            if matches!(self.peek(), TokenKind::Eof) {
+                if !self.guards.is_empty() {
+                    return Err(self.error("unterminated #if at end of file"));
+                }
+                return Ok(Module { items });
+            }
+            items.push(self.item()?);
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        if matches!(self.peek(), TokenKind::KwStruct)
+            && matches!(self.peek_at(1), TokenKind::Ident(_))
+            && matches!(self.peek_at(2), TokenKind::LBrace)
+        {
+            return Ok(Item::Struct(self.struct_def()?));
+        }
+        let is_static = self.eat(&TokenKind::KwStatic);
+        let ty = self.parse_type()?;
+        let (name, name_span) = self.expect_ident()?;
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.function_tail(is_static, ty, name, name_span)
+        } else {
+            // Global variable.
+            let ty = self.array_suffix(ty)?;
+            let init = if self.eat(&TokenKind::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(TokenKind::Semi)?;
+            Ok(Item::Global(GlobalDef {
+                name,
+                ty,
+                init,
+                span: name_span,
+            }))
+        }
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, ParseError> {
+        let start = self.span();
+        self.expect(TokenKind::KwStruct)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let ty = self.parse_type()?;
+            let (fname, fspan) = self.expect_ident()?;
+            let ty = self.array_suffix(ty)?;
+            self.expect(TokenKind::Semi)?;
+            fields.push(FieldDef {
+                name: fname,
+                ty,
+                span: fspan,
+            });
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(StructDef {
+            name,
+            fields,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn function_tail(
+        &mut self,
+        is_static: bool,
+        ret: Type,
+        name: String,
+        span: Span,
+    ) -> Result<Item, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            if matches!(self.peek(), TokenKind::KwVoid)
+                && matches!(self.peek_at(1), TokenKind::RParen)
+            {
+                self.bump();
+                self.bump();
+            } else {
+                loop {
+                    params.push(self.param()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        self.expect(TokenKind::RParen)?;
+                        break;
+                    }
+                }
+            }
+        }
+        if self.eat(&TokenKind::Semi) {
+            return Ok(Item::FuncDecl(FuncDecl {
+                name,
+                ret,
+                params,
+                span,
+            }));
+        }
+        let body = self.block()?;
+        Ok(Item::Func(FuncDef {
+            name,
+            ret,
+            params,
+            body,
+            is_static,
+            span,
+        }))
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let mut unused_attr = self.eat(&TokenKind::AttrUnused);
+        let ty = self.parse_type()?;
+        unused_attr |= self.eat(&TokenKind::AttrUnused);
+        let (name, span) = self.expect_ident()?;
+        unused_attr |= self.eat(&TokenKind::AttrUnused);
+        let ty = self.array_suffix(ty)?;
+        Ok(Param {
+            name,
+            ty,
+            unused_attr,
+            span,
+        })
+    }
+
+    // ----- Types --------------------------------------------------------
+
+    fn at_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwInt
+                | TokenKind::KwUnsigned
+                | TokenKind::KwLong
+                | TokenKind::KwChar
+                | TokenKind::KwBool
+                | TokenKind::KwVoid
+                | TokenKind::KwSizeT
+                | TokenKind::KwStruct
+                | TokenKind::KwConst
+        )
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        self.eat(&TokenKind::KwConst);
+        let mut ty = match self.peek().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                Type::Int
+            }
+            TokenKind::KwUnsigned => {
+                self.bump();
+                self.eat(&TokenKind::KwInt);
+                Type::Uint
+            }
+            TokenKind::KwLong => {
+                self.bump();
+                self.eat(&TokenKind::KwLong);
+                self.eat(&TokenKind::KwInt);
+                Type::Long
+            }
+            TokenKind::KwChar => {
+                self.bump();
+                Type::Char
+            }
+            TokenKind::KwBool => {
+                self.bump();
+                Type::Bool
+            }
+            TokenKind::KwVoid => {
+                self.bump();
+                Type::Void
+            }
+            TokenKind::KwSizeT => {
+                self.bump();
+                Type::SizeT
+            }
+            TokenKind::KwStruct => {
+                self.bump();
+                let (name, _) = self.expect_ident()?;
+                Type::Struct(name)
+            }
+            other => {
+                return Err(self.error(format!("expected a type, found {}", other.describe())))
+            }
+        };
+        self.eat(&TokenKind::KwConst);
+        while self.eat(&TokenKind::Star) {
+            self.eat(&TokenKind::KwConst);
+            ty = ty.ptr_to();
+        }
+        Ok(ty)
+    }
+
+    fn array_suffix(&mut self, ty: Type) -> Result<Type, ParseError> {
+        if self.eat(&TokenKind::LBracket) {
+            let n = match self.peek().clone() {
+                TokenKind::Int(v) if v >= 0 => {
+                    self.bump();
+                    v as usize
+                }
+                other => {
+                    return Err(
+                        self.error(format!("expected array length, found {}", other.describe()))
+                    )
+                }
+            };
+            self.expect(TokenKind::RBracket)?;
+            Ok(Type::Array(Box::new(ty), n))
+        } else {
+            Ok(ty)
+        }
+    }
+
+    // ----- Statements ---------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let depth = self.guards.len();
+        let mut stmts = Vec::new();
+        loop {
+            self.drain_directives()?;
+            if self.eat(&TokenKind::RBrace) {
+                if self.guards.len() != depth {
+                    return Err(self.error("#if not terminated before end of block"));
+                }
+                return Ok(Block { stmts });
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let guards = self.guards.clone();
+        let start = self.span();
+        let kind = self.stmt_kind()?;
+        Ok(Stmt {
+            kind,
+            span: start.to(self.prev_span()),
+            guards,
+        })
+    }
+
+    fn stmt_kind(&mut self) -> Result<StmtKind, ParseError> {
+        match self.peek().clone() {
+            TokenKind::LBrace => Ok(StmtKind::Block(self.block()?)),
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            TokenKind::KwDo => self.do_while_stmt(),
+            TokenKind::KwSwitch => self.switch_stmt(),
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if matches!(self.peek(), TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Return(value))
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Break)
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Continue)
+            }
+            TokenKind::AttrUnused => {
+                self.bump();
+                let mut kind = self.decl_stmt()?;
+                if let StmtKind::Decl { unused_attr, .. } = &mut kind {
+                    *unused_attr = true;
+                }
+                Ok(kind)
+            }
+            TokenKind::KwStatic => {
+                self.bump();
+                self.decl_stmt()
+            }
+            _ if self.at_type_start() => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(StmtKind::Expr(e))
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        let ty = self.parse_type()?;
+        let mut unused_attr = self.eat(&TokenKind::AttrUnused);
+        let (name, _) = self.expect_ident()?;
+        unused_attr |= self.eat(&TokenKind::AttrUnused);
+        let ty = self.array_suffix(ty)?;
+        let init = if self.eat(&TokenKind::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(StmtKind::Decl {
+            name,
+            ty,
+            init,
+            unused_attr,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect(TokenKind::KwIf)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then = self.block_or_single()?;
+        let els = if self.eat(&TokenKind::KwElse) {
+            if matches!(self.peek(), TokenKind::KwIf) {
+                // `else if` chains become a nested single-statement block.
+                let nested = self.stmt()?;
+                Some(Block {
+                    stmts: vec![nested],
+                })
+            } else {
+                Some(self.block_or_single()?)
+            }
+        } else {
+            None
+        };
+        Ok(StmtKind::If { cond, then, els })
+    }
+
+    fn while_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect(TokenKind::KwWhile)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.block_or_single()?;
+        Ok(StmtKind::While { cond, body })
+    }
+
+    fn do_while_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect(TokenKind::KwDo)?;
+        let body = self.block_or_single()?;
+        self.expect(TokenKind::KwWhile)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(StmtKind::DoWhile { body, cond })
+    }
+
+    fn switch_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect(TokenKind::KwSwitch)?;
+        self.expect(TokenKind::LParen)?;
+        let scrutinee = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::LBrace)?;
+        let mut cases: Vec<SwitchCase> = Vec::new();
+        let mut default: Option<Block> = None;
+        let mut pending_values: Vec<i64> = Vec::new();
+        loop {
+            self.drain_directives()?;
+            if self.eat(&TokenKind::RBrace) {
+                if !pending_values.is_empty() {
+                    // Trailing labels with an empty body select nothing.
+                    cases.push(SwitchCase {
+                        values: std::mem::take(&mut pending_values),
+                        body: Block::default(),
+                    });
+                }
+                break;
+            }
+            if self.eat(&TokenKind::KwCase) {
+                let negative = self.eat(&TokenKind::Minus);
+                let value = match self.peek().clone() {
+                    TokenKind::Int(v) => {
+                        self.bump();
+                        if negative { -v } else { v }
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a constant case label, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                self.expect(TokenKind::Colon)?;
+                pending_values.push(value);
+                continue;
+            }
+            if self.eat(&TokenKind::KwDefault) {
+                self.expect(TokenKind::Colon)?;
+                let body = self.case_body()?;
+                if default.is_some() {
+                    return Err(self.error("duplicate default label"));
+                }
+                if !pending_values.is_empty() {
+                    // `case 1: default:` — the stacked labels share the body.
+                    cases.push(SwitchCase {
+                        values: std::mem::take(&mut pending_values),
+                        body: body.clone(),
+                    });
+                }
+                default = Some(body);
+                continue;
+            }
+            if pending_values.is_empty() {
+                return Err(self.error("statement before the first case label"));
+            }
+            let body = self.case_body()?;
+            cases.push(SwitchCase {
+                values: std::mem::take(&mut pending_values),
+                body,
+            });
+        }
+        Ok(StmtKind::Switch {
+            scrutinee,
+            cases,
+            default,
+        })
+    }
+
+    /// Statements of one switch arm, up to the next label or closing brace.
+    /// A trailing `break;` is consumed and dropped (arms never fall through).
+    fn case_body(&mut self) -> Result<Block, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.drain_directives()?;
+            match self.peek() {
+                TokenKind::KwCase | TokenKind::KwDefault | TokenKind::RBrace => break,
+                TokenKind::KwBreak => {
+                    self.bump();
+                    self.expect(TokenKind::Semi)?;
+                    break;
+                }
+                TokenKind::Eof => return Err(self.error("unexpected end of input in switch")),
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        Ok(Block { stmts })
+    }
+
+    fn for_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        self.expect(TokenKind::KwFor)?;
+        self.expect(TokenKind::LParen)?;
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else {
+            let guards = self.guards.clone();
+            let start = self.span();
+            let kind = if self.at_type_start() {
+                self.decl_stmt()?
+            } else {
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                StmtKind::Expr(e)
+            };
+            Some(Box::new(Stmt {
+                kind,
+                span: start.to(self.prev_span()),
+                guards,
+            }))
+        };
+        let cond = if matches!(self.peek(), TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(TokenKind::Semi)?;
+        let step = if matches!(self.peek(), TokenKind::RParen) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(TokenKind::RParen)?;
+        let body = self.block_or_single()?;
+        Ok(StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    /// A block, or a single statement wrapped in a block (brace-less bodies).
+    fn block_or_single(&mut self) -> Result<Block, ParseError> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.block()
+        } else {
+            let stmt = self.stmt()?;
+            Ok(Block { stmts: vec![stmt] })
+        }
+    }
+
+    // ----- Expressions --------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => None,
+            TokenKind::PlusEq => Some(BinOp::Add),
+            TokenKind::MinusEq => Some(BinOp::Sub),
+            TokenKind::StarEq => Some(BinOp::Mul),
+            TokenKind::SlashEq => Some(BinOp::Div),
+            TokenKind::PercentEq => Some(BinOp::Rem),
+            TokenKind::AmpEq => Some(BinOp::BitAnd),
+            TokenKind::PipeEq => Some(BinOp::BitOr),
+            TokenKind::CaretEq => Some(BinOp::BitXor),
+            _ => return Ok(lhs),
+        };
+        if !lhs.is_lvalue() {
+            return Err(self.error("left-hand side of assignment is not an lvalue"));
+        }
+        self.bump();
+        let rhs = self.assign_expr()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr {
+            kind: ExprKind::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        })
+    }
+
+    fn ternary_expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary_expr(0)?;
+        if !self.eat(&TokenKind::Question) {
+            return Ok(cond);
+        }
+        let then = self.expr()?;
+        self.expect(TokenKind::Colon)?;
+        let els = self.ternary_expr()?;
+        let span = cond.span.to(els.span);
+        Ok(Expr {
+            kind: ExprKind::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            },
+            span,
+        })
+    }
+
+    fn binop_at(&self, level: usize) -> Option<BinOp> {
+        // Precedence levels from lowest to highest.
+        let op = match (level, self.peek()) {
+            (0, TokenKind::PipePipe) => BinOp::Or,
+            (1, TokenKind::AmpAmp) => BinOp::And,
+            (2, TokenKind::Pipe) => BinOp::BitOr,
+            (3, TokenKind::Caret) => BinOp::BitXor,
+            (4, TokenKind::Amp) => BinOp::BitAnd,
+            (5, TokenKind::EqEq) => BinOp::Eq,
+            (5, TokenKind::BangEq) => BinOp::Ne,
+            (6, TokenKind::Lt) => BinOp::Lt,
+            (6, TokenKind::LtEq) => BinOp::Le,
+            (6, TokenKind::Gt) => BinOp::Gt,
+            (6, TokenKind::GtEq) => BinOp::Ge,
+            (7, TokenKind::Shl) => BinOp::Shl,
+            (7, TokenKind::Shr) => BinOp::Shr,
+            (8, TokenKind::Plus) => BinOp::Add,
+            (8, TokenKind::Minus) => BinOp::Sub,
+            (9, TokenKind::Star) => BinOp::Mul,
+            (9, TokenKind::Slash) => BinOp::Div,
+            (9, TokenKind::Percent) => BinOp::Rem,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn binary_expr(&mut self, level: usize) -> Result<Expr, ParseError> {
+        const TOP: usize = 10;
+        if level >= TOP {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.binary_expr(level + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                }
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                ExprKind::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                }
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                let e = self.unary_expr()?;
+                ExprKind::Unary {
+                    op: UnOp::BitNot,
+                    expr: Box::new(e),
+                }
+            }
+            TokenKind::Star => {
+                self.bump();
+                let e = self.unary_expr()?;
+                ExprKind::Deref(Box::new(e))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let e = self.unary_expr()?;
+                ExprKind::AddrOf(Box::new(e))
+            }
+            TokenKind::PlusPlus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                ExprKind::IncDec {
+                    delta: 1,
+                    pre: true,
+                    target: Box::new(e),
+                }
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                ExprKind::IncDec {
+                    delta: -1,
+                    pre: true,
+                    target: Box::new(e),
+                }
+            }
+            TokenKind::LParen if self.type_cast_ahead() => {
+                self.bump();
+                let ty = self.parse_type()?;
+                self.expect(TokenKind::RParen)?;
+                let e = self.unary_expr()?;
+                ExprKind::Cast {
+                    ty,
+                    expr: Box::new(e),
+                }
+            }
+            _ => return self.postfix_expr(),
+        };
+        Ok(Expr {
+            kind,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// True when `(` begins a cast, i.e. the next token starts a type.
+    fn type_cast_ahead(&self) -> bool {
+        matches!(
+            self.peek_at(1),
+            TokenKind::KwInt
+                | TokenKind::KwUnsigned
+                | TokenKind::KwLong
+                | TokenKind::KwChar
+                | TokenKind::KwBool
+                | TokenKind::KwVoid
+                | TokenKind::KwSizeT
+                | TokenKind::KwStruct
+                | TokenKind::KwConst
+        )
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek().clone() {
+                TokenKind::LParen => {
+                    let callee = match &e.kind {
+                        ExprKind::Var(name) => name.clone(),
+                        _ => {
+                            return Err(self.error(
+                                "calls are only supported through a named callee or pointer \
+                                 variable",
+                            ))
+                        }
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                self.expect(TokenKind::RParen)?;
+                                break;
+                            }
+                        }
+                    }
+                    let span = e.span.to(self.prev_span());
+                    e = Expr {
+                        kind: ExprKind::Call { callee, args },
+                        span,
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    let span = e.span.to(self.prev_span());
+                    e = Expr {
+                        kind: ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(index),
+                        },
+                        span,
+                    };
+                }
+                TokenKind::Dot | TokenKind::Arrow => {
+                    let arrow = matches!(self.peek(), TokenKind::Arrow);
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = e.span.to(fspan);
+                    e = Expr {
+                        kind: ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow,
+                        },
+                        span,
+                    };
+                }
+                TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                    let delta = if matches!(self.peek(), TokenKind::PlusPlus) {
+                        1
+                    } else {
+                        -1
+                    };
+                    self.bump();
+                    let span = e.span.to(self.prev_span());
+                    e = Expr {
+                        kind: ExprKind::IncDec {
+                            delta,
+                            pre: false,
+                            target: Box::new(e),
+                        },
+                        span,
+                    };
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.span();
+        let kind = match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                ExprKind::IntLit(v)
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                ExprKind::StrLit(s)
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                ExprKind::BoolLit(true)
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                ExprKind::BoolLit(false)
+            }
+            TokenKind::KwNull => {
+                self.bump();
+                ExprKind::Null
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                ExprKind::Var(name)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                return Ok(e);
+            }
+            other => {
+                return Err(
+                    self.error(format!("expected an expression, found {}", other.describe()))
+                )
+            }
+        };
+        Ok(Expr { kind, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Module {
+        parse(FileId(0), src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    fn only_func(m: &Module) -> &FuncDef {
+        m.items
+            .iter()
+            .find_map(|i| match i {
+                Item::Func(f) => Some(f),
+                _ => None,
+            })
+            .expect("no function in module")
+    }
+
+    #[test]
+    fn parses_empty_function() {
+        let m = parse_ok("void f(void) { }");
+        let f = only_func(&m);
+        assert_eq!(f.name, "f");
+        assert!(f.params.is_empty());
+        assert!(f.body.stmts.is_empty());
+    }
+
+    #[test]
+    fn parses_struct_and_global() {
+        let m = parse_ok("struct point { int x; int y; };\nint origin = 0;\n");
+        assert_eq!(m.items.len(), 2);
+        assert!(matches!(m.items[0], Item::Struct(_)));
+        assert!(matches!(m.items[1], Item::Global(_)));
+    }
+
+    #[test]
+    fn parses_pointer_types_and_params() {
+        let m = parse_ok("int open(const char *path, size_t bufsz) { return 0; }");
+        let f = only_func(&m);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].ty, Type::Char.ptr_to());
+        assert_eq!(f.params[1].ty, Type::SizeT);
+    }
+
+    #[test]
+    fn parses_cursor_idiom() {
+        // `*o++ = '_';` from Figure 5 of the paper.
+        let m = parse_ok("void f(char *o) { *o++ = '_'; }");
+        let f = only_func(&m);
+        assert_eq!(f.body.stmts.len(), 1);
+        match &f.body.stmts[0].kind {
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Assign { op: None, lhs, .. },
+                ..
+            }) => {
+                assert!(matches!(lhs.kind, ExprKind::Deref(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_from_figure_1a() {
+        let src = "int conv(struct bitmap *bm) {\n\
+                   int attr = next_attr_from_bitmap(bm);\n\
+                   for (attr = next_attr_from_bitmap(bm); attr != -1; attr = \
+                   next_attr_from_bitmap(bm)) { use(attr); }\n\
+                   return 0; }";
+        let m = parse_ok(src);
+        let f = only_func(&m);
+        assert!(matches!(f.body.stmts[1].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn records_preprocessor_guards() {
+        let src = "void f(void) {\n\
+                   char host = 1;\n\
+                   #ifdef USE_ICMP\n\
+                   use(host);\n\
+                   #endif\n\
+                   }";
+        let m = parse_ok(src);
+        let f = only_func(&m);
+        assert!(f.body.stmts[0].guards.is_empty());
+        assert_eq!(f.body.stmts[1].guards, vec![Guard::Defined(
+            "USE_ICMP".into()
+        )]);
+    }
+
+    #[test]
+    fn else_branch_negates_guard() {
+        let src = "void f(void) {\n#ifdef A\nx();\n#else\ny();\n#endif\n}";
+        let m = parse_ok(src);
+        let f = only_func(&m);
+        assert_eq!(f.body.stmts[0].guards, vec![Guard::Defined("A".into())]);
+        assert_eq!(f.body.stmts[1].guards, vec![Guard::NotDefined("A".into())]);
+    }
+
+    #[test]
+    fn parses_unused_attributes() {
+        let m = parse_ok("int f(const bool force [[maybe_unused]]) { return 0; }");
+        let f = only_func(&m);
+        assert!(f.params[0].unused_attr);
+        let m = parse_ok("void g(void) { int x [[maybe_unused]] = 3; }");
+        let f = only_func(&m);
+        match &f.body.stmts[0].kind {
+            StmtKind::Decl { unused_attr, .. } => assert!(unused_attr),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_void_cast() {
+        let m = parse_ok("void f(int x) { (void)x; }");
+        let f = only_func(&m);
+        match &f.body.stmts[0].kind {
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Cast { ty, .. },
+                ..
+            }) => assert_eq!(*ty, Type::Void),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_member_chains() {
+        let m = parse_ok("void f(struct ctx *c) { c->inner.count = c->inner.count + 1; }");
+        only_func(&m);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let m = parse_ok("int f(void) { return 1 + 2 * 3 == 7 && 1 | 0; }");
+        let f = only_func(&m);
+        // `&&` binds loosest among these; check the root is And.
+        match &f.body.stmts[0].kind {
+            StmtKind::Return(Some(Expr {
+                kind: ExprKind::Binary { op: BinOp::And, .. },
+                ..
+            })) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_assignment_to_rvalue() {
+        assert!(parse(FileId(0), "void f(void) { 1 = 2; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_endif() {
+        assert!(parse(FileId(0), "void f(void) { }\n#endif\n").is_err());
+    }
+
+    #[test]
+    fn parses_prototype() {
+        let m = parse_ok("int log_mod_open(char *path, size_t bufsz);");
+        assert!(matches!(m.items[0], Item::FuncDecl(_)));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let m = parse_ok("void f(int x) { if (x) { g(); } else if (x > 1) { h(); } else { } }");
+        only_func(&m);
+    }
+
+    #[test]
+    fn parses_ternary_and_compound_assign() {
+        let m = parse_ok("void f(int x) { int y = x ? 1 : 2; y += x; }");
+        // `<<=` is not supported; expect an error instead.
+        assert!(parse(FileId(0), "void f(int x) { int y = 0; y <<= x; }").is_err());
+        only_func(&m);
+    }
+
+    #[test]
+    fn parses_switch_statement() {
+        let m = parse_ok(
+            "void f(int x) {\n\
+             switch (x) {\n\
+             case 1:\n\
+             case 2:\n\
+               one_or_two();\n\
+               break;\n\
+             case -3:\n\
+               minus_three();\n\
+             default:\n\
+               other();\n\
+             }\n\
+             }",
+        );
+        let f = only_func(&m);
+        match &f.body.stmts[0].kind {
+            StmtKind::Switch { cases, default, .. } => {
+                assert_eq!(cases.len(), 2);
+                assert_eq!(cases[0].values, vec![1, 2]);
+                assert_eq!(cases[1].values, vec![-3]);
+                assert!(default.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_statement_before_first_case() {
+        assert!(parse(FileId(0), "void f(int x) { switch (x) { g(); case 1: h(); } }").is_err());
+    }
+
+    #[test]
+    fn parses_do_while() {
+        let m = parse_ok("void f(int n) { do { n = n - 1; } while (n > 0); }");
+        let f = only_func(&m);
+        assert!(matches!(f.body.stmts[0].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn parses_array_declarations() {
+        let m = parse_ok("void f(void) { char host[10] = \"127.0.0.1\"; host[0] = 'x'; }");
+        let f = only_func(&m);
+        match &f.body.stmts[0].kind {
+            StmtKind::Decl { ty, .. } => {
+                assert_eq!(*ty, Type::Array(Box::new(Type::Char), 10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

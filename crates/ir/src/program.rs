@@ -1,0 +1,411 @@
+//! Whole-program containers: source map, program building, call-site index.
+//!
+//! A [`Program`] corresponds to the paper's "application": many source files
+//! compiled into separate modules, analysed per-function but with
+//! program-wide indexes (call sites, signatures) for authorship lookup and
+//! peer-definition pruning.
+
+use std::collections::HashMap;
+
+use crate::{
+    ast::{
+        Item,
+        Module, //
+    },
+    ir::{
+        Callee,
+        ExternFunc,
+        FuncId,
+        Function,
+        Inst,
+        TempId, //
+    },
+    lower::{
+        lower_function,
+        LowerCtx,
+        LowerError, //
+    },
+    parser::{
+        parse,
+        ParseError, //
+    },
+    span::{
+        FileId,
+        Span, //
+    },
+    types::{
+        StructLayout,
+        Type,
+        TypeTable, //
+    },
+};
+
+/// A source file registered in the [`SourceMap`].
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path-like file name (used as the key into the VCS history).
+    pub name: String,
+    /// The file's id.
+    pub id: FileId,
+    /// Raw content (may be empty when building from pre-parsed modules).
+    pub content: String,
+}
+
+/// Maps [`FileId`]s to file names and contents.
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Registers a file and returns its id.
+    pub fn add(&mut self, name: String, content: String) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile { name, id, content });
+        id
+    }
+
+    /// Looks up a file by id.
+    pub fn file(&self, id: FileId) -> Option<&SourceFile> {
+        self.files.get(id.0 as usize)
+    }
+
+    /// The name of a file, or `"<synthetic>"`.
+    pub fn name(&self, id: FileId) -> &str {
+        self.file(id).map(|f| f.name.as_str()).unwrap_or("<synthetic>")
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether no files are registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterates over all files.
+    pub fn iter(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter()
+    }
+}
+
+/// An error raised while building a program.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A file failed to parse.
+    Parse {
+        /// The offending file.
+        file: String,
+        /// The underlying error.
+        error: ParseError,
+    },
+    /// A function failed to lower.
+    Lower {
+        /// The offending file.
+        file: String,
+        /// The underlying error.
+        error: LowerError,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Parse { file, error } => write!(f, "{file}: {error}"),
+            BuildError::Lower { file, error } => write!(f, "{file}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A compiled program: all lowered functions plus program-wide tables.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All lowered functions; [`FuncId`] indexes this vector.
+    pub funcs: Vec<Function>,
+    /// Name → id index over `funcs` (first definition wins).
+    func_index: HashMap<String, FuncId>,
+    /// Functions declared but not defined in this program (library calls).
+    pub extern_funcs: Vec<ExternFunc>,
+    /// Global variables and their types.
+    pub globals: HashMap<String, Type>,
+    /// Struct layouts.
+    pub types: TypeTable,
+    /// The source map.
+    pub source: SourceMap,
+}
+
+/// One call site of a function, in the program-wide call index.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// The calling function.
+    pub caller: FuncId,
+    /// Span of the call expression.
+    pub span: Span,
+    /// The temp receiving the return value, if any.
+    pub dst: Option<TempId>,
+}
+
+impl Program {
+    /// Parses and lowers a set of `(file name, source)` pairs under the given
+    /// preprocessor configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vc_ir::program::Program;
+    /// let prog = Program::build(&[("a.c", "int f(void) { return 1; }")], &[]).unwrap();
+    /// assert_eq!(prog.funcs.len(), 1);
+    /// ```
+    pub fn build(sources: &[(&str, &str)], defines: &[String]) -> Result<Program, BuildError> {
+        let mut map = SourceMap::default();
+        let mut modules = Vec::new();
+        for (name, src) in sources {
+            let id = map.add((*name).to_string(), (*src).to_string());
+            let module = parse(id, src).map_err(|error| BuildError::Parse {
+                file: (*name).to_string(),
+                error,
+            })?;
+            modules.push(((*name).to_string(), module));
+        }
+        Self::assemble(map, modules, defines)
+    }
+
+    /// Builds a program from already-parsed modules.
+    pub fn from_modules(
+        modules: Vec<(String, Module)>,
+        defines: &[String],
+    ) -> Result<Program, BuildError> {
+        let mut map = SourceMap::default();
+        for (name, _) in &modules {
+            map.add(name.clone(), String::new());
+        }
+        Self::assemble(map, modules, defines)
+    }
+
+    fn assemble(
+        source: SourceMap,
+        modules: Vec<(String, Module)>,
+        defines: &[String],
+    ) -> Result<Program, BuildError> {
+        // Pass 1: collect structs, globals and every function signature.
+        let mut types = TypeTable::new();
+        let mut globals = HashMap::new();
+        let mut func_ret: HashMap<String, Type> = HashMap::new();
+        let mut defined: HashMap<String, ()> = HashMap::new();
+        let mut protos: Vec<ExternFunc> = Vec::new();
+        for (_, module) in &modules {
+            for item in &module.items {
+                match item {
+                    Item::Struct(s) => {
+                        types.insert(StructLayout {
+                            name: s.name.clone(),
+                            field_names: s.fields.iter().map(|f| f.name.clone()).collect(),
+                            field_types: s.fields.iter().map(|f| f.ty.clone()).collect(),
+                            span: s.span,
+                        });
+                    }
+                    Item::Global(g) => {
+                        globals.insert(g.name.clone(), g.ty.clone());
+                    }
+                    Item::Func(f) => {
+                        func_ret.insert(f.name.clone(), f.ret.clone());
+                        defined.insert(f.name.clone(), ());
+                    }
+                    Item::FuncDecl(d) => {
+                        func_ret.insert(d.name.clone(), d.ret.clone());
+                        protos.push(ExternFunc {
+                            name: d.name.clone(),
+                            ret_ty: d.ret.clone(),
+                            param_tys: d.params.iter().map(|p| p.ty.clone()).collect(),
+                            span: d.span,
+                            file: d.span.file,
+                        });
+                    }
+                }
+            }
+        }
+        // Prototypes for functions also defined in-program are not extern.
+        let extern_funcs = protos
+            .into_iter()
+            .filter(|p| !defined.contains_key(&p.name))
+            .collect();
+
+        // Pass 2: lower every function body.
+        let ctx = LowerCtx {
+            types: &types,
+            func_ret: &func_ret,
+            globals: &globals,
+            defines,
+        };
+        let mut funcs = Vec::new();
+        for (name, module) in &modules {
+            for item in &module.items {
+                if let Item::Func(f) = item {
+                    let lowered =
+                        lower_function(&ctx, f).map_err(|error| BuildError::Lower {
+                            file: name.clone(),
+                            error,
+                        })?;
+                    funcs.push(lowered);
+                }
+            }
+        }
+
+        let mut func_index = HashMap::new();
+        for (i, f) in funcs.iter().enumerate() {
+            func_index.entry(f.name.clone()).or_insert(FuncId(i as u32));
+        }
+        Ok(Program {
+            funcs,
+            func_index,
+            extern_funcs,
+            globals,
+            types,
+            source,
+        })
+    }
+
+    /// Looks up a function id by name (first definition wins).
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.func_index.get(name).copied()
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&Function> {
+        self.func_id(name).map(|id| self.func(id))
+    }
+
+    /// The function with the given id.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Whether `name` is defined in this program (vs. a library call).
+    pub fn defines_function(&self, name: &str) -> bool {
+        self.func_by_name(name).is_some()
+    }
+
+    /// An extern (declared-only) function by name.
+    pub fn extern_by_name(&self, name: &str) -> Option<&ExternFunc> {
+        self.extern_funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Builds the program-wide index of direct call sites, keyed by callee
+    /// name. Used by peer-definition pruning and authorship lookup.
+    pub fn call_index(&self) -> HashMap<String, Vec<CallSite>> {
+        let mut index: HashMap<String, Vec<CallSite>> = HashMap::new();
+        for (fi, f) in self.funcs.iter().enumerate() {
+            for bb in &f.blocks {
+                for inst in &bb.insts {
+                    if let Inst::Call {
+                        dst,
+                        callee: Callee::Direct(name),
+                        span,
+                        ..
+                    } = inst
+                    {
+                        index.entry(name.clone()).or_default().push(CallSite {
+                            caller: FuncId(fi as u32),
+                            span: *span,
+                            dst: *dst,
+                        });
+                    }
+                }
+            }
+        }
+        index
+    }
+
+    /// Total number of IR instructions across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.inst_count()).sum()
+    }
+
+    /// Functions defined in the given file.
+    pub fn funcs_in_file(&self, file: FileId) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.file == file)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_multi_file_program() {
+        let prog = Program::build(
+            &[
+                ("a.c", "int helper(int x) { return x + 1; }"),
+                ("b.c", "int helper(int x);\nint main(void) { return helper(2); }"),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(prog.funcs.len(), 2);
+        assert!(prog.defines_function("helper"));
+        // The prototype in b.c must not count as extern: helper is defined.
+        assert!(prog.extern_by_name("helper").is_none());
+    }
+
+    #[test]
+    fn extern_prototypes_are_recorded() {
+        let prog = Program::build(
+            &[("a.c", "int printf(char *fmt);\nvoid f(void) { printf(\"x\"); }")],
+            &[],
+        )
+        .unwrap();
+        assert!(prog.extern_by_name("printf").is_some());
+        assert!(!prog.defines_function("printf"));
+    }
+
+    #[test]
+    fn call_index_finds_all_sites() {
+        let prog = Program::build(
+            &[(
+                "a.c",
+                "int g(void) { return 1; }\n\
+                 void f(void) { int a = g(); int b = g(); use(a); use(b); }",
+            )],
+            &[],
+        )
+        .unwrap();
+        let idx = prog.call_index();
+        assert_eq!(idx.get("g").map(|v| v.len()), Some(2));
+        assert_eq!(idx.get("use").map(|v| v.len()), Some(2));
+    }
+
+    #[test]
+    fn disabled_config_skips_statements() {
+        let src = "void f(void) {\nint x = 1;\n#ifdef FEATURE\nuse(x);\n#endif\n}";
+        let without = Program::build(&[("a.c", src)], &[]).unwrap();
+        let with = Program::build(&[("a.c", src)], &["FEATURE".into()]).unwrap();
+        let f_without = without.func_by_name("f").unwrap();
+        let f_with = with.func_by_name("f").unwrap();
+        assert!(f_with.inst_count() > f_without.inst_count());
+        // Either way the guarded mention of `x` is recorded.
+        assert!(f_without.guarded_mentions.contains("x"));
+        assert!(f_with.guarded_mentions.contains("x"));
+    }
+
+    #[test]
+    fn struct_fields_resolve_across_files() {
+        let prog = Program::build(
+            &[
+                ("types.c", "struct ctx { int mode; char *host; };"),
+                ("use.c", "void f(struct ctx *c) { c->mode = 1; }"),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(prog.types.len(), 1);
+        assert_eq!(prog.funcs.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Source positions and spans.
+//!
+//! Every AST node and IR instruction carries a [`Span`] so that later phases
+//! (authorship lookup, pruning, reporting) can map analysis results back to a
+//! file and line. Lines are 1-based, matching the convention of `git blame`.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+/// Identifier of a source file within a [`crate::program::SourceMap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// A placeholder file id for synthesized code with no source location.
+    pub const SYNTHETIC: FileId = FileId(u32::MAX);
+}
+
+/// A position in a source file: 1-based line and column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl LineCol {
+    /// Creates a new position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+}
+
+/// A contiguous region of a single source file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// The file this span belongs to.
+    pub file: FileId,
+    /// Inclusive start position.
+    pub start: LineCol,
+    /// Inclusive end position.
+    pub end: LineCol,
+}
+
+impl Span {
+    /// Creates a span covering a single point.
+    pub fn point(file: FileId, line: u32, col: u32) -> Self {
+        let p = LineCol::new(line, col);
+        Self {
+            file,
+            start: p,
+            end: p,
+        }
+    }
+
+    /// A span with no meaningful location, used for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Self::point(FileId::SYNTHETIC, 0, 0)
+    }
+
+    /// Returns true if this span refers to synthesized code.
+    pub fn is_synthetic(&self) -> bool {
+        self.file == FileId::SYNTHETIC
+    }
+
+    /// Merges two spans into the smallest span covering both.
+    ///
+    /// Spans from different files cannot be merged meaningfully; in that case
+    /// `self` is returned unchanged.
+    pub fn to(self, other: Span) -> Span {
+        if self.file != other.file {
+            return self;
+        }
+        Span {
+            file: self.file,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The 1-based line of the start of the span.
+    pub fn line(&self) -> u32 {
+        self.start.line
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.start.line, self.start.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_positions() {
+        let f = FileId(0);
+        let a = Span::point(f, 3, 7);
+        let b = Span::point(f, 1, 2);
+        let m = a.to(b);
+        assert_eq!(m.start, LineCol::new(1, 2));
+        assert_eq!(m.end, LineCol::new(3, 7));
+    }
+
+    #[test]
+    fn merge_across_files_keeps_self() {
+        let a = Span::point(FileId(0), 1, 1);
+        let b = Span::point(FileId(1), 9, 9);
+        assert_eq!(a.to(b), a);
+    }
+
+    #[test]
+    fn synthetic_is_flagged() {
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::point(FileId(2), 1, 1).is_synthetic());
+    }
+}

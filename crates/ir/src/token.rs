@@ -1,0 +1,156 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::span::Span;
+
+/// The kind of a lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An integer literal (decimal, hex `0x..`, or char constant folded to its value).
+    Int(i64),
+    /// A string literal, without the surrounding quotes.
+    Str(String),
+    /// An identifier or keyword candidate.
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwUnsigned,
+    KwLong,
+    KwChar,
+    KwBool,
+    KwVoid,
+    KwSizeT,
+    KwStruct,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwDo,
+    KwStatic,
+    KwConst,
+    KwTrue,
+    KwFalse,
+    KwNull,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Tilde,
+    Bang,
+    BangEq,
+    Plus,
+    PlusPlus,
+    PlusEq,
+    Minus,
+    MinusMinus,
+    MinusEq,
+    Star,
+    StarEq,
+    Slash,
+    SlashEq,
+    Percent,
+    PercentEq,
+    Lt,
+    LtEq,
+    Shl,
+    Gt,
+    GtEq,
+    Shr,
+    Eq,
+    EqEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    Question,
+    Colon,
+
+    // Attributes recognised as single tokens.
+    /// `[[maybe_unused]]` or `__attribute__((unused))`.
+    AttrUnused,
+
+    // Preprocessor directives (line-oriented, surfaced as tokens).
+    /// `#if NAME`, `#ifdef NAME` — the payload is the guard symbol.
+    HashIf(String),
+    /// `#ifndef NAME`.
+    HashIfNot(String),
+    /// `#else`.
+    HashElse,
+    /// `#endif`.
+    HashEndif,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `ident`, if it is a keyword.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "int" => TokenKind::KwInt,
+            "unsigned" => TokenKind::KwUnsigned,
+            "long" => TokenKind::KwLong,
+            "char" => TokenKind::KwChar,
+            "bool" => TokenKind::KwBool,
+            "void" => TokenKind::KwVoid,
+            "size_t" => TokenKind::KwSizeT,
+            "struct" => TokenKind::KwStruct,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "switch" => TokenKind::KwSwitch,
+            "case" => TokenKind::KwCase,
+            "default" => TokenKind::KwDefault,
+            "do" => TokenKind::KwDo,
+            "static" => TokenKind::KwStatic,
+            "const" => TokenKind::KwConst,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "NULL" => TokenKind::KwNull,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Str(_) => "string literal".into(),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".into(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}

@@ -1,0 +1,170 @@
+//! The MiniC type system.
+//!
+//! Types are deliberately loose (C-like): all integer types are mutually
+//! assignable. The type system's real job is to resolve struct fields to
+//! stable indices (for field-sensitive analysis) and to distinguish pointers
+//! (for alias analysis) from scalars.
+
+use std::collections::HashMap;
+
+use crate::span::Span;
+
+/// A MiniC type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `int`.
+    Int,
+    /// `unsigned` / `unsigned int`.
+    Uint,
+    /// `long`.
+    Long,
+    /// `char`.
+    Char,
+    /// `bool`.
+    Bool,
+    /// `void` (only meaningful as a return type or pointee).
+    Void,
+    /// `size_t`.
+    SizeT,
+    /// A pointer to `T`.
+    Ptr(Box<Type>),
+    /// A named struct type.
+    Struct(String),
+    /// A fixed-size array.
+    Array(Box<Type>, usize),
+}
+
+impl Type {
+    /// Returns true for any integer-like scalar.
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            Type::Int | Type::Uint | Type::Long | Type::Char | Type::Bool | Type::SizeT
+        )
+    }
+
+    /// Returns true for pointer types (arrays decay to pointers).
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Array(..))
+    }
+
+    /// The pointee of a pointer or the element type of an array.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Wraps the type in a pointer.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Uint => write!(f, "unsigned"),
+            Type::Long => write!(f, "long"),
+            Type::Char => write!(f, "char"),
+            Type::Bool => write!(f, "bool"),
+            Type::Void => write!(f, "void"),
+            Type::SizeT => write!(f, "size_t"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Struct(name) => write!(f, "struct {name}"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+        }
+    }
+}
+
+/// Layout information for one struct: field names resolved to indices.
+#[derive(Clone, Debug)]
+pub struct StructLayout {
+    /// Struct name.
+    pub name: String,
+    /// Field names in declaration order.
+    pub field_names: Vec<String>,
+    /// Field types in declaration order.
+    pub field_types: Vec<Type>,
+    /// Where the struct was defined.
+    pub span: Span,
+}
+
+impl StructLayout {
+    /// Resolves a field name to its index.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.field_names.iter().position(|f| f == name)
+    }
+}
+
+/// A registry of struct layouts for a whole program.
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    layouts: HashMap<String, StructLayout>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a struct layout, replacing any previous definition.
+    pub fn insert(&mut self, layout: StructLayout) {
+        self.layouts.insert(layout.name.clone(), layout);
+    }
+
+    /// Looks up a struct by name.
+    pub fn get(&self, name: &str) -> Option<&StructLayout> {
+        self.layouts.get(name)
+    }
+
+    /// Number of registered structs.
+    pub fn len(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layouts.is_empty()
+    }
+
+    /// Iterates over all layouts in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &StructLayout> {
+        self.layouts.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_resolution() {
+        let layout = StructLayout {
+            name: "ctx".into(),
+            field_names: vec!["host".into(), "port".into()],
+            field_types: vec![Type::Char.ptr_to(), Type::Int],
+            span: Span::synthetic(),
+        };
+        assert_eq!(layout.field_index("port"), Some(1));
+        assert_eq!(layout.field_index("missing"), None);
+    }
+
+    #[test]
+    fn pointer_classification() {
+        assert!(Type::Int.ptr_to().is_pointer_like());
+        assert!(Type::Array(Box::new(Type::Char), 10).is_pointer_like());
+        assert!(!Type::Int.is_pointer_like());
+        assert!(Type::SizeT.is_integer());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Type::Char.ptr_to().to_string(), "char*");
+        assert_eq!(Type::Struct("s".into()).to_string(), "struct s");
+    }
+}

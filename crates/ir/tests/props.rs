@@ -1,0 +1,85 @@
+//! Property tests for the frontend: lexer totality, pretty-print round
+//! trips, and lowering/validation of arbitrary generated programs.
+
+use proptest::prelude::*;
+use vc_ir::{
+    lexer::lex,
+    parser::parse,
+    pretty::module_to_source,
+    program::Program,
+    span::FileId,
+    testing::source_from_seed,
+    validate::validate_program,
+};
+
+proptest! {
+    /// The lexer never panics, whatever bytes arrive.
+    #[test]
+    fn lexer_is_total(src in ".{0,200}") {
+        let _ = lex(FileId(0), &src);
+    }
+
+    /// The lexer either errors or produces a stream ending in Eof.
+    #[test]
+    fn lexer_streams_end_in_eof(src in "[a-z0-9 +*/()={};<>!&|,\\-]{0,120}") {
+        if let Ok(toks) = lex(FileId(0), &src) {
+            prop_assert!(matches!(
+                toks.last().map(|t| &t.kind),
+                Some(vc_ir::token::TokenKind::Eof)
+            ));
+        }
+    }
+
+    /// Generated programs parse, and pretty-printing is idempotent:
+    /// `pretty(parse(pretty(parse(src)))) == pretty(parse(src))`.
+    #[test]
+    fn pretty_print_round_trips(seed in any::<u64>()) {
+        let src = source_from_seed(seed);
+        let m1 = parse(FileId(0), &src).expect("generated source parses");
+        let p1 = module_to_source(&m1);
+        let m2 = parse(FileId(0), &p1)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{p1}"));
+        let p2 = module_to_source(&m2);
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Generated programs lower and validate.
+    #[test]
+    fn generated_programs_validate(seed in any::<u64>()) {
+        let src = source_from_seed(seed);
+        let prog = Program::build(&[("g.c", src.as_str())], &[]).expect("builds");
+        validate_program(&prog).expect("valid IR");
+    }
+
+    /// Lowering is insensitive to an enabled-but-unused configuration: a
+    /// program without preprocessor guards lowers identically under any
+    /// define set.
+    #[test]
+    fn defines_do_not_affect_guardless_programs(seed in any::<u64>(), define in "[A-Z]{1,8}") {
+        let src = source_from_seed(seed);
+        let a = Program::build(&[("g.c", src.as_str())], &[]).expect("builds");
+        let b = Program::build(&[("g.c", src.as_str())], &[define]).expect("builds");
+        prop_assert_eq!(a.inst_count(), b.inst_count());
+        prop_assert_eq!(a.funcs.len(), b.funcs.len());
+    }
+
+    /// Every instruction's span points into the source file (line within
+    /// bounds), so blame lookups cannot go out of range.
+    #[test]
+    fn spans_stay_in_file(seed in any::<u64>()) {
+        let src = source_from_seed(seed);
+        let nlines = src.lines().count() as u32;
+        let prog = Program::build(&[("g.c", src.as_str())], &[]).expect("builds");
+        for f in &prog.funcs {
+            for bb in &f.blocks {
+                for inst in &bb.insts {
+                    let span = inst.span();
+                    if !span.is_synthetic() {
+                        prop_assert!(span.line() >= 1 && span.line() <= nlines,
+                            "line {} of {nlines}", span.line());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # vc-pointer — field-sensitive Andersen's pointer analysis
+//!
+//! The SVF substitute of the ValueCheck reproduction. Provides:
+//!
+//! - [`andersen::PointsTo`] — inclusion-based, field-sensitive points-to
+//!   analysis with on-the-fly call-graph construction (function pointers
+//!   resolve during solving, as the paper's indirect-call handling requires);
+//! - [`alias::AliasUses`] — the "may this local be read through a pointer?"
+//!   query that suppresses aliased definitions from the unused-definition
+//!   candidates (§4.1, "Pointer and Alias").
+
+pub mod alias;
+pub mod andersen;
+pub mod node;
+
+pub use alias::AliasUses;
+pub use andersen::{
+    Config,
+    PointsTo, //
+};
+pub use node::MemObj;

@@ -1,0 +1,97 @@
+//! Property tests for the pointer analysis: determinism, address-of
+//! containment, and consistency between field-sensitive and insensitive
+//! modes on arbitrary generated programs.
+
+use proptest::prelude::*;
+use vc_ir::{
+    ir::{
+        Inst,
+        TempOrigin, //
+    },
+    testing::source_from_seed,
+    FuncId,
+    Program,
+    TempId,
+};
+use vc_pointer::{
+    AliasUses,
+    Config,
+    PointsTo, //
+};
+
+fn build(seed: u64) -> Program {
+    let src = source_from_seed(seed);
+    Program::build(&[("g.c", src.as_str())], &[]).expect("generated source builds")
+}
+
+proptest! {
+    /// Solving the same program twice yields identical fact counts and call
+    /// graphs (determinism).
+    #[test]
+    fn solving_is_deterministic(seed in any::<u64>()) {
+        let prog = build(seed);
+        let a = PointsTo::solve(&prog);
+        let b = PointsTo::solve(&prog);
+        prop_assert_eq!(a.fact_count(), b.fact_count());
+        prop_assert_eq!(a.call_edges(), b.call_edges());
+    }
+
+    /// The result temp of every `&place` instruction points at the place's
+    /// object (address-of containment).
+    #[test]
+    fn addr_of_containment(seed in any::<u64>()) {
+        let prog = build(seed);
+        let pts = PointsTo::solve(&prog);
+        for (fi, f) in prog.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for bb in &f.blocks {
+                for inst in &bb.insts {
+                    if let Inst::AddrOf { dst, place, .. } = inst {
+                        // Direct places must appear in the points-to set.
+                        if place.var_key().is_some() {
+                            prop_assert!(
+                                !pts.points_to(fid, *dst).is_empty(),
+                                "&{place:?} has empty points-to set"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Field-insensitive mode never resolves *fewer* function-pointer
+    /// targets than field-sensitive mode (it only merges objects).
+    #[test]
+    fn field_insensitive_is_coarser(seed in any::<u64>()) {
+        let prog = build(seed);
+        let fs = PointsTo::solve_with(&prog, Config { field_sensitive: true });
+        let fi = PointsTo::solve_with(&prog, Config { field_sensitive: false });
+        for (f_idx, f) in prog.funcs.iter().enumerate() {
+            let fid = FuncId(f_idx as u32);
+            for (t_idx, origin) in f.temp_origins.iter().enumerate() {
+                if matches!(origin, TempOrigin::Load(_)) {
+                    let t = TempId(t_idx as u32);
+                    let fs_funcs = fs.resolve_fn_ptr(fid, t).len();
+                    let fi_funcs = fi.resolve_fn_ptr(fid, t).len();
+                    prop_assert!(fi_funcs >= fs_funcs,
+                        "insensitive mode lost targets at t{t_idx} in {}", f.name);
+                }
+            }
+        }
+    }
+
+    /// Alias-use facts only name locals that actually exist.
+    #[test]
+    fn alias_uses_reference_real_locals(seed in any::<u64>()) {
+        let prog = build(seed);
+        let pts = PointsTo::solve(&prog);
+        let uses = AliasUses::compute(&prog, &pts);
+        for (fi, f) in prog.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for l in uses.aliased_locals(fid) {
+                prop_assert!((l.0 as usize) < f.locals.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Line-oriented diff used for blame attribution.
+//!
+//! The VCS substrate assigns blame by diffing each commit's new file content
+//! against the previous content: kept lines retain their blame, inserted
+//! lines are attributed to the committing author — the same attribution rule
+//! `git blame` implements.
+//!
+//! The algorithm trims the common prefix and suffix (commits usually touch a
+//! small contiguous region) and runs an exact LCS on the remaining middle.
+//! If the middle is pathologically large the diff degrades to
+//! delete-all/insert-all for the middle — still a correct patch, just not
+//! minimal, mirroring the heuristic cutoffs of production diff tools.
+
+/// One hunk of an edit script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// The next `n` lines are unchanged.
+    Keep(usize),
+    /// The next `n` old lines are removed.
+    Delete(usize),
+    /// These new lines are inserted.
+    Insert(Vec<String>),
+}
+
+/// Middle sizes whose product exceeds this fall back to full replacement.
+const LCS_CELL_LIMIT: usize = 16_000_000;
+
+/// Computes a line edit script transforming `old` into `new`.
+///
+/// The script is minimal whenever the changed region is below the DP cutoff
+/// (16M cells, ~4000×4000 changed lines), which covers every realistic
+/// commit; `patch(old, &diff_lines(old, new)) == new` holds unconditionally.
+///
+/// # Examples
+///
+/// ```
+/// use vc_vcs::diff::{diff_lines, patch};
+/// let old = ["a", "b", "c"].map(String::from).to_vec();
+/// let new = ["a", "x", "c"].map(String::from).to_vec();
+/// let script = diff_lines(&old, &new);
+/// assert_eq!(patch(&old, &script), new);
+/// ```
+pub fn diff_lines(old: &[String], new: &[String]) -> Vec<Edit> {
+    // Trim common prefix.
+    let mut prefix = 0;
+    while prefix < old.len() && prefix < new.len() && old[prefix] == new[prefix] {
+        prefix += 1;
+    }
+    // Trim common suffix (not overlapping the prefix).
+    let mut suffix = 0;
+    while suffix < old.len() - prefix
+        && suffix < new.len() - prefix
+        && old[old.len() - 1 - suffix] == new[new.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    let mid_old = &old[prefix..old.len() - suffix];
+    let mid_new = &new[prefix..new.len() - suffix];
+
+    let mut edits = Vec::new();
+    if prefix > 0 {
+        edits.push(Edit::Keep(prefix));
+    }
+    append_middle(mid_old, mid_new, &mut edits);
+    if suffix > 0 {
+        edits.push(Edit::Keep(suffix));
+    }
+    coalesce(edits)
+}
+
+/// Diffs the changed middle region via LCS, appending hunks to `edits`.
+fn append_middle(old: &[String], new: &[String], edits: &mut Vec<Edit>) {
+    let (n, m) = (old.len(), new.len());
+    if n == 0 && m == 0 {
+        return;
+    }
+    if n == 0 {
+        edits.push(Edit::Insert(new.to_vec()));
+        return;
+    }
+    if m == 0 {
+        edits.push(Edit::Delete(n));
+        return;
+    }
+    if n.saturating_mul(m) > LCS_CELL_LIMIT {
+        edits.push(Edit::Delete(n));
+        edits.push(Edit::Insert(new.to_vec()));
+        return;
+    }
+
+    // LCS length table; lcs[i][j] = LCS of old[i..], new[j..].
+    let mut lcs = vec![0u32; (n + 1) * (m + 1)];
+    let at = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[at(i, j)] = if old[i] == new[j] {
+                lcs[at(i + 1, j + 1)] + 1
+            } else {
+                lcs[at(i + 1, j)].max(lcs[at(i, j + 1)])
+            };
+        }
+    }
+    // Walk the table emitting hunks.
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if old[i] == new[j] {
+            push_keep(edits, 1);
+            i += 1;
+            j += 1;
+        } else if lcs[at(i + 1, j)] >= lcs[at(i, j + 1)] {
+            push_delete(edits, 1);
+            i += 1;
+        } else {
+            push_insert(edits, new[j].clone());
+            j += 1;
+        }
+    }
+    if i < n {
+        push_delete(edits, n - i);
+    }
+    while j < m {
+        push_insert(edits, new[j].clone());
+        j += 1;
+    }
+}
+
+fn push_keep(edits: &mut Vec<Edit>, n: usize) {
+    match edits.last_mut() {
+        Some(Edit::Keep(k)) => *k += n,
+        _ => edits.push(Edit::Keep(n)),
+    }
+}
+
+fn push_delete(edits: &mut Vec<Edit>, n: usize) {
+    match edits.last_mut() {
+        Some(Edit::Delete(k)) => *k += n,
+        _ => edits.push(Edit::Delete(n)),
+    }
+}
+
+fn push_insert(edits: &mut Vec<Edit>, line: String) {
+    match edits.last_mut() {
+        Some(Edit::Insert(lines)) => lines.push(line),
+        _ => edits.push(Edit::Insert(vec![line])),
+    }
+}
+
+/// Merges adjacent same-kind hunks (defensive; builders above already merge).
+fn coalesce(edits: Vec<Edit>) -> Vec<Edit> {
+    let mut out: Vec<Edit> = Vec::with_capacity(edits.len());
+    for e in edits {
+        match (out.last_mut(), e) {
+            (Some(Edit::Keep(a)), Edit::Keep(b)) => *a += b,
+            (Some(Edit::Delete(a)), Edit::Delete(b)) => *a += b,
+            (Some(Edit::Insert(a)), Edit::Insert(b)) => a.extend(b),
+            (_, e) => out.push(e),
+        }
+    }
+    out
+}
+
+/// Applies an edit script to `old`, producing the new line vector.
+///
+/// # Panics
+///
+/// Panics if the script does not match `old` (wrong hunk lengths).
+pub fn patch(old: &[String], script: &[Edit]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for edit in script {
+        match edit {
+            Edit::Keep(n) => {
+                out.extend_from_slice(&old[pos..pos + n]);
+                pos += n;
+            }
+            Edit::Delete(n) => {
+                pos += n;
+            }
+            Edit::Insert(lines) => {
+                out.extend_from_slice(lines);
+            }
+        }
+    }
+    assert_eq!(pos, old.len(), "edit script does not cover the old file");
+    out
+}
+
+/// The number of inserted plus deleted lines in a script (the "churn").
+pub fn churn(script: &[Edit]) -> usize {
+    script
+        .iter()
+        .map(|e| match e {
+            Edit::Keep(_) => 0,
+            Edit::Delete(n) => *n,
+            Edit::Insert(lines) => lines.len(),
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn check(old: &[&str], new: &[&str]) -> Vec<Edit> {
+        let (o, n) = (lines(old), lines(new));
+        let script = diff_lines(&o, &n);
+        assert_eq!(patch(&o, &script), n, "patch(diff) != new for {o:?} -> {n:?}");
+        script
+    }
+
+    #[test]
+    fn identical_files_are_one_keep() {
+        let s = check(&["a", "b"], &["a", "b"]);
+        assert_eq!(s, vec![Edit::Keep(2)]);
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let s = check(&["a", "c"], &["a", "b", "c"]);
+        assert_eq!(churn(&s), 1);
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let s = check(&["a", "b", "c"], &["a", "c"]);
+        assert_eq!(churn(&s), 1);
+    }
+
+    #[test]
+    fn replacement_in_middle() {
+        let s = check(&["a", "b", "c"], &["a", "x", "c"]);
+        assert_eq!(churn(&s), 2);
+    }
+
+    #[test]
+    fn empty_to_full_and_back() {
+        check(&[], &["a", "b"]);
+        check(&["a", "b"], &[]);
+        check(&[], &[]);
+    }
+
+    #[test]
+    fn completely_different() {
+        let s = check(&["a", "b"], &["x", "y", "z"]);
+        assert_eq!(churn(&s), 5);
+    }
+
+    #[test]
+    fn repeated_lines() {
+        check(&["a", "a", "a"], &["a", "a"]);
+        check(&["x", "a", "x", "a"], &["a", "x", "a", "x"]);
+    }
+
+    #[test]
+    fn diff_is_minimal_for_single_edit() {
+        let s = check(&["1", "2", "3", "4", "5"], &["1", "2", "changed", "4", "5"]);
+        assert_eq!(churn(&s), 2, "expected one delete + one insert: {s:?}");
+    }
+
+    #[test]
+    fn two_separate_edits() {
+        let s = check(
+            &["a", "b", "c", "d", "e", "f"],
+            &["a", "B", "c", "d", "E", "f"],
+        );
+        assert_eq!(churn(&s), 4);
+    }
+
+    #[test]
+    fn interleaved_shared_lines_use_lcs() {
+        // LCS of abcab / acba is "acb" (3) -> churn = 2 + 1 = 3.
+        let s = check(&["a", "b", "c", "a", "b"], &["a", "c", "b", "a"]);
+        assert_eq!(churn(&s), 3, "{s:?}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # vc-vcs — in-memory version-control substrate
+//!
+//! The git/GitPython substitute of the ValueCheck reproduction. Provides a
+//! linear-history repository with commits, full-content file writes, a
+//! line-oriented [`diff`], incremental per-line [`repo::Repository::blame`],
+//! per-file logs, and history snapshots (used by the §3.1 preliminary
+//! experiment to compare 2019 vs 2021 trees).
+
+pub mod diff;
+pub mod repo;
+pub mod spec;
+
+pub use spec::HistorySpec;
+
+pub use repo::{
+    Author,
+    AuthorId,
+    BlameEntry,
+    Commit,
+    CommitId,
+    FileWrite,
+    Repository, //
+};

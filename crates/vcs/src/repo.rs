@@ -1,0 +1,422 @@
+//! An in-memory version-control repository with per-line blame.
+//!
+//! The GitPython substitute: ValueCheck's authorship lookup needs
+//! `blame(file, line) → author` and `log(file) → commits`, and its
+//! familiarity model needs per-author delivery counts. The repository keeps a
+//! linear history (like `git log --first-parent`) where each commit writes
+//! full file contents; blame is maintained incrementally by diffing each
+//! write against the previous content.
+
+use std::collections::HashMap;
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+use crate::diff::{
+    diff_lines,
+    Edit, //
+};
+
+/// Identifier of an author.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AuthorId(pub u32);
+
+/// Identifier of a commit; ids increase in history order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CommitId(pub u32);
+
+/// An author identity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Author {
+    /// Display name.
+    pub name: String,
+}
+
+/// One file modification inside a commit (full new content).
+#[derive(Clone, Debug)]
+pub struct FileWrite {
+    /// Repository-relative path.
+    pub path: String,
+    /// Complete new content.
+    pub content: String,
+}
+
+/// A commit: author, timestamp, message, and file writes.
+#[derive(Clone, Debug)]
+pub struct Commit {
+    /// The commit id.
+    pub id: CommitId,
+    /// Who authored it.
+    pub author: AuthorId,
+    /// Unix timestamp (seconds).
+    pub timestamp: i64,
+    /// Commit message.
+    pub message: String,
+    /// Files written by this commit.
+    pub writes: Vec<FileWrite>,
+}
+
+/// Blame information for one line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlameEntry {
+    /// The author of the line's last modification.
+    pub author: AuthorId,
+    /// The commit that introduced the line.
+    pub commit: CommitId,
+    /// Timestamp of that commit.
+    pub timestamp: i64,
+}
+
+#[derive(Clone, Debug)]
+struct LineRecord {
+    text: String,
+    blame: BlameEntry,
+}
+
+#[derive(Clone, Debug, Default)]
+struct FileState {
+    lines: Vec<LineRecord>,
+}
+
+/// An in-memory repository with a linear history.
+#[derive(Clone, Debug, Default)]
+pub struct Repository {
+    authors: Vec<Author>,
+    commits: Vec<Commit>,
+    files: HashMap<String, FileState>,
+    /// Per-file list of commit ids that touched the file, oldest first.
+    file_log: HashMap<String, Vec<CommitId>>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new author.
+    pub fn add_author(&mut self, name: impl Into<String>) -> AuthorId {
+        let id = AuthorId(self.authors.len() as u32);
+        self.authors.push(Author { name: name.into() });
+        id
+    }
+
+    /// The author with the given id.
+    pub fn author(&self, id: AuthorId) -> &Author {
+        &self.authors[id.0 as usize]
+    }
+
+    /// Number of registered authors.
+    pub fn author_count(&self) -> usize {
+        self.authors.len()
+    }
+
+    /// Records a commit writing the given files, returning its id.
+    ///
+    /// Timestamps must be non-decreasing across commits; out-of-order
+    /// timestamps are clamped to the previous commit's to keep the history
+    /// linear, matching how a rebase-based workflow behaves.
+    pub fn commit(
+        &mut self,
+        author: AuthorId,
+        timestamp: i64,
+        message: impl Into<String>,
+        writes: Vec<FileWrite>,
+    ) -> CommitId {
+        let timestamp = match self.commits.last() {
+            Some(prev) if timestamp < prev.timestamp => prev.timestamp,
+            _ => timestamp,
+        };
+        let id = CommitId(self.commits.len() as u32);
+        for w in &writes {
+            self.apply_write(id, author, timestamp, w);
+            self.file_log.entry(w.path.clone()).or_default().push(id);
+        }
+        self.commits.push(Commit {
+            id,
+            author,
+            timestamp,
+            message: message.into(),
+            writes,
+        });
+        id
+    }
+
+    fn apply_write(&mut self, commit: CommitId, author: AuthorId, timestamp: i64, w: &FileWrite) {
+        let new_lines: Vec<String> = split_lines(&w.content);
+        let state = self.files.entry(w.path.clone()).or_default();
+        let old_lines: Vec<String> = state.lines.iter().map(|l| l.text.clone()).collect();
+        let script = diff_lines(&old_lines, &new_lines);
+        let blame = BlameEntry {
+            author,
+            commit,
+            timestamp,
+        };
+        let mut out = Vec::with_capacity(new_lines.len());
+        let mut pos = 0usize;
+        for edit in script {
+            match edit {
+                Edit::Keep(n) => {
+                    out.extend_from_slice(&state.lines[pos..pos + n]);
+                    pos += n;
+                }
+                Edit::Delete(n) => pos += n,
+                Edit::Insert(lines) => {
+                    out.extend(lines.into_iter().map(|text| LineRecord { text, blame }));
+                }
+            }
+        }
+        state.lines = out;
+    }
+
+    /// Current content of a file, if it exists.
+    pub fn file_content(&self, path: &str) -> Option<String> {
+        self.files.get(path).map(|s| {
+            let mut out = String::new();
+            for (i, l) in s.lines.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                out.push_str(&l.text);
+            }
+            out
+        })
+    }
+
+    /// All tracked file paths, sorted.
+    pub fn paths(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.files.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Blame for one line (1-based), if the file and line exist.
+    pub fn blame(&self, path: &str, line: u32) -> Option<BlameEntry> {
+        let state = self.files.get(path)?;
+        if line == 0 {
+            return None;
+        }
+        state.lines.get((line - 1) as usize).map(|l| l.blame)
+    }
+
+    /// The author of one line, if known.
+    pub fn blame_author(&self, path: &str, line: u32) -> Option<AuthorId> {
+        self.blame(path, line).map(|b| b.author)
+    }
+
+    /// Number of lines currently in a file.
+    pub fn line_count(&self, path: &str) -> usize {
+        self.files.get(path).map(|s| s.lines.len()).unwrap_or(0)
+    }
+
+    /// Commits that touched `path`, oldest first.
+    pub fn log(&self, path: &str) -> &[CommitId] {
+        self.file_log
+            .get(path)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The commit with the given id.
+    pub fn commit_info(&self, id: CommitId) -> &Commit {
+        &self.commits[id.0 as usize]
+    }
+
+    /// All commits, oldest first.
+    pub fn commits(&self) -> &[Commit] {
+        &self.commits
+    }
+
+    /// Reconstructs the full tree as of (and including) `at`, by replay.
+    pub fn snapshot_at(&self, at: CommitId) -> HashMap<String, String> {
+        let mut tree: HashMap<String, String> = HashMap::new();
+        for c in &self.commits {
+            if c.id > at {
+                break;
+            }
+            for w in &c.writes {
+                tree.insert(w.path.clone(), w.content.clone());
+            }
+        }
+        tree
+    }
+
+    /// The latest commit id, if any commit exists.
+    pub fn head(&self) -> Option<CommitId> {
+        self.commits.last().map(|c| c.id)
+    }
+
+    /// Materializes the repository as of (and including) `at`: same authors,
+    /// truncated history, blame and logs reflecting that point in time.
+    ///
+    /// This is the `git checkout <old>` equivalent the §3.1 preliminary
+    /// experiment needs to analyse a 2019 snapshot with 2019 blame.
+    pub fn checkout(&self, at: CommitId) -> Repository {
+        let mut out = Repository::new();
+        for a in &self.authors {
+            out.add_author(a.name.clone());
+        }
+        for c in &self.commits {
+            if c.id > at {
+                break;
+            }
+            out.commit(c.author, c.timestamp, c.message.clone(), c.writes.clone());
+        }
+        out
+    }
+
+    /// The last commit at or before `timestamp`, if any.
+    pub fn commit_at_time(&self, timestamp: i64) -> Option<CommitId> {
+        self.commits
+            .iter()
+            .take_while(|c| c.timestamp <= timestamp)
+            .last()
+            .map(|c| c.id)
+    }
+}
+
+/// Splits file content into lines; a trailing newline does not create an
+/// empty final line (matching `git`'s line accounting).
+fn split_lines(content: &str) -> Vec<String> {
+    if content.is_empty() {
+        return Vec::new();
+    }
+    let trimmed = content.strip_suffix('\n').unwrap_or(content);
+    trimmed.split('\n').map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(path: &str, content: &str) -> FileWrite {
+        FileWrite {
+            path: path.into(),
+            content: content.into(),
+        }
+    }
+
+    #[test]
+    fn initial_commit_blames_every_line_to_author() {
+        let mut repo = Repository::new();
+        let alice = repo.add_author("alice");
+        let c = repo.commit(alice, 1000, "init", vec![write("a.c", "l1\nl2\nl3\n")]);
+        for line in 1..=3 {
+            let b = repo.blame("a.c", line).unwrap();
+            assert_eq!(b.author, alice);
+            assert_eq!(b.commit, c);
+        }
+        assert_eq!(repo.blame("a.c", 4), None);
+    }
+
+    #[test]
+    fn edit_reassigns_only_touched_lines() {
+        let mut repo = Repository::new();
+        let alice = repo.add_author("alice");
+        let bob = repo.add_author("bob");
+        repo.commit(alice, 1000, "init", vec![write("a.c", "l1\nl2\nl3\n")]);
+        repo.commit(bob, 2000, "edit line 2", vec![write("a.c", "l1\nl2-changed\nl3\n")]);
+        assert_eq!(repo.blame_author("a.c", 1), Some(alice));
+        assert_eq!(repo.blame_author("a.c", 2), Some(bob));
+        assert_eq!(repo.blame_author("a.c", 3), Some(alice));
+    }
+
+    #[test]
+    fn insertion_shifts_blame_correctly() {
+        let mut repo = Repository::new();
+        let alice = repo.add_author("alice");
+        let bob = repo.add_author("bob");
+        repo.commit(alice, 1000, "init", vec![write("a.c", "l1\nl3\n")]);
+        repo.commit(bob, 2000, "insert", vec![write("a.c", "l1\nl2\nl3\n")]);
+        assert_eq!(repo.blame_author("a.c", 1), Some(alice));
+        assert_eq!(repo.blame_author("a.c", 2), Some(bob));
+        assert_eq!(repo.blame_author("a.c", 3), Some(alice));
+    }
+
+    #[test]
+    fn blame_covers_exactly_the_file() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        repo.commit(a, 1, "c", vec![write("f", "x\ny\n")]);
+        assert_eq!(repo.line_count("f"), 2);
+        assert!(repo.blame("f", 0).is_none());
+        assert!(repo.blame("f", 2).is_some());
+        assert!(repo.blame("f", 3).is_none());
+        assert_eq!(repo.file_content("f").unwrap(), "x\ny");
+    }
+
+    #[test]
+    fn log_lists_touching_commits_in_order() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let c1 = repo.commit(a, 1, "one", vec![write("f", "1\n")]);
+        let _c2 = repo.commit(a, 2, "other file", vec![write("g", "1\n")]);
+        let c3 = repo.commit(a, 3, "two", vec![write("f", "1\n2\n")]);
+        assert_eq!(repo.log("f"), &[c1, c3]);
+    }
+
+    #[test]
+    fn snapshot_replays_history() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let c1 = repo.commit(a, 1, "v1", vec![write("f", "v1\n")]);
+        let c2 = repo.commit(a, 2, "v2", vec![write("f", "v2\n")]);
+        assert_eq!(repo.snapshot_at(c1).get("f").unwrap(), "v1\n");
+        assert_eq!(repo.snapshot_at(c2).get("f").unwrap(), "v2\n");
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        repo.commit(a, 100, "one", vec![write("f", "1\n")]);
+        let c2 = repo.commit(a, 50, "backdated", vec![write("f", "2\n")]);
+        assert_eq!(repo.commit_info(c2).timestamp, 100);
+    }
+
+    #[test]
+    fn checkout_restores_historical_blame_and_logs() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let b = repo.add_author("b");
+        let c1 = repo.commit(a, 10, "init", vec![write("f", "one
+two
+")]);
+        let _c2 = repo.commit(b, 20, "edit", vec![write("f", "one
+two-x
+")]);
+        let old = repo.checkout(c1);
+        assert_eq!(old.blame_author("f", 2), Some(a));
+        assert_eq!(repo.blame_author("f", 2), Some(b));
+        assert_eq!(old.log("f").len(), 1);
+        assert_eq!(old.head(), Some(c1));
+    }
+
+    #[test]
+    fn commit_at_time_picks_latest_at_or_before() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let c1 = repo.commit(a, 10, "one", vec![write("f", "1\n")]);
+        let c2 = repo.commit(a, 20, "two", vec![write("f", "2\n")]);
+        assert_eq!(repo.commit_at_time(5), None);
+        assert_eq!(repo.commit_at_time(10), Some(c1));
+        assert_eq!(repo.commit_at_time(15), Some(c1));
+        assert_eq!(repo.commit_at_time(99), Some(c2));
+    }
+
+    #[test]
+    fn rewrite_attributes_rewritten_region() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let b = repo.add_author("b");
+        repo.commit(a, 1, "init", vec![write("f", "keep\nold1\nold2\nkeep2\n")]);
+        repo.commit(b, 2, "rewrite middle", vec![write("f", "keep\nnew1\nnew2\nnew3\nkeep2\n")]);
+        assert_eq!(repo.blame_author("f", 1), Some(a));
+        assert_eq!(repo.blame_author("f", 2), Some(b));
+        assert_eq!(repo.blame_author("f", 3), Some(b));
+        assert_eq!(repo.blame_author("f", 4), Some(b));
+        assert_eq!(repo.blame_author("f", 5), Some(a));
+    }
+}

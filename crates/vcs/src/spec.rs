@@ -1,0 +1,158 @@
+//! A serializable history format (`history.json`) for moving repositories
+//! in and out of the process — the interchange format of the `vcheck` and
+//! `genapp` command-line tools.
+
+use serde::{
+    Deserialize,
+    Serialize, //
+};
+
+use crate::repo::{
+    FileWrite,
+    Repository, //
+};
+
+/// One file write inside a commit spec.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct WriteSpec {
+    /// Repository-relative path.
+    pub path: String,
+    /// Full new content.
+    pub content: String,
+}
+
+/// One commit in the history spec.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CommitSpec {
+    /// Author name; registered on first use.
+    pub author: String,
+    /// Unix timestamp (seconds).
+    pub timestamp: i64,
+    /// Commit message.
+    pub message: String,
+    /// Files written.
+    pub writes: Vec<WriteSpec>,
+}
+
+/// A whole linear history.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct HistorySpec {
+    /// Commits, oldest first.
+    pub commits: Vec<CommitSpec>,
+}
+
+impl HistorySpec {
+    /// Materializes the spec as a repository.
+    pub fn build(&self) -> Repository {
+        let mut repo = Repository::new();
+        let mut ids = std::collections::HashMap::new();
+        for c in &self.commits {
+            let author = *ids
+                .entry(c.author.clone())
+                .or_insert_with(|| repo.add_author(c.author.clone()));
+            repo.commit(
+                author,
+                c.timestamp,
+                c.message.clone(),
+                c.writes
+                    .iter()
+                    .map(|w| FileWrite {
+                        path: w.path.clone(),
+                        content: w.content.clone(),
+                    })
+                    .collect(),
+            );
+        }
+        repo
+    }
+
+    /// Extracts a spec from a repository (inverse of [`HistorySpec::build`]).
+    pub fn from_repo(repo: &Repository) -> HistorySpec {
+        HistorySpec {
+            commits: repo
+                .commits()
+                .iter()
+                .map(|c| CommitSpec {
+                    author: repo.author(c.author).name.clone(),
+                    timestamp: c.timestamp,
+                    message: c.message.clone(),
+                    writes: c
+                        .writes
+                        .iter()
+                        .map(|w| WriteSpec {
+                            path: w.path.clone(),
+                            content: w.content.clone(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A single-commit history covering `files`, for projects without
+    /// version-control data: everything belongs to one unknown author.
+    pub fn single_author(files: &[(String, String)]) -> HistorySpec {
+        HistorySpec {
+            commits: vec![CommitSpec {
+                author: "unknown".into(),
+                timestamp: 0,
+                message: "imported working tree".into(),
+                writes: files
+                    .iter()
+                    .map(|(path, content)| WriteSpec {
+                        path: path.clone(),
+                        content: content.clone(),
+                    })
+                    .collect(),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_repository() {
+        let spec = HistorySpec {
+            commits: vec![
+                CommitSpec {
+                    author: "alice".into(),
+                    timestamp: 100,
+                    message: "init".into(),
+                    writes: vec![WriteSpec {
+                        path: "a.c".into(),
+                        content: "int x;\n".into(),
+                    }],
+                },
+                CommitSpec {
+                    author: "bob".into(),
+                    timestamp: 200,
+                    message: "edit".into(),
+                    writes: vec![WriteSpec {
+                        path: "a.c".into(),
+                        content: "int x;\nint y;\n".into(),
+                    }],
+                },
+            ],
+        };
+        let repo = spec.build();
+        assert_eq!(repo.author_count(), 2);
+        assert_eq!(repo.blame_author("a.c", 2).map(|a| repo.author(a).name.clone()),
+            Some("bob".to_string()));
+        let back = HistorySpec::from_repo(&repo);
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn single_author_covers_all_files() {
+        let files = vec![
+            ("a.c".to_string(), "int a;\n".to_string()),
+            ("b.c".to_string(), "int b;\n".to_string()),
+        ];
+        let repo = HistorySpec::single_author(&files).build();
+        assert_eq!(repo.paths().len(), 2);
+        assert!(repo.blame_author("b.c", 1).is_some());
+    }
+}

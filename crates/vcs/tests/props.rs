@@ -1,0 +1,126 @@
+//! Property tests for the VCS substrate: the diff/patch inverse law, blame
+//! coverage, and checkout consistency.
+
+use proptest::prelude::*;
+use vc_vcs::{
+    diff::{
+        churn,
+        diff_lines,
+        patch, //
+    },
+    FileWrite,
+    Repository,
+};
+
+fn lines_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[abcdxyz]{0,3}", 0..40)
+}
+
+proptest! {
+    /// patch(old, diff(old, new)) == new, always.
+    #[test]
+    fn patch_of_diff_is_identity(old in lines_strategy(), new in lines_strategy()) {
+        let script = diff_lines(&old, &new);
+        prop_assert_eq!(patch(&old, &script), new);
+    }
+
+    /// A diff never claims more churn than a full rewrite.
+    #[test]
+    fn churn_is_bounded(old in lines_strategy(), new in lines_strategy()) {
+        let script = diff_lines(&old, &new);
+        prop_assert!(churn(&script) <= old.len() + new.len());
+    }
+
+    /// Diffing a file against itself is pure Keep.
+    #[test]
+    fn self_diff_is_empty(old in lines_strategy()) {
+        let script = diff_lines(&old, &old);
+        prop_assert_eq!(churn(&script), 0);
+    }
+
+    /// After any sequence of commits, blame covers exactly the file's lines,
+    /// and every blame entry names a registered author and commit.
+    #[test]
+    fn blame_covers_exactly_the_file(
+        contents in proptest::collection::vec(lines_strategy(), 1..6)
+    ) {
+        let mut repo = Repository::new();
+        let authors = [repo.add_author("a"), repo.add_author("b")];
+        for (i, lines) in contents.iter().enumerate() {
+            repo.commit(
+                authors[i % 2],
+                1_000 + i as i64,
+                format!("rev {i}"),
+                vec![FileWrite {
+                    path: "f".into(),
+                    content: lines.join("\n") + "\n",
+                }],
+            );
+        }
+        let last = contents.last().unwrap();
+        // Writing an empty line list still produces "\n": one empty line,
+        // matching git's accounting of a file containing a single newline.
+        let expect = last.len().max(1);
+        prop_assert_eq!(repo.line_count("f"), expect);
+        for line in 1..=expect as u32 {
+            let b = repo.blame("f", line).expect("line has blame");
+            prop_assert!(authors.contains(&b.author));
+            prop_assert!((b.commit.0 as usize) < contents.len());
+        }
+        prop_assert!(repo.blame("f", expect as u32 + 1).is_none());
+    }
+
+    /// `checkout(c)` reproduces the blame the repository had at commit `c`.
+    #[test]
+    fn checkout_blame_matches_incremental_blame(
+        contents in proptest::collection::vec(lines_strategy(), 2..6)
+    ) {
+        // Build incrementally, capturing blame after the first commit.
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let b = repo.add_author("b");
+        let mut first_commit = None;
+        let mut first_blames = Vec::new();
+        for (i, lines) in contents.iter().enumerate() {
+            let id = repo.commit(
+                if i % 2 == 0 { a } else { b },
+                1_000 + i as i64,
+                format!("rev {i}"),
+                vec![FileWrite {
+                    path: "f".into(),
+                    content: lines.join("\n") + "\n",
+                }],
+            );
+            if i == 0 {
+                first_commit = Some(id);
+                for line in 1..=repo.line_count("f") as u32 {
+                    first_blames.push(repo.blame("f", line).unwrap());
+                }
+            }
+        }
+        let old = repo.checkout(first_commit.unwrap());
+        prop_assert_eq!(old.line_count("f"), first_blames.len());
+        for (i, expect) in first_blames.iter().enumerate() {
+            prop_assert_eq!(old.blame("f", i as u32 + 1), Some(*expect));
+        }
+    }
+
+    /// Snapshot trees agree with replayed file contents.
+    #[test]
+    fn snapshot_matches_final_content(
+        contents in proptest::collection::vec(lines_strategy(), 1..5)
+    ) {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let mut last = None;
+        for (i, lines) in contents.iter().enumerate() {
+            last = Some(repo.commit(a, i as i64, "c", vec![FileWrite {
+                path: "f".into(),
+                content: lines.join("\n") + "\n",
+            }]));
+        }
+        let snap = repo.snapshot_at(last.unwrap());
+        let expected = contents.last().unwrap().join("\n") + "\n";
+        prop_assert_eq!(snap.get("f"), Some(&expected));
+    }
+}

@@ -1,0 +1,34 @@
+//! # vc-workload — synthetic applications with ground truth
+//!
+//! The evaluation substrate: since the paper's subjects (Linux, MySQL,
+//! OpenSSL, NFS-ganesha) cannot be shipped, each [`profile::AppProfile`]
+//! encodes that application's *published statistics* and [`generate()`](generate::generate)
+//! materializes a MiniC project plus a full VCS history whose analysis
+//! reproduces them:
+//!
+//! - cross-scope candidate counts and the Table 4 prune breakdown, planted
+//!   by construction (one candidate per uniquely-named function);
+//! - the Table 2 confirmed/false-positive split, with Fig. 7 component /
+//!   severity / age metadata on every confirmed bug;
+//! - a same-author candidate pool for the w/o-Authorship ablation (§8.5.1);
+//! - the §3.1 preliminary history: unused definitions present in the 2019
+//!   tree and removed by bug-fix or cleanup commits before 2021.
+
+pub mod codegen;
+pub mod generate;
+pub mod profile;
+pub mod truth;
+
+pub use generate::{
+    generate,
+    GeneratedApp, //
+};
+pub use profile::AppProfile;
+pub use truth::{
+    BugCategory,
+    GroundTruth,
+    IntentionalPattern,
+    PlantKind,
+    Planted,
+    Severity, //
+};

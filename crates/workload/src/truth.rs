@@ -1,0 +1,236 @@
+//! Ground-truth labels for generated workloads and evaluation helpers.
+//!
+//! Every injected construct lives in a uniquely-named function with exactly
+//! one expected unused-definition candidate, so findings are matched to
+//! ground truth by function name.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+/// Bug category (Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum BugCategory {
+    /// A missing check on a return value / parameter / variable.
+    MissingCheck,
+    /// A broken program-semantics bug (wrong value flows onward).
+    Semantic,
+}
+
+/// Severity label (Fig. 7b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Severity {
+    High,
+    Medium,
+    Low,
+}
+
+/// Which intentional pattern an injected non-bug matches (Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum IntentionalPattern {
+    /// §5.1 configuration dependency.
+    ConfigDependency,
+    /// §5.2 cursor.
+    Cursor,
+    /// §5.3 unused hints.
+    UnusedHint,
+    /// §5.4 peer definitions.
+    PeerDefinition,
+}
+
+/// What was planted in one generated function.
+#[derive(Clone, Debug, Serialize)]
+pub enum PlantKind {
+    /// A real, developer-confirmable bug.
+    ConfirmedBug {
+        /// Table 3 category.
+        category: BugCategory,
+        /// Fig. 7a component.
+        component: String,
+        /// Fig. 7b severity.
+        severity: Severity,
+        /// Unix time the bug-introducing commit lands (Fig. 7c age).
+        introduced: i64,
+    },
+    /// A finding developers would not confirm (minor defect or debug code).
+    FalsePositive {
+        /// True for debugging/deprecated code (§8.3.1 source 2).
+        debug_code: bool,
+    },
+    /// An intentional pattern the pruners must remove.
+    Intentional {
+        /// Which pruner should fire.
+        pattern: IntentionalPattern,
+        /// A few pruned items are nonetheless real bugs — the pruning
+        /// false negatives of §8.3.4.
+        actually_bug: bool,
+    },
+    /// A same-author unused definition (not cross-scope). A few are real
+    /// bugs ValueCheck deliberately leaves to other tools (§8.4.5's closing
+    /// note: same-developer unused-definition bugs are out of scope).
+    NonCross {
+        /// Whether developers would confirm it as a real bug.
+        real_bug: bool,
+    },
+    /// §3.1: an unused definition present in the 2019 tree, removed later.
+    PrelimRemoved {
+        /// Removed by a bug-fix commit.
+        bugfix: bool,
+        /// Crossed author scopes in the 2019 tree.
+        cross_scope: bool,
+        /// Planted inside a peer-ignorable group: detection (with peer
+        /// pruning) misses it — a §8.3.2 recall miss.
+        peer_missed: bool,
+    },
+}
+
+/// One planted construct.
+#[derive(Clone, Debug, Serialize)]
+pub struct Planted {
+    /// Unique function name containing the construct.
+    pub func: String,
+    /// File the function lives in.
+    pub file: String,
+    /// What was planted.
+    pub kind: PlantKind,
+}
+
+/// Ground truth for one generated application.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct GroundTruth {
+    /// Every planted construct, keyed by function name in `index`.
+    pub planted: Vec<Planted>,
+    /// "Now" for age computations.
+    pub now: i64,
+}
+
+impl GroundTruth {
+    /// Builds the function-name index.
+    pub fn index(&self) -> HashMap<&str, &Planted> {
+        self.planted
+            .iter()
+            .map(|p| (p.func.as_str(), p))
+            .collect()
+    }
+
+    /// Looks up the plant for a reported function, if any.
+    pub fn lookup(&self, func: &str) -> Option<&Planted> {
+        self.planted.iter().find(|p| p.func == func)
+    }
+
+    /// Whether a reported finding in `func` is a developer-confirmable bug.
+    pub fn is_confirmed_bug(&self, func: &str) -> bool {
+        matches!(
+            self.lookup(func).map(|p| &p.kind),
+            Some(PlantKind::ConfirmedBug { .. })
+                | Some(PlantKind::Intentional {
+                    actually_bug: true,
+                    ..
+                })
+                | Some(PlantKind::NonCross { real_bug: true })
+        )
+    }
+
+    /// Number of planted constructs of each coarse kind, for sanity checks.
+    pub fn counts(&self) -> TruthCounts {
+        let mut c = TruthCounts::default();
+        for p in &self.planted {
+            match &p.kind {
+                PlantKind::ConfirmedBug { .. } => c.confirmed += 1,
+                PlantKind::FalsePositive { .. } => c.false_positives += 1,
+                PlantKind::Intentional { .. } => c.intentional += 1,
+                PlantKind::NonCross { .. } => c.non_cross += 1,
+                PlantKind::PrelimRemoved { .. } => c.prelim += 1,
+            }
+        }
+        c
+    }
+
+    /// Evaluates a list of reported function names against the truth:
+    /// `(reported, real bugs, false positives)`.
+    pub fn evaluate<'a>(&self, reported: impl Iterator<Item = &'a str>) -> (usize, usize, usize) {
+        let mut total = 0;
+        let mut real = 0;
+        for func in reported {
+            total += 1;
+            if self.is_confirmed_bug(func) {
+                real += 1;
+            }
+        }
+        (total, real, total - real)
+    }
+}
+
+/// Coarse plant counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TruthCounts {
+    /// Confirmed bugs.
+    pub confirmed: usize,
+    /// False positives (minor + debug).
+    pub false_positives: usize,
+    /// Intentional patterns.
+    pub intentional: usize,
+    /// Non-cross-scope unused definitions.
+    pub non_cross: usize,
+    /// Preliminary-history plants.
+    pub prelim: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            planted: vec![
+                Planted {
+                    func: "f1".into(),
+                    file: "a.c".into(),
+                    kind: PlantKind::ConfirmedBug {
+                        category: BugCategory::MissingCheck,
+                        component: "file-system".into(),
+                        severity: Severity::High,
+                        introduced: 0,
+                    },
+                },
+                Planted {
+                    func: "f2".into(),
+                    file: "a.c".into(),
+                    kind: PlantKind::FalsePositive { debug_code: false },
+                },
+                Planted {
+                    func: "f3".into(),
+                    file: "a.c".into(),
+                    kind: PlantKind::Intentional {
+                        pattern: IntentionalPattern::Cursor,
+                        actually_bug: true,
+                    },
+                },
+            ],
+            now: 100,
+        }
+    }
+
+    #[test]
+    fn evaluation_counts_real_vs_fp() {
+        let t = truth();
+        let reported = ["f1", "f2", "unknown"];
+        let (total, real, fp) = t.evaluate(reported.iter().copied());
+        assert_eq!((total, real, fp), (3, 1, 2));
+    }
+
+    #[test]
+    fn pruned_real_bugs_count_as_bugs() {
+        let t = truth();
+        assert!(t.is_confirmed_bug("f3"));
+        assert!(!t.is_confirmed_bug("f2"));
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let c = truth().counts();
+        assert_eq!(c.confirmed, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.intentional, 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end checks that generated workloads reproduce their profile's
+//! published statistics when analysed by the full ValueCheck pipeline.
+//!
+//! These run on scaled profiles for speed; the full-scale equivalents are
+//! exercised by the `tables` harness and the root integration tests.
+
+use std::collections::HashSet;
+
+use valuecheck::{
+    pipeline::{
+        run,
+        Options, //
+    },
+    prune::PruneReason,
+};
+use vc_ir::Program;
+use vc_workload::{
+    generate,
+    AppProfile,
+    PlantKind, //
+};
+
+fn check_app(profile: &AppProfile) {
+    let app = generate(profile);
+    let prog = Program::build(&app.source_refs(), &app.defines)
+        .unwrap_or_else(|e| panic!("{}: generated sources fail to build: {e}", profile.name));
+    vc_ir::validate::validate_program(&prog)
+        .unwrap_or_else(|e| panic!("{}: invalid IR: {e}", profile.name));
+
+    let analysis = run(&prog, &app.repo, &Options::paper());
+
+    assert_eq!(
+        analysis.cross_scope_candidates,
+        profile.original_candidates(),
+        "{}: cross-scope candidate count",
+        profile.name
+    );
+    assert_eq!(
+        analysis.pruned_by(PruneReason::ConfigDependency),
+        profile.prune_config,
+        "{}: config-dependency prunes",
+        profile.name
+    );
+    assert_eq!(
+        analysis.pruned_by(PruneReason::Cursor),
+        profile.prune_cursor,
+        "{}: cursor prunes",
+        profile.name
+    );
+    assert_eq!(
+        analysis.pruned_by(PruneReason::UnusedHint),
+        profile.prune_hints,
+        "{}: unused-hint prunes",
+        profile.name
+    );
+    assert_eq!(
+        analysis.pruned_by(PruneReason::PeerDefinition),
+        profile.prune_peer,
+        "{}: peer-definition prunes",
+        profile.name
+    );
+    assert_eq!(
+        analysis.detected(),
+        profile.detected(),
+        "{}: detected findings",
+        profile.name
+    );
+
+    // Every detected finding must be planted (no accidental candidates),
+    // and the confirmed count must match the profile.
+    let mut confirmed = 0;
+    for row in &analysis.report.rows {
+        match app.truth.lookup(&row.function).map(|p| &p.kind) {
+            Some(PlantKind::ConfirmedBug { .. }) => confirmed += 1,
+            Some(PlantKind::FalsePositive { .. }) => {}
+            other => panic!(
+                "{}: unexpected detection {} ({:?})",
+                profile.name, row.function, other
+            ),
+        }
+    }
+    assert_eq!(confirmed, profile.confirmed_bugs, "{}: confirmed", profile.name);
+
+    // No planted detection target was lost.
+    let detected: HashSet<&str> = analysis
+        .report
+        .rows
+        .iter()
+        .map(|r| r.function.as_str())
+        .collect();
+    for p in &app.truth.planted {
+        if matches!(
+            p.kind,
+            PlantKind::ConfirmedBug { .. } | PlantKind::FalsePositive { .. }
+        ) {
+            assert!(
+                detected.contains(p.func.as_str()),
+                "{}: planted detection {} was lost",
+                profile.name,
+                p.func
+            );
+        }
+    }
+}
+
+#[test]
+fn linux_profile_reproduces_its_statistics() {
+    check_app(&AppProfile::linux().scaled(0.2));
+}
+
+#[test]
+fn nfs_profile_reproduces_its_statistics() {
+    check_app(&AppProfile::nfs_ganesha().scaled(0.2));
+}
+
+#[test]
+fn mysql_profile_reproduces_its_statistics() {
+    check_app(&AppProfile::mysql().scaled(0.08));
+}
+
+#[test]
+fn openssl_profile_reproduces_its_statistics() {
+    check_app(&AppProfile::openssl().scaled(0.2));
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let p = AppProfile::linux().scaled(0.1);
+    let a = generate(&p);
+    let b = generate(&p);
+    assert_eq!(a.sources, b.sources);
+    assert_eq!(a.loc(), b.loc());
+    assert_eq!(a.truth.planted.len(), b.truth.planted.len());
+}
+
+#[test]
+fn snapshots_exist_and_differ_from_head() {
+    let app = generate(&AppProfile::openssl().scaled(0.15));
+    let s2019 = app.snapshot_2019.expect("2019 snapshot");
+    let s2021 = app.snapshot_2021.expect("2021 snapshot");
+    assert!(s2019 < s2021);
+    let old = app.repo.snapshot_at(s2019);
+    assert!(!old.is_empty());
+    // Prelim functions carry their unused definitions in the 2019 tree and
+    // lose them by the head.
+    let prelim = app
+        .truth
+        .planted
+        .iter()
+        .find(|p| matches!(p.kind, PlantKind::PrelimRemoved { .. }))
+        .expect("profile plants prelim items");
+    let old_content = old.get(&prelim.file).expect("prelim file in 2019 tree");
+    let head_content = app
+        .repo
+        .file_content(&prelim.file)
+        .expect("prelim file at head");
+    assert_ne!(old_content.trim_end(), head_content.trim_end());
+}
+
+#[test]
+fn prelim_bugs_detectable_in_2019_snapshot() {
+    // Analyse the 2019 checkout: planted cross-scope prelim bugs must be
+    // found, except those hidden inside peer-ignorable groups (§8.3.2).
+    let app = generate(&AppProfile::mysql().scaled(0.08));
+    let s2019 = app.snapshot_2019.expect("2019 snapshot");
+    let old_repo = app.repo.checkout(s2019);
+    let tree = app.repo.snapshot_at(s2019);
+    let mut sources: Vec<(&str, &str)> = tree
+        .iter()
+        .map(|(p, c)| (p.as_str(), c.as_str()))
+        .collect();
+    sources.sort_by_key(|(p, _)| p.to_string());
+    let prog = Program::build(&sources, &app.defines).unwrap();
+    let analysis = run(&prog, &old_repo, &Options::paper());
+    let detected: HashSet<&str> = analysis
+        .report
+        .rows
+        .iter()
+        .map(|r| r.function.as_str())
+        .collect();
+
+    let mut cross_total = 0;
+    let mut found = 0;
+    let mut peer_missed_found = 0;
+    for p in &app.truth.planted {
+        if let PlantKind::PrelimRemoved {
+            cross_scope: true,
+            peer_missed,
+            ..
+        } = p.kind
+        {
+            cross_total += 1;
+            if detected.contains(p.func.as_str()) {
+                found += 1;
+                if peer_missed {
+                    peer_missed_found += 1;
+                }
+            }
+        }
+    }
+    assert!(cross_total > 0);
+    assert_eq!(peer_missed_found, 0, "peer-pruned prelim bugs must be missed");
+    let missed = cross_total - found;
+    // Exactly the peer-planted items are missed.
+    assert_eq!(missed, app.profile.prelim_peer_missed, "recall misses");
+}

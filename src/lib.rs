@@ -1,0 +1,46 @@
+//! # valuecheck-repro — reproduction of *Effective Bug Detection with
+//! # Unused Definitions* (EuroSys '24)
+//!
+//! This facade crate re-exports the workspace members and hosts the runnable
+//! examples and cross-crate integration tests:
+//!
+//! - [`vc_ir`] — MiniC frontend and load/store IR (the LLVM substitute);
+//! - [`vc_dataflow`] — worklist dataflow framework and liveness;
+//! - [`vc_pointer`] — field-sensitive Andersen's analysis (the SVF
+//!   substitute);
+//! - [`vc_vcs`] — in-memory version control with blame (the git substitute);
+//! - [`vc_familiarity`] — DOK/EA code-familiarity models;
+//! - [`valuecheck`] — the paper's contribution: cross-scope unused-definition
+//!   detection, pruning, and familiarity ranking;
+//! - [`vc_baselines`] — the Table 5 comparison tools;
+//! - [`vc_workload`] — calibrated synthetic applications with ground truth.
+//!
+//! # Examples
+//!
+//! ```
+//! use valuecheck::pipeline::{run, Options};
+//! use vc_ir::Program;
+//! use vc_vcs::{FileWrite, Repository};
+//!
+//! let src = "void f(void) {\nint x = 1;\nx = 2;\nuse(x);\n}\n";
+//! let prog = Program::build(&[("a.c", src)], &[]).unwrap();
+//! let mut repo = Repository::new();
+//! let alice = repo.add_author("alice");
+//! let bob = repo.add_author("bob");
+//! repo.commit(alice, 1, "init", vec![FileWrite { path: "a.c".into(), content: src.into() }]);
+//! repo.commit(bob, 2, "rework", vec![FileWrite {
+//!     path: "a.c".into(),
+//!     content: src.replace("x = 2;", "x = 2; "),
+//! }]);
+//! let analysis = run(&prog, &repo, &Options::paper());
+//! assert_eq!(analysis.detected(), 1);
+//! ```
+
+pub use valuecheck;
+pub use vc_baselines;
+pub use vc_dataflow;
+pub use vc_familiarity;
+pub use vc_ir;
+pub use vc_pointer;
+pub use vc_vcs;
+pub use vc_workload;

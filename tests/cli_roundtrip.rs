@@ -1,0 +1,84 @@
+//! Round-trip of the CLI data path: a generated workload exported to disk
+//! in `vcheck`'s project layout (sources + history.json), re-loaded through
+//! `valuecheck::project::load_dir`, and analysed — the findings must match
+//! the in-memory pipeline exactly.
+
+use std::fs;
+
+use valuecheck::{
+    pipeline::{
+        run,
+        Options, //
+    },
+    project::load_dir,
+};
+use vc_ir::Program;
+use vc_vcs::HistorySpec;
+use vc_workload::{
+    generate,
+    AppProfile, //
+};
+
+#[test]
+fn exported_project_reanalyzes_identically() {
+    let app = generate(&AppProfile::nfs_ganesha().scaled(0.12));
+
+    // In-memory analysis.
+    let prog = Program::build(&app.source_refs(), &app.defines).unwrap();
+    let mem = run(&prog, &app.repo, &Options::paper());
+
+    // Export to disk exactly as `genapp` does.
+    let dir = std::env::temp_dir().join(format!("vc_roundtrip_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    for (path, content) in &app.sources {
+        let full = dir.join(path);
+        fs::create_dir_all(full.parent().unwrap()).unwrap();
+        fs::write(&full, content).unwrap();
+    }
+    let spec = HistorySpec::from_repo(&app.repo);
+    fs::write(
+        dir.join("history.json"),
+        serde_json::to_string(&spec).unwrap(),
+    )
+    .unwrap();
+
+    // Re-load through the CLI path and re-analyse.
+    let project = load_dir(&dir).unwrap();
+    assert!(project.has_history);
+    assert_eq!(project.sources.len(), app.sources.len());
+    let prog2 = Program::build(&project.source_refs(), &app.defines).unwrap();
+    let disk = run(&prog2, &project.repo, &Options::paper());
+
+    let ids = |a: &valuecheck::Analysis| -> Vec<(String, String)> {
+        a.report
+            .rows
+            .iter()
+            .map(|r| (r.function.clone(), r.variable.clone()))
+            .collect()
+    };
+    assert_eq!(mem.raw_candidates, disk.raw_candidates);
+    assert_eq!(mem.cross_scope_candidates, disk.cross_scope_candidates);
+    assert_eq!(ids(&mem), ids(&disk));
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn history_spec_preserves_blame() {
+    let app = generate(&AppProfile::openssl().scaled(0.1));
+    let rebuilt = HistorySpec::from_repo(&app.repo).build();
+    // Spot-check blame equality over every file's first and last lines.
+    for path in app.repo.paths() {
+        let n = app.repo.line_count(path) as u32;
+        for line in [1, n.max(1)] {
+            let a = app
+                .repo
+                .blame(path, line)
+                .map(|b| app.repo.author(b.author).name.clone());
+            let b = rebuilt
+                .blame(path, line)
+                .map(|b| rebuilt.author(b.author).name.clone());
+            assert_eq!(a, b, "{path}:{line}");
+        }
+    }
+}
