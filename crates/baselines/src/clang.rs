@@ -55,12 +55,15 @@ struct VarStats {
 fn check_function(file: &str, f: &FuncDef, out: &mut Vec<Finding>) {
     let mut vars: HashMap<String, VarStats> = HashMap::new();
     for p in &f.params {
-        vars.insert(p.name.clone(), VarStats {
-            line: p.span.line(),
-            unused_attr: p.unused_attr,
-            is_param: true,
-            ..Default::default()
-        });
+        vars.insert(
+            p.name.clone(),
+            VarStats {
+                line: p.span.line(),
+                unused_attr: p.unused_attr,
+                is_param: true,
+                ..Default::default()
+            },
+        );
     }
     collect_block(&f.body, &mut vars);
 
@@ -102,11 +105,14 @@ fn collect_stmt(s: &Stmt, vars: &mut HashMap<String, VarStats>) {
             unused_attr,
             ..
         } => {
-            vars.insert(name.clone(), VarStats {
-                line: s.span.line(),
-                unused_attr: *unused_attr,
-                ..Default::default()
-            });
+            vars.insert(
+                name.clone(),
+                VarStats {
+                    line: s.span.line(),
+                    unused_attr: *unused_attr,
+                    ..Default::default()
+                },
+            );
             if let Some(e) = init {
                 collect_expr(e, true, vars);
             }

@@ -43,10 +43,7 @@ use crate::finding::{
 /// `suppress` holds identities `(function, variable, line)` of findings the
 /// project already addressed in the past (the tool was run before, §8.4.4);
 /// those are not re-reported.
-pub fn coverity_unused(
-    prog: &Program,
-    suppress: &HashSet<(String, String, u32)>,
-) -> Vec<Finding> {
+pub fn coverity_unused(prog: &Program, suppress: &HashSet<(String, String, u32)>) -> Vec<Finding> {
     // Return-value usage ratios for the unchecked-return inference.
     let call_index = prog.call_index();
     let mut ignored_stores: HashMap<String, usize> = HashMap::new();

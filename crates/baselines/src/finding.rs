@@ -1,9 +1,7 @@
 //! Common finding type shared by all baseline tools.
 
-use serde::Serialize;
-
 /// Which baseline produced a finding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Tool {
     /// Clang `-Wunused`-style AST walking.
     Clang,
@@ -28,7 +26,7 @@ impl Tool {
 }
 
 /// One warning from a baseline tool.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Finding {
     /// The reporting tool.
     pub tool: Tool,

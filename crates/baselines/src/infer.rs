@@ -101,10 +101,8 @@ mod tests {
 
     #[test]
     fn misses_field_dead_store() {
-        let f = run(
-            "struct s { int a; int b; };\n\
-             void f(void) { struct s v; v.a = 1; v.a = 2; use(v.a); use(v.b); }",
-        );
+        let f = run("struct s { int a; int b; };\n\
+             void f(void) { struct s v; v.a = 1; v.a = 2; use(v.a); use(v.b); }");
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -89,19 +89,15 @@ fn check_function(
         match &s.kind {
             StmtKind::Decl {
                 name,
-                init: Some(Expr {
-                    kind: ExprKind::Call { callee, .. },
-                    ..
-                }),
+                init:
+                    Some(Expr {
+                        kind: ExprKind::Call { callee, .. },
+                        ..
+                    }),
                 ..
             } => assigned_from_call.push((name.clone(), s.span.line(), callee.clone())),
             StmtKind::Expr(Expr {
-                kind:
-                    ExprKind::Assign {
-                        op: None,
-                        lhs,
-                        rhs,
-                    },
+                kind: ExprKind::Assign { op: None, lhs, rhs },
                 ..
             }) => {
                 if let (ExprKind::Var(v), ExprKind::Call { callee, .. }) = (&lhs.kind, &rhs.kind) {
@@ -186,10 +182,9 @@ fn walk_stmts(b: &Block, f: &mut impl FnMut(&Stmt)) {
 fn count_reads(s: &Stmt, reads: &mut HashMap<String, usize>) {
     fn expr(e: &Expr, read_pos: bool, reads: &mut HashMap<String, usize>) {
         match &e.kind {
-            ExprKind::Var(n)
-                if read_pos => {
-                    *reads.entry(n.clone()).or_default() += 1;
-                }
+            ExprKind::Var(n) if read_pos => {
+                *reads.entry(n.clone()).or_default() += 1;
+            }
             ExprKind::Assign { op, lhs, rhs } => {
                 expr(lhs, op.is_some(), reads);
                 expr(rhs, true, reads);
@@ -222,9 +217,9 @@ fn count_reads(s: &Stmt, reads: &mut HashMap<String, usize>) {
         }
     }
     match &s.kind {
-        StmtKind::Decl { init: Some(e), .. }
-        | StmtKind::Expr(e)
-        | StmtKind::Return(Some(e)) => expr(e, true, reads),
+        StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) | StmtKind::Return(Some(e)) => {
+            expr(e, true, reads)
+        }
         StmtKind::If { cond, .. } => expr(cond, true, reads),
         StmtKind::While { cond, .. } | StmtKind::DoWhile { cond, .. } => expr(cond, true, reads),
         StmtKind::Switch { scrutinee, .. } => expr(scrutinee, true, reads),
@@ -277,9 +272,9 @@ fn for_each_call(s: &Stmt, f: &mut impl FnMut(&str)) {
         }
     }
     match &s.kind {
-        StmtKind::Decl { init: Some(e), .. }
-        | StmtKind::Expr(e)
-        | StmtKind::Return(Some(e)) => expr(e, f),
+        StmtKind::Decl { init: Some(e), .. } | StmtKind::Expr(e) | StmtKind::Return(Some(e)) => {
+            expr(e, f)
+        }
         StmtKind::If { cond, .. } => expr(cond, f),
         StmtKind::While { cond, .. } | StmtKind::DoWhile { cond, .. } => expr(cond, f),
         StmtKind::Switch { scrutinee, .. } => expr(scrutinee, f),
@@ -320,9 +315,8 @@ mod tests {
     fn figure_8_pattern_is_missed() {
         // `ret` is read in `if (ret)`: the syntactic check stays silent on
         // the dead first assignment — the paper's Fig. 8.
-        let f = run(
-            "void f(void) { int ret = get_permset(); ret = calc_mask(); if (ret) { h(); } }",
-        );
+        let f =
+            run("void f(void) { int ret = get_permset(); ret = calc_mask(); if (ret) { h(); } }");
         assert!(f.iter().all(|x| x.kind != "unused-return"), "{f:?}");
     }
 

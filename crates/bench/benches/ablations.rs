@@ -6,13 +6,10 @@
 //! - pruning-pipeline order sensitivity (Fig. 2 applies Config → Cursor →
 //!   Hints → Peer);
 //! - the peer-definition thresholds (">10 occurrences", ">50% unused").
+//!
+//! Run with `cargo bench -p vc-bench --bench ablations`; results print as
+//! a table and land in `BENCH_ablations.json`.
 
-use criterion::{
-    criterion_group,
-    criterion_main,
-    BenchmarkId,
-    Criterion, //
-};
 use valuecheck::{
     authorship::AuthorshipCtx,
     detect::{
@@ -25,6 +22,7 @@ use valuecheck::{
         PruneConfig, //
     },
 };
+use vc_bench::harness::Harness;
 use vc_ir::Program;
 use vc_pointer::{
     Config as PtConfig,
@@ -35,43 +33,44 @@ use vc_workload::{
     AppProfile, //
 };
 
-fn pointer_field_sensitivity(c: &mut Criterion) {
+fn pointer_field_sensitivity(h: &mut Harness) {
     let app = generate(&AppProfile::mysql().scaled(0.05));
     let sources = app.source_refs();
     let prog = Program::build(&sources, &app.defines).expect("workload builds");
-    let mut group = c.benchmark_group("andersen_field_sensitivity");
-    group.sample_size(20);
+    h.group("andersen_field_sensitivity").sample_size(20);
     for (label, fs) in [("field_sensitive", true), ("field_insensitive", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &fs, |b, &fs| {
-            b.iter(|| {
-                PointsTo::solve_with(&prog, PtConfig { field_sensitive: fs }).fact_count()
-            });
+        h.bench(label, || {
+            PointsTo::solve_with(
+                &prog,
+                PtConfig {
+                    field_sensitive: fs,
+                },
+            )
+            .fact_count()
         });
     }
-    group.finish();
 }
 
-fn detection_alias_ablation(c: &mut Criterion) {
+fn detection_alias_ablation(h: &mut Harness) {
     let app = generate(&AppProfile::openssl().scaled(0.1));
     let sources = app.source_refs();
     let prog = Program::build(&sources, &app.defines).expect("workload builds");
-    let mut group = c.benchmark_group("detection_alias_analysis");
-    group.sample_size(20);
+    h.group("detection_alias_analysis").sample_size(20);
     for (label, alias) in [("with_alias", true), ("without_alias", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &alias, |b, &alias| {
-            b.iter(|| {
-                detect_program(&prog, DetectConfig {
+        h.bench(label, || {
+            detect_program(
+                &prog,
+                DetectConfig {
                     use_alias_analysis: alias,
                     field_sensitive_pointers: true,
-                })
-                .len()
-            });
+                },
+            )
+            .len()
         });
     }
-    group.finish();
 }
 
-fn peer_thresholds(c: &mut Criterion) {
+fn peer_thresholds(h: &mut Harness) {
     let app = generate(&AppProfile::nfs_ganesha().scaled(0.3));
     let sources = app.source_refs();
     let prog = Program::build(&sources, &app.defines).expect("workload builds");
@@ -84,25 +83,19 @@ fn peer_thresholds(c: &mut Criterion) {
         .collect();
     let peers = PeerStats::compute(&prog);
 
-    let mut group = c.benchmark_group("peer_threshold_sweep");
-    group.sample_size(20);
+    h.group("peer_threshold_sweep").sample_size(20);
     for min_occ in [2usize, 5, 10, 20] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(min_occ),
-            &min_occ,
-            |b, &min_occ| {
-                let config = PruneConfig {
-                    peer_min_occurrences: min_occ,
-                    ..PruneConfig::default()
-                };
-                b.iter(|| prune(&prog, &config, &peers, attributed.clone()).kept.len());
-            },
-        );
+        let config = PruneConfig {
+            peer_min_occurrences: min_occ,
+            ..PruneConfig::default()
+        };
+        h.bench(&min_occ.to_string(), || {
+            prune(&prog, &config, &peers, attributed.clone()).kept.len()
+        });
     }
-    group.finish();
 }
 
-fn prune_order(c: &mut Criterion) {
+fn prune_order(h: &mut Harness) {
     // The pipeline order affects attribution, not the surviving set; this
     // bench measures the cost of each single-pruner configuration.
     let app = generate(&AppProfile::linux().scaled(0.2));
@@ -124,14 +117,12 @@ fn prune_order(c: &mut Criterion) {
         ("only_hints", only(|c| c.unused_hints = true)),
         ("only_peer", only(|c| c.peer_definitions = true)),
     ];
-    let mut group = c.benchmark_group("prune_single_pattern");
-    group.sample_size(20);
+    h.group("prune_single_pattern").sample_size(20);
     for (label, config) in configs {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
-            b.iter(|| prune(&prog, config, &peers, attributed.clone()).kept.len());
+        h.bench(label, || {
+            prune(&prog, &config, &peers, attributed.clone()).kept.len()
         });
     }
-    group.finish();
 }
 
 fn only(enable: impl Fn(&mut PruneConfig)) -> PruneConfig {
@@ -146,11 +137,11 @@ fn only(enable: impl Fn(&mut PruneConfig)) -> PruneConfig {
     c
 }
 
-criterion_group!(
-    benches,
-    pointer_field_sensitivity,
-    detection_alias_ablation,
-    peer_thresholds,
-    prune_order
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("ablations");
+    pointer_field_sensitivity(&mut h);
+    detection_alias_ablation(&mut h);
+    peer_thresholds(&mut h);
+    prune_order(&mut h);
+    h.finish();
+}

@@ -1,12 +1,10 @@
 //! Per-stage costs of the pipeline on one workload: parsing+lowering,
 //! liveness, pointer analysis, detection, authorship, pruning, ranking.
 //! Backs the Table 7 discussion of where the time goes.
+//!
+//! Run with `cargo bench -p vc-bench --bench analysis_stages`; results
+//! print as a table and land in `BENCH_analysis_stages.json`.
 
-use criterion::{
-    criterion_group,
-    criterion_main,
-    Criterion, //
-};
 use valuecheck::{
     authorship::AuthorshipCtx,
     detect::{
@@ -23,6 +21,7 @@ use valuecheck::{
         RankConfig, //
     },
 };
+use vc_bench::harness::Harness;
 use vc_dataflow::liveness::live_variables;
 use vc_ir::{
     cfg::Cfg,
@@ -34,44 +33,38 @@ use vc_workload::{
     AppProfile, //
 };
 
-fn stages(c: &mut Criterion) {
+fn main() {
     let profile = AppProfile::openssl().scaled(0.15);
     let app = generate(&profile);
     let sources = app.source_refs();
     let prog = Program::build(&sources, &app.defines).expect("workload builds");
 
-    let mut group = c.benchmark_group("analysis_stages");
-    group.sample_size(20);
+    let mut h = Harness::new("analysis_stages");
+    h.group("analysis_stages").sample_size(20);
 
-    group.bench_function("parse_and_lower", |b| {
-        b.iter(|| Program::build(&sources, &app.defines).expect("builds"));
+    h.bench("parse_and_lower", || {
+        Program::build(&sources, &app.defines).expect("builds")
     });
 
-    group.bench_function("liveness_all_functions", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for f in &prog.funcs {
-                let cfg = Cfg::new(f);
-                total += live_variables(f, &cfg).iterations;
-            }
-            total
-        });
+    h.bench("liveness_all_functions", || {
+        let mut total = 0usize;
+        for f in &prog.funcs {
+            let cfg = Cfg::new(f);
+            total += live_variables(f, &cfg).iterations;
+        }
+        total
     });
 
-    group.bench_function("pointer_analysis", |b| {
-        b.iter(|| PointsTo::solve(&prog).fact_count());
-    });
+    h.bench("pointer_analysis", || PointsTo::solve(&prog).fact_count());
 
-    group.bench_function("detection", |b| {
-        b.iter(|| detect_program(&prog, DetectConfig::default()).len());
+    h.bench("detection", || {
+        detect_program(&prog, DetectConfig::default()).len()
     });
 
     let candidates = detect_program(&prog, DetectConfig::default());
-    group.bench_function("authorship_lookup", |b| {
-        b.iter(|| {
-            let ctx = AuthorshipCtx::new(&prog, &app.repo);
-            ctx.attribute_all(&candidates).len()
-        });
+    h.bench("authorship_lookup", || {
+        let ctx = AuthorshipCtx::new(&prog, &app.repo);
+        ctx.attribute_all(&candidates).len()
     });
 
     let ctx = AuthorshipCtx::new(&prog, &app.repo);
@@ -80,23 +73,18 @@ fn stages(c: &mut Criterion) {
         .into_iter()
         .filter(|a| a.cross_scope)
         .collect();
-    group.bench_function("pruning", |b| {
-        b.iter(|| {
-            let peers = PeerStats::compute(&prog);
-            prune(&prog, &PruneConfig::default(), &peers, attributed.clone())
-                .kept
-                .len()
-        });
+    h.bench("pruning", || {
+        let peers = PeerStats::compute(&prog);
+        prune(&prog, &PruneConfig::default(), &peers, attributed.clone())
+            .kept
+            .len()
     });
 
     let peers = PeerStats::compute(&prog);
     let kept = prune(&prog, &PruneConfig::default(), &peers, attributed).kept;
-    group.bench_function("familiarity_ranking", |b| {
-        b.iter(|| rank(&prog, &app.repo, &RankConfig::default(), kept.clone()).len());
+    h.bench("familiarity_ranking", || {
+        rank(&prog, &app.repo, &RankConfig::default(), kept.clone()).len()
     });
 
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, stages);
-criterion_main!(benches);

@@ -1,12 +1,9 @@
-//! Table 7 as a Criterion bench: whole-application analysis time and
-//! per-commit incremental time, per application profile.
+//! Table 7 as a bench: whole-application analysis time and per-commit
+//! incremental time, per application profile.
+//!
+//! Run with `cargo bench -p vc-bench --bench table7_scalability`; results
+//! print as a table and land in `BENCH_table7_scalability.json`.
 
-use criterion::{
-    criterion_group,
-    criterion_main,
-    BenchmarkId,
-    Criterion, //
-};
 use valuecheck::{
     incremental::analyze_commit,
     pipeline::{
@@ -16,60 +13,44 @@ use valuecheck::{
     prune::PruneConfig,
     rank::RankConfig,
 };
+use vc_bench::harness::Harness;
 use vc_ir::Program;
 use vc_workload::{
     generate,
     AppProfile, //
 };
 
-/// Bench scale: small enough for Criterion's repeated sampling.
+/// Bench scale: small enough for repeated sampling.
 const SCALE: f64 = 0.1;
 
-fn full_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table7_full_analysis");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("table7_scalability");
+
+    h.group("table7_full_analysis").sample_size(10);
     for profile in AppProfile::all() {
         let profile = profile.scaled(SCALE);
         let app = generate(&profile);
         let sources = app.source_refs();
         let prog = Program::build(&sources, &app.defines).expect("workload builds");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&profile.name),
-            &(),
-            |b, _| {
-                b.iter(|| run(&prog, &app.repo, &Options::paper()));
-            },
-        );
+        h.bench(&profile.name, || run(&prog, &app.repo, &Options::paper()));
     }
-    group.finish();
-}
 
-fn incremental_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table7_incremental");
-    group.sample_size(10);
+    h.group("table7_incremental").sample_size(10);
     for profile in AppProfile::all() {
         let profile = profile.scaled(SCALE);
         let app = generate(&profile);
         let head = app.repo.head().expect("non-empty history");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&profile.name),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    analyze_commit(
-                        &app.repo,
-                        head,
-                        &app.defines,
-                        &PruneConfig::default(),
-                        &RankConfig::default(),
-                    )
-                    .expect("incremental analysis succeeds")
-                });
-            },
-        );
+        h.bench(&profile.name, || {
+            analyze_commit(
+                &app.repo,
+                head,
+                &app.defines,
+                &PruneConfig::default(),
+                &RankConfig::default(),
+            )
+            .expect("incremental analysis succeeds")
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, full_analysis, incremental_analysis);
-criterion_main!(benches);
+    h.finish();
+}

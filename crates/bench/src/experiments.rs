@@ -231,7 +231,10 @@ pub fn table4(runs: &[AppRun]) -> Output {
     );
     Output {
         text,
-        csv: vec![("table_4_prune_rates.csv".into(), render_csv(&headers, &rows))],
+        csv: vec![(
+            "table_4_prune_rates.csv".into(),
+            render_csv(&headers, &rows),
+        )],
     }
 }
 
@@ -291,7 +294,8 @@ pub fn table5(runs: &[AppRun]) -> Output {
             let infer = infer_unused(&sub);
             let (f, real) = count_real(r, infer.iter().map(|x| x.function.as_str()));
             per_tool[1].1.push(cell(f, real));
-            *totals.entry("Infer").or_default() = add(*totals.entry("Infer").or_default(), (f, real));
+            *totals.entry("Infer").or_default() =
+                add(*totals.entry("Infer").or_default(), (f, real));
         } else {
             per_tool[1].1.push("-*".into());
         }
@@ -391,17 +395,23 @@ fn count_real<'a>(r: &AppRun, funcs: impl Iterator<Item = &'a str>) -> (usize, u
 pub fn table6(runs: &[AppRun]) -> Output {
     let configs: Vec<(&str, Options)> = vec![
         ("ValueCheck", Options::paper()),
-        ("w/o Authorship", Options {
-            cross_scope_only: false,
-            ..Options::paper()
-        }),
-        ("w/o Familiarity", Options {
-            rank: RankConfig {
-                enabled: false,
-                ..RankConfig::default()
+        (
+            "w/o Authorship",
+            Options {
+                cross_scope_only: false,
+                ..Options::paper()
             },
-            ..Options::paper()
-        }),
+        ),
+        (
+            "w/o Familiarity",
+            Options {
+                rank: RankConfig {
+                    enabled: false,
+                    ..RankConfig::default()
+                },
+                ..Options::paper()
+            },
+        ),
         ("w/o AC", mask_options("ac")),
         ("w/o DL", mask_options("dl")),
         ("w/o FA", mask_options("fa")),
@@ -482,10 +492,8 @@ pub fn table7(runs: &[AppRun]) -> Output {
         let mut programs = Vec::new();
         for &c in &recent {
             let tree = r.app.repo.snapshot_at(c);
-            let mut sources: Vec<(&str, &str)> = tree
-                .iter()
-                .map(|(p, s)| (p.as_str(), s.as_str()))
-                .collect();
+            let mut sources: Vec<(&str, &str)> =
+                tree.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
             sources.sort_by_key(|(p, _)| p.to_string());
             programs.push(Program::build(&sources, &r.app.defines).expect("snapshot builds"));
         }
@@ -576,13 +584,32 @@ pub fn figure7(runs: &[AppRun]) -> Output {
     }
     let mut rows = Vec::new();
     for (c, n) in &components {
-        rows.push(vec!["component".into(), c.clone(), n.to_string(), pct(*n, total)]);
+        rows.push(vec![
+            "component".into(),
+            c.clone(),
+            n.to_string(),
+            pct(*n, total),
+        ]);
     }
     for (s, n) in &severities {
-        rows.push(vec!["severity".into(), s.to_string(), n.to_string(), pct(*n, total)]);
+        rows.push(vec![
+            "severity".into(),
+            s.to_string(),
+            n.to_string(),
+            pct(*n, total),
+        ]);
     }
-    for (label, n) in [("<100d", ages[0]), ("100-1000d", ages[1]), (">1000d", ages[2])] {
-        rows.push(vec!["age".into(), label.into(), n.to_string(), pct(n, total)]);
+    for (label, n) in [
+        ("<100d", ages[0]),
+        ("100-1000d", ages[1]),
+        (">1000d", ages[2]),
+    ] {
+        rows.push(vec![
+            "age".into(),
+            label.into(),
+            n.to_string(),
+            pct(n, total),
+        ]);
     }
     let headers = ["Facet", "Bucket", "Count", "Share"];
     let text = format!(
@@ -800,7 +827,10 @@ pub fn prelim_and_recall(runs: &[AppRun]) -> Output {
         render_table(&recall_headers, &recall_rows)
     );
     let mut csv_rows = rows;
-    csv_rows.push(vec![format!("sampled={}", picks.len()), format!("bugfix={bugfix};cross={cross}")]);
+    csv_rows.push(vec![
+        format!("sampled={}", picks.len()),
+        format!("bugfix={bugfix};cross={cross}"),
+    ]);
     Output {
         text,
         csv: vec![
@@ -851,10 +881,26 @@ pub fn dok_calibration(runs: &[AppRun]) -> Output {
     let fitted = fit_dok(&samples);
     let rows = match &fitted {
         Ok(model) => vec![
-            vec!["alpha0".into(), "3.1".into(), format!("{:.2}", model.alpha0)],
-            vec!["alpha_FA".into(), "1.2".into(), format!("{:.2}", model.alpha_fa)],
-            vec!["alpha_DL".into(), "0.2".into(), format!("{:.2}", model.alpha_dl)],
-            vec!["alpha_AC".into(), "0.5".into(), format!("{:.2}", model.alpha_ac)],
+            vec![
+                "alpha0".into(),
+                "3.1".into(),
+                format!("{:.2}", model.alpha0),
+            ],
+            vec![
+                "alpha_FA".into(),
+                "1.2".into(),
+                format!("{:.2}", model.alpha_fa),
+            ],
+            vec![
+                "alpha_DL".into(),
+                "0.2".into(),
+                format!("{:.2}", model.alpha_dl),
+            ],
+            vec![
+                "alpha_AC".into(),
+                "0.5".into(),
+                format!("{:.2}", model.alpha_ac),
+            ],
         ],
         Err(e) => vec![vec!["error".into(), e.to_string(), String::new()]],
     };
@@ -881,10 +927,14 @@ pub fn ea_alternative(runs: &[AppRun]) -> Output {
     let mut totals = (0usize, 0usize);
     for r in runs {
         let dok_top = r.confirmed_in_top(20);
-        let ea_analysis = run(&r.prog, &r.app.repo, &Options {
-            rank: RankConfig::ea(),
-            ..Options::paper()
-        });
+        let ea_analysis = run(
+            &r.prog,
+            &r.app.repo,
+            &Options {
+                rank: RankConfig::ea(),
+                ..Options::paper()
+            },
+        );
         let ea_top = ea_analysis
             .report
             .rows
@@ -916,10 +966,8 @@ pub fn ea_alternative(runs: &[AppRun]) -> Output {
 }
 
 fn build_tree(tree: &std::collections::HashMap<String, String>, defines: &[String]) -> Program {
-    let mut sources: Vec<(&str, &str)> = tree
-        .iter()
-        .map(|(p, c)| (p.as_str(), c.as_str()))
-        .collect();
+    let mut sources: Vec<(&str, &str)> =
+        tree.iter().map(|(p, c)| (p.as_str(), c.as_str())).collect();
     sources.sort_by_key(|(p, _)| p.to_string());
     Program::build(&sources, defines).expect("snapshot builds")
 }

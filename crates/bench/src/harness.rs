@@ -1,0 +1,203 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The bench files under `benches/` are plain `harness = false` binaries:
+//! each builds a [`Harness`], registers closures with [`Harness::bench`],
+//! and calls [`Harness::finish`], which prints a summary table and writes
+//! `BENCH_<name>.json` (via the in-tree JSON writer) next to the working
+//! directory for machine consumption.
+//!
+//! Measurement model: a few warmup calls, then `sample_size` timed calls,
+//! each through [`std::hint::black_box`] so results are not optimised away.
+//! Reported statistics are min / median / mean / p95 / max in nanoseconds.
+
+use std::{
+    hint::black_box,
+    time::Instant, //
+};
+
+use vc_obs::Json;
+
+/// Per-case timings and derived statistics.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// `group/name` label for the case.
+    pub name: String,
+    /// One wall-clock duration per timed call, nanoseconds, sorted.
+    pub samples_ns: Vec<u64>,
+}
+
+impl CaseResult {
+    fn min(&self) -> u64 {
+        self.samples_ns.first().copied().unwrap_or(0)
+    }
+
+    fn max(&self) -> u64 {
+        self.samples_ns.last().copied().unwrap_or(0)
+    }
+
+    fn mean(&self) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        (self.samples_ns.iter().sum::<u64>() as f64 / self.samples_ns.len() as f64) as u64
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        let rank = (p * (self.samples_ns.len() - 1) as f64).round() as usize;
+        self.samples_ns[rank.min(self.samples_ns.len() - 1)]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("samples".into(), Json::Int(self.samples_ns.len() as i64)),
+            ("min_ns".into(), Json::Int(self.min() as i64)),
+            ("median_ns".into(), Json::Int(self.percentile(0.5) as i64)),
+            ("mean_ns".into(), Json::Int(self.mean() as i64)),
+            ("p95_ns".into(), Json::Int(self.percentile(0.95) as i64)),
+            ("max_ns".into(), Json::Int(self.max() as i64)),
+        ])
+    }
+}
+
+/// Collects benchmark cases and renders the report.
+pub struct Harness {
+    name: String,
+    group: String,
+    sample_size: usize,
+    warmup: usize,
+    results: Vec<CaseResult>,
+}
+
+impl Harness {
+    /// A harness named after the bench binary; the name also names the
+    /// output file `BENCH_<name>.json`.
+    pub fn new(name: &str) -> Harness {
+        Harness {
+            name: name.to_string(),
+            group: String::new(),
+            sample_size: 20,
+            warmup: 2,
+            results: Vec::new(),
+        }
+    }
+
+    /// Starts a new logical group; subsequent cases are labelled
+    /// `group/name`.
+    pub fn group(&mut self, group: &str) -> &mut Harness {
+        self.group = group.to_string();
+        self
+    }
+
+    /// Timed calls per case (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Harness {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and records the case.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &mut Harness {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        samples.sort_unstable();
+        let label = if self.group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.group)
+        };
+        eprintln!("bench {label}: {}", render_ns(samples[samples.len() / 2]));
+        self.results.push(CaseResult {
+            name: label,
+            samples_ns: samples,
+        });
+        self
+    }
+
+    /// Prints the summary table and writes `BENCH_<name>.json`.
+    pub fn finish(&mut self) {
+        println!(
+            "\n{:<44} {:>12} {:>12} {:>12}",
+            "benchmark", "median", "mean", "p95"
+        );
+        for r in &self.results {
+            println!(
+                "{:<44} {:>12} {:>12} {:>12}",
+                r.name,
+                render_ns(r.percentile(0.5)),
+                render_ns(r.mean()),
+                render_ns(r.percentile(0.95)),
+            );
+        }
+        let json = Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "benches".into(),
+                Json::Arr(self.results.iter().map(CaseResult::to_json).collect()),
+            ),
+        ]);
+        let path = format!("BENCH_{}.json", self.name);
+        match std::fs::write(&path, json.to_string_pretty()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+/// `1234567` → `"1.235ms"`, keeping the table readable across scales.
+fn render_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let r = CaseResult {
+            name: "t".into(),
+            samples_ns: (1..=100).collect(),
+        };
+        assert_eq!(r.min(), 1);
+        assert_eq!(r.max(), 100);
+        assert_eq!(r.percentile(0.5), 51);
+        assert_eq!(r.percentile(0.95), 95);
+        assert_eq!(r.mean(), 50);
+    }
+
+    #[test]
+    fn bench_records_labels_and_sample_counts() {
+        let mut h = Harness::new("unit");
+        h.group("g").sample_size(3).bench("case", || 1 + 1);
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].name, "g/case");
+        assert_eq!(h.results[0].samples_ns.len(), 3);
+        assert!(h.results[0].samples_ns.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn render_scales_units() {
+        assert_eq!(render_ns(999), "999ns");
+        assert_eq!(render_ns(1_500), "1.500us");
+        assert_eq!(render_ns(2_000_000), "2.000ms");
+        assert_eq!(render_ns(3_500_000_000), "3.500s");
+    }
+}

@@ -6,6 +6,7 @@
 //! binary renders them as text plus CSV files under `result/`.
 
 pub mod experiments;
+pub mod harness;
 pub mod runs;
 
 pub use runs::{

@@ -172,10 +172,10 @@ mod tests {
 
     #[test]
     fn table_rendering_aligns_columns() {
-        let t = render_table(&["a", "bb"], &[
-            vec!["1".into(), "2".into()],
-            vec!["333".into(), "4".into()],
-        ]);
+        let t = render_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("a"));

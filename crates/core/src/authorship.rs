@@ -16,7 +16,6 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
 use vc_ir::{
     program::CallSite,
     Program,
@@ -33,7 +32,7 @@ use crate::candidate::{
 };
 
 /// A candidate with its authorship facts resolved.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Attributed {
     /// The underlying candidate.
     pub candidate: Candidate,
@@ -267,7 +266,8 @@ mod tests {
     fn mixed_branch_overwriters_require_all_different() {
         // One overwriter by alice (same author), one by bob: NOT cross-scope
         // because not all overwriters differ.
-        let src = "void f(int c) {\nint x = 1;\nif (c) {\nx = 2;\n} else {\nx = 3;\n}\nuse(x);\n}\n";
+        let src =
+            "void f(int c) {\nint x = 1;\nif (c) {\nx = 2;\n} else {\nx = 3;\n}\nuse(x);\n}\n";
         let (prog, repo) = setup(src, &["alice", "bob"], &[(4, 1)]);
         let a = attributed(&prog, &repo);
         assert_eq!(a.len(), 1);
@@ -292,7 +292,8 @@ mod tests {
 
     #[test]
     fn retval_from_same_author_function_is_not_cross_scope() {
-        let src = "int mine(void) {\nreturn 4;\n}\nvoid f(void) {\nint r = mine();\nr = 2;\nuse(r);\n}\n";
+        let src =
+            "int mine(void) {\nreturn 4;\n}\nvoid f(void) {\nint r = mine();\nr = 2;\nuse(r);\n}\n";
         let (prog, repo) = setup(src, &["alice"], &[]);
         let a = attributed(&prog, &repo);
         let r = a.iter().find(|x| x.candidate.var_name == "r").unwrap();
@@ -302,7 +303,8 @@ mod tests {
     #[test]
     fn retval_from_other_author_function_is_cross_scope() {
         // The `return 4;` line (2) authored by bob.
-        let src = "int mine(void) {\nreturn 4;\n}\nvoid f(void) {\nint r = mine();\nr = 2;\nuse(r);\n}\n";
+        let src =
+            "int mine(void) {\nreturn 4;\n}\nvoid f(void) {\nint r = mine();\nr = 2;\nuse(r);\n}\n";
         let (prog, repo) = setup(src, &["alice", "bob"], &[(2, 1)]);
         let a = attributed(&prog, &repo);
         let r = a.iter().find(|x| x.candidate.var_name == "r").unwrap();
@@ -338,8 +340,11 @@ mod tests {
     #[test]
     fn unknown_blame_is_never_cross_scope() {
         // Empty repository: no blame data at all.
-        let prog = Program::build(&[("a.c", "void f(void) { int x = 1; x = 2; use(x); }")], &[])
-            .unwrap();
+        let prog = Program::build(
+            &[("a.c", "void f(void) { int x = 1; x = 2; use(x); }")],
+            &[],
+        )
+        .unwrap();
         let repo = Repository::new();
         let a = attributed(&prog, &repo);
         assert!(a.iter().all(|x| !x.cross_scope));

@@ -11,6 +11,11 @@
 //!   --no-prune           disable all pruning patterns
 //!   --top N              print only the N highest-priority findings
 //!   --json               emit findings as JSON instead of CSV
+//!   --stats              print a metrics summary (funnel, fixpoint counters,
+//!                        histograms) to stderr
+//!   --metrics-json FILE  write the full metrics snapshot as JSON
+//!   --trace FILE         write a Chrome trace_event file of the pipeline
+//!                        spans (open in chrome://tracing or Perfetto)
 //! ```
 //!
 //! Exit status: 0 with no findings, 1 with findings, 2 on usage/load errors.
@@ -19,7 +24,7 @@ use std::path::PathBuf;
 
 use valuecheck::{
     pipeline::{
-        run,
+        run_with_obs,
         Options, //
     },
     project::load_dir,
@@ -27,6 +32,7 @@ use valuecheck::{
     rank::RankConfig,
 };
 use vc_ir::Program;
+use vc_obs::ObsSession;
 
 fn main() {
     let mut dir: Option<PathBuf> = None;
@@ -34,12 +40,18 @@ fn main() {
     let mut opts = Options::paper();
     let mut top: Option<usize> = None;
     let mut json = false;
+    let mut stats = false;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--define" => {
-                defines.push(args.next().unwrap_or_else(|| die("--define needs a symbol")));
+                defines.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--define needs a symbol")),
+                );
             }
             "--all" => opts.cross_scope_only = false,
             "--no-rank" => {
@@ -65,10 +77,23 @@ fn main() {
                 );
             }
             "--json" => json = true,
+            "--stats" => stats = true,
+            "--metrics-json" => {
+                metrics_json = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics-json needs a path")),
+                ));
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--trace needs a path")),
+                ));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "Usage: vcheck <project-dir> [--define SYM]... [--all] [--no-rank] \
-                     [--no-prune] [--top N] [--json]"
+                     [--no-prune] [--top N] [--json] [--stats] [--metrics-json FILE] \
+                     [--trace FILE]"
                 );
                 return;
             }
@@ -90,7 +115,8 @@ fn main() {
     let prog = Program::build(&project.source_refs(), &defines)
         .unwrap_or_else(|e| die(&format!("build failed: {e}")));
 
-    let analysis = run(&prog, &project.repo, &opts);
+    let obs = ObsSession::new();
+    let analysis = run_with_obs(&prog, &project.repo, &opts, obs.clone());
     eprintln!(
         "vcheck: {} unused definitions, {} cross-scope, {} pruned, {} reported",
         analysis.raw_candidates,
@@ -104,12 +130,22 @@ fn main() {
         report.rows.truncate(n);
     }
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serializes")
-        );
+        println!("{}", report.to_json());
     } else {
         print!("{}", report.to_csv());
+    }
+
+    let snapshot = obs.registry.snapshot();
+    if stats {
+        eprint!("{}", snapshot.render_text());
+    }
+    if let Some(path) = metrics_json {
+        let text = snapshot.to_json().to_string_pretty();
+        std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+    if let Some(path) = trace {
+        let text = obs.tracer.to_chrome_json().to_string_pretty();
+        std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
     }
     std::process::exit(if report.rows.is_empty() { 0 } else { 1 });
 }

@@ -1,6 +1,5 @@
 //! Unused-definition candidates and their scenario classification.
 
-use serde::Serialize;
 use vc_ir::{
     FuncId,
     Span,
@@ -10,7 +9,7 @@ use vc_ir::{
 
 /// Which of the paper's three cross-scope scenarios (§3.1) a candidate
 /// belongs to.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Scenario {
     /// Scenario 1: an ignored or unused return value. `callees` lists the
     /// possible called functions (one for direct calls; the points-to set
@@ -32,7 +31,7 @@ pub enum Scenario {
 
 /// One unused definition found by the detector, before authorship filtering
 /// and pruning.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Candidate {
     /// The containing function.
     pub func: FuncId,

@@ -142,7 +142,10 @@ impl DataflowAnalysis for LiveDefAnalysis {
     fn join(&self, into: &mut LiveDefFact, from: &LiveDefFact) {
         into.live.union_with(&from.live);
         for (k, spans) in &from.defs {
-            into.defs.entry(*k).or_default().extend(spans.iter().copied());
+            into.defs
+                .entry(*k)
+                .or_default()
+                .extend(spans.iter().copied());
         }
     }
 
@@ -298,6 +301,7 @@ pub fn detect_program(prog: &Program, config: DetectConfig) -> Vec<Candidate> {
     });
     let alias = pts.as_ref().map(|p| AliasUses::compute(prog, p));
     let mut out = Vec::new();
+    vc_obs::counter_add("detect.functions", prog.funcs.len() as u64);
     for fi in 0..prog.funcs.len() {
         out.extend(detect_function(
             prog,
@@ -367,7 +371,9 @@ mod tests {
         let c = candidates("int log_write(char *msg);\nvoid f(void) { log_write(\"hi\"); }");
         assert_eq!(c.len(), 1);
         assert!(c[0].synthetic);
-        assert!(matches!(&c[0].scenario, Scenario::RetVal { callees } if callees == &vec!["log_write".to_string()]));
+        assert!(
+            matches!(&c[0].scenario, Scenario::RetVal { callees } if callees == &vec!["log_write".to_string()])
+        );
     }
 
     #[test]
@@ -427,7 +433,10 @@ mod tests {
              struct s mk(void);\n\
              void f(void) { struct s v; v.a = 1; v = mk(); use_s(v); }",
         );
-        let fa = c.iter().find(|c| c.var_name == "v#0").expect("field candidate");
+        let fa = c
+            .iter()
+            .find(|c| c.var_name == "v#0")
+            .expect("field candidate");
         assert_eq!(fa.overwriters.len(), 1);
     }
 

@@ -5,10 +5,20 @@
 //! cost under five seconds. This module does the same: given a commit, it
 //! rebuilds the program from the snapshot at that commit but runs detection
 //! only for functions defined in the files the commit touched.
+//!
+//! Replaying many commits rebuilds the same snapshots repeatedly (adjacent
+//! commits share most of their tree); [`SnapshotCache`] memoizes built
+//! [`Program`]s by a content hash, and every commit analysed through
+//! [`analyze_commit_cached`] records `incremental.cache.hits` /
+//! `incremental.cache.misses` into the installed observability session.
 
-use std::collections::{
-    BTreeSet,
-    HashSet, //
+use std::{
+    collections::{
+        BTreeSet,
+        HashMap,
+        HashSet, //
+    },
+    sync::Arc,
 };
 
 use vc_ir::{
@@ -54,6 +64,97 @@ pub struct CommitFindings {
     pub findings: Vec<Ranked>,
 }
 
+/// Memoizes built [`Program`]s by snapshot content, for commit replays.
+///
+/// Keys hash the sorted `(path, content)` pairs of the snapshot plus the
+/// preprocessor defines, so two commits with identical trees (e.g. a revert)
+/// share one build.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    programs: HashMap<u64, Arc<Program>>,
+}
+
+impl SnapshotCache {
+    /// An empty cache.
+    pub fn new() -> SnapshotCache {
+        SnapshotCache::default()
+    }
+
+    /// Number of distinct snapshots built so far.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// The program for `commit`'s snapshot, building it on first sight.
+    /// Records a cache hit or miss into the installed observability session.
+    pub fn program_at(
+        &mut self,
+        repo: &Repository,
+        commit: CommitId,
+        defines: &[String],
+    ) -> Result<Arc<Program>, BuildError> {
+        let tree = repo.snapshot_at(commit);
+        let mut sources: Vec<(&str, &str)> =
+            tree.iter().map(|(p, c)| (p.as_str(), c.as_str())).collect();
+        sources.sort_by_key(|(p, _)| p.to_string());
+        let key = snapshot_key(&sources, defines);
+        if let Some(prog) = self.programs.get(&key) {
+            vc_obs::counter_inc("incremental.cache.hits");
+            return Ok(prog.clone());
+        }
+        vc_obs::counter_inc("incremental.cache.misses");
+        let prog = Arc::new(Program::build(&sources, defines)?);
+        self.programs.insert(key, prog.clone());
+        Ok(prog)
+    }
+}
+
+/// FNV-1a over the snapshot contents and defines.
+fn snapshot_key(sources: &[(&str, &str)], defines: &[String]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0xFF; // Field separator, so ("ab","c") != ("a","bc").
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for (p, c) in sources {
+        eat(p.as_bytes());
+        eat(c.as_bytes());
+    }
+    for d in defines {
+        eat(d.as_bytes());
+    }
+    h
+}
+
+/// [`analyze_commit`] with snapshot memoization: repeated trees (reverts,
+/// rebuilt replays) reuse the cached [`Program`].
+pub fn analyze_commit_cached(
+    cache: &mut SnapshotCache,
+    repo: &Repository,
+    commit: CommitId,
+    defines: &[String],
+    prune_config: &PruneConfig,
+    rank_config: &RankConfig,
+) -> Result<CommitFindings, BuildError> {
+    let prog = cache.program_at(repo, commit, defines)?;
+    Ok(analyze_commit_in(
+        &prog,
+        repo,
+        commit,
+        prune_config,
+        rank_config,
+    ))
+}
+
 /// Analyses the snapshot at `commit`, detecting only in its changed files.
 ///
 /// Program-wide context (signatures, call sites, peer statistics) still
@@ -68,13 +169,17 @@ pub fn analyze_commit(
     rank_config: &RankConfig,
 ) -> Result<CommitFindings, BuildError> {
     let tree = repo.snapshot_at(commit);
-    let mut sources: Vec<(&str, &str)> = tree
-        .iter()
-        .map(|(p, c)| (p.as_str(), c.as_str()))
-        .collect();
+    let mut sources: Vec<(&str, &str)> =
+        tree.iter().map(|(p, c)| (p.as_str(), c.as_str())).collect();
     sources.sort_by_key(|(p, _)| p.to_string());
     let prog = Program::build(&sources, defines)?;
-    Ok(analyze_commit_in(&prog, repo, commit, prune_config, rank_config))
+    Ok(analyze_commit_in(
+        &prog,
+        repo,
+        commit,
+        prune_config,
+        rank_config,
+    ))
 }
 
 /// The incremental fast path: analyses `commit` against a program already
@@ -120,6 +225,9 @@ pub fn analyze_commit_in(
             Some(&alias),
         ));
     }
+
+    vc_obs::counter_inc("incremental.commits");
+    vc_obs::counter_add("incremental.functions_analysed", analysed as u64);
 
     let ctx = AuthorshipCtx::new(prog, repo);
     let attributed: Vec<_> = ctx
@@ -225,6 +333,37 @@ mod tests {
         )
         .unwrap();
         assert!(findings.findings.is_empty());
+    }
+
+    #[test]
+    fn snapshot_cache_hits_on_identical_trees() {
+        let mut repo = Repository::new();
+        let a = repo.add_author("a");
+        let v1 = "int f(void) { return 1; }\n";
+        let v2 = "int f(void) { return 2; }\n";
+        let c1 = repo.commit(a, 1, "v1", vec![write("a.c", v1)]);
+        let c2 = repo.commit(a, 2, "v2", vec![write("a.c", v2)]);
+        let c3 = repo.commit(a, 3, "revert to v1", vec![write("a.c", v1)]);
+
+        let obs = vc_obs::ObsSession::new();
+        let _g = obs.install();
+        let mut cache = SnapshotCache::new();
+        for c in [c1, c2, c3] {
+            analyze_commit_cached(
+                &mut cache,
+                &repo,
+                c,
+                &[],
+                &PruneConfig::default(),
+                &RankConfig::default(),
+            )
+            .unwrap();
+        }
+        // c3's tree is identical to c1's: two builds, one hit.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(obs.registry.counter("incremental.cache.misses"), 2);
+        assert_eq!(obs.registry.counter("incremental.cache.hits"), 1);
+        assert_eq!(obs.registry.counter("incremental.commits"), 3);
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The end-to-end ValueCheck pipeline (Fig. 2): detection → authorship →
 //! pruning → familiarity ranking, with per-stage accounting for the
 //! evaluation tables.
+//!
+//! Every run records spans (`pipeline.run`, `stage.detect`,
+//! `stage.authorship`, `stage.prune`, `stage.rank`) and the candidate
+//! funnel (`funnel.raw` → `funnel.cross_scope` → `funnel.pruned.<reason>` →
+//! `funnel.reported`) into the run's [`ObsSession`]. [`StageTimings`] is a
+//! per-run view over those spans, so timing semantics are unchanged from
+//! the old ad-hoc `Instant` pairs.
 
-use std::time::{
-    Duration,
-    Instant, //
-};
+use std::time::Duration;
 
 use vc_ir::Program;
+use vc_obs::ObsSession;
 use vc_vcs::Repository;
 
 use crate::{
@@ -96,6 +101,9 @@ pub struct Analysis {
     pub report: Report,
     /// Stage timings (Table 7).
     pub timings: StageTimings,
+    /// The observability session the run recorded into: span trace plus
+    /// counter/histogram registry (funnel, fixpoint iterations, DOK scores).
+    pub obs: ObsSession,
 }
 
 impl Analysis {
@@ -110,14 +118,31 @@ impl Analysis {
     }
 }
 
-/// Runs the full ValueCheck pipeline over a program and its history.
+/// Runs the full ValueCheck pipeline over a program and its history,
+/// recording into the thread's installed [`ObsSession`] (or a fresh
+/// detached one when none is installed).
 pub fn run(prog: &Program, repo: &Repository, opts: &Options) -> Analysis {
-    let t0 = Instant::now();
+    run_with_obs(prog, repo, opts, ObsSession::current_or_new())
+}
+
+/// Runs the full ValueCheck pipeline, recording spans and metrics into
+/// `obs`. The session is installed on the current thread for the duration
+/// of the run so instrumentation deep in the analysis crates reaches it.
+pub fn run_with_obs(
+    prog: &Program,
+    repo: &Repository,
+    opts: &Options,
+    obs: ObsSession,
+) -> Analysis {
+    let _guard = obs.install();
+    let run_span = obs.span("pipeline.run", "pipeline");
+
+    let detect_span = obs.span("stage.detect", "pipeline");
     let candidates = detect_program(prog, opts.detect);
     let raw_candidates = candidates.len();
-    let detect_time = t0.elapsed();
+    let detect_time = detect_span.end();
 
-    let t1 = Instant::now();
+    let authorship_span = obs.span("stage.authorship", "pipeline");
     let ctx = AuthorshipCtx::new(prog, repo);
     let attributed = ctx.attribute_all(&candidates);
     let filtered: Vec<Attributed> = if opts.cross_scope_only {
@@ -126,18 +151,33 @@ pub fn run(prog: &Program, repo: &Repository, opts: &Options) -> Analysis {
         attributed
     };
     let cross_scope_candidates = filtered.len();
-    let authorship_time = t1.elapsed();
+    let authorship_time = authorship_span.end();
 
-    let t2 = Instant::now();
+    let prune_span = obs.span("stage.prune", "pipeline");
     let peers = PeerStats::compute(prog);
     let prune_outcome = prune(prog, &opts.prune, &peers, filtered);
-    let prune_time = t2.elapsed();
+    let prune_time = prune_span.end();
 
-    let t3 = Instant::now();
+    let rank_span = obs.span("stage.rank", "pipeline");
     let ranked = rank(prog, repo, &opts.rank, prune_outcome.kept.clone());
     let report = Report::from_ranked(prog, repo, &ranked);
-    let rank_time = t3.elapsed();
+    let rank_time = rank_span.end();
 
+    // Candidate funnel (Table 4). Recorded here — not inside prune()/rank()
+    // — so direct calls to those stages (incremental mode, ablations) don't
+    // double-count.
+    obs.registry.add("funnel.raw", raw_candidates as u64);
+    obs.registry
+        .add("funnel.cross_scope", cross_scope_candidates as u64);
+    for reason in PruneReason::ALL {
+        obs.registry.add(
+            &format!("funnel.pruned.{}", reason.label()),
+            prune_outcome.count(reason) as u64,
+        );
+    }
+    obs.registry.add("funnel.reported", ranked.len() as u64);
+
+    run_span.end();
     Analysis {
         raw_candidates,
         cross_scope_candidates,
@@ -150,6 +190,7 @@ pub fn run(prog: &Program, repo: &Repository, opts: &Options) -> Analysis {
             prune: prune_time,
             rank: rank_time,
         },
+        obs,
     }
 }
 
@@ -258,5 +299,30 @@ mod tests {
         let (prog, repo) = two_author_setup();
         let analysis = run(&prog, &repo, &Options::paper());
         assert!(analysis.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn run_records_stage_spans_and_funnel() {
+        let (prog, repo) = two_author_setup();
+        let analysis = run(&prog, &repo, &Options::paper());
+        let names: Vec<String> = analysis
+            .obs
+            .tracer
+            .records()
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        for stage in [
+            "stage.detect",
+            "stage.authorship",
+            "stage.prune",
+            "stage.rank",
+            "pipeline.run",
+        ] {
+            assert!(names.contains(&stage.to_string()), "missing span {stage}");
+        }
+        let reg = &analysis.obs.registry;
+        assert_eq!(reg.counter("funnel.raw"), analysis.raw_candidates as u64);
+        assert_eq!(reg.counter("funnel.reported"), analysis.detected() as u64);
     }
 }

@@ -1,11 +1,7 @@
 //! Project loading for the `vcheck` command-line tool: a directory of MiniC
 //! sources plus an optional `history.json` ([`vc_vcs::HistorySpec`]).
 
-use std::{
-    fs,
-    io,
-    path::Path,
-};
+use std::{fs, io, path::Path};
 
 use vc_vcs::{
     HistorySpec,
@@ -55,8 +51,9 @@ pub fn load_dir(dir: &Path) -> io::Result<Project> {
     let history_path = dir.join("history.json");
     if history_path.exists() {
         let text = fs::read_to_string(&history_path)?;
-        let spec: HistorySpec = serde_json::from_str(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("history.json: {e}")))?;
+        let spec = HistorySpec::from_json(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("history.json: {e}"))
+        })?;
         let repo = spec.build();
         // The working tree must match the history head, or blame lines
         // would not line up with the parsed sources.
@@ -86,11 +83,7 @@ pub fn load_dir(dir: &Path) -> io::Result<Project> {
     }
 }
 
-fn collect_c_files(
-    root: &Path,
-    dir: &Path,
-    out: &mut Vec<(String, String)>,
-) -> io::Result<()> {
+fn collect_c_files(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -147,11 +140,7 @@ mod tests {
                 }],
             }],
         };
-        fs::write(
-            dir.join("history.json"),
-            serde_json::to_string_pretty(&spec).unwrap(),
-        )
-        .unwrap();
+        fs::write(dir.join("history.json"), spec.to_json_pretty()).unwrap();
         let p = load_dir(&dir).unwrap();
         assert!(p.has_history);
         assert_eq!(
@@ -178,11 +167,7 @@ mod tests {
                 }],
             }],
         };
-        fs::write(
-            dir.join("history.json"),
-            serde_json::to_string(&spec).unwrap(),
-        )
-        .unwrap();
+        fs::write(dir.join("history.json"), spec.to_json()).unwrap();
         assert!(load_dir(&dir).is_err());
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -10,7 +10,6 @@ use std::collections::{
     HashSet, //
 };
 
-use serde::Serialize;
 use vc_dataflow::dead_stores;
 use vc_ir::{
     cfg::Cfg,
@@ -29,7 +28,7 @@ use crate::{
 };
 
 /// Which pruner removed a candidate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PruneReason {
     /// §5.1 — a use exists under a preprocessor guard in the same function.
     ConfigDependency,
@@ -39,6 +38,27 @@ pub enum PruneReason {
     UnusedHint,
     /// §5.4 — most peer definitions are also unused.
     PeerDefinition,
+}
+
+impl PruneReason {
+    /// Stable snake-case label, used in metric names
+    /// (`funnel.pruned.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PruneReason::ConfigDependency => "config_dependency",
+            PruneReason::Cursor => "cursor",
+            PruneReason::UnusedHint => "unused_hint",
+            PruneReason::PeerDefinition => "peer_definition",
+        }
+    }
+
+    /// Every reason, in pipeline order.
+    pub const ALL: [PruneReason; 4] = [
+        PruneReason::ConfigDependency,
+        PruneReason::Cursor,
+        PruneReason::UnusedHint,
+        PruneReason::PeerDefinition,
+    ];
 }
 
 /// Pruning configuration; every pattern can be toggled for ablations.
@@ -200,8 +220,7 @@ impl PeerStats {
                 let entry = stats.params.entry((sig.to_vec(), i)).or_default();
                 entry.0 += 1;
                 let param_dead = dead.iter().any(|d| {
-                    d.key == VarKey::Local(p.local)
-                        && matches!(d.info, StoreInfo::ParamInit { .. })
+                    d.key == VarKey::Local(p.local) && matches!(d.info, StoreInfo::ParamInit { .. })
                 });
                 if param_dead {
                     entry.1 += 1;
@@ -280,7 +299,11 @@ fn prune_one(
             return Some(PruneReason::UnusedHint);
         }
         if let Some(file) = prog.source.file(cand.span.file) {
-            if let Some(line) = file.content.lines().nth((cand.span.line() as usize).saturating_sub(1)) {
+            if let Some(line) = file
+                .content
+                .lines()
+                .nth((cand.span.line() as usize).saturating_sub(1))
+            {
                 if line.to_ascii_lowercase().contains("unused") {
                     return Some(PruneReason::UnusedHint);
                 }
@@ -398,7 +421,10 @@ mod tests {
         assert!(
             out.count(PruneReason::PeerDefinition) >= 12,
             "pruned: {:?}",
-            out.pruned.iter().map(|(a, r)| (a.candidate.var_name.clone(), *r)).collect::<Vec<_>>()
+            out.pruned
+                .iter()
+                .map(|(a, r)| (a.candidate.var_name.clone(), *r))
+                .collect::<Vec<_>>()
         );
         assert!(out.kept.iter().all(|k| k.candidate.func_name != "g"));
     }
@@ -418,7 +444,8 @@ mod tests {
     #[test]
     fn pipeline_counts_first_matching_stage() {
         // Guarded use AND unused keyword: config dependency fires first.
-        let src = "void f(void) {\nint flag_unused = 1;\n#ifdef DBG\ncheck(flag_unused);\n#endif\n}\n";
+        let src =
+            "void f(void) {\nint flag_unused = 1;\n#ifdef DBG\ncheck(flag_unused);\n#endif\n}\n";
         let (out, _) = run_prune(src);
         assert_eq!(out.count(PruneReason::ConfigDependency), 1);
         assert_eq!(out.count(PruneReason::UnusedHint), 0);

@@ -9,7 +9,6 @@
 //! developers are the ones most likely to have intercepted a data flow they
 //! did not know about (§6).
 
-use serde::Serialize;
 use vc_familiarity::{
     DokModel,
     EaModel,
@@ -76,7 +75,7 @@ impl RankConfig {
 }
 
 /// A ranked finding.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Ranked {
     /// The attributed candidate.
     pub item: Attributed,
@@ -90,11 +89,7 @@ pub struct Ranked {
 /// The developer responsible for the unused definition: the author of the
 /// first overwriting definition when the value was overwritten, otherwise
 /// the author of the definition line itself.
-fn responsible_author(
-    prog: &Program,
-    repo: &Repository,
-    item: &Attributed,
-) -> Option<AuthorId> {
+fn responsible_author(prog: &Program, repo: &Repository, item: &Attributed) -> Option<AuthorId> {
     for span in &item.candidate.overwriters {
         if span.is_synthetic() {
             continue;
@@ -131,6 +126,12 @@ pub fn rank(
                     FamiliarityModel::Ea(model) => model.score(repo, file, a),
                 }
             });
+            if let Some(f) = familiarity {
+                // Scores are recorded as milli-units so the integer
+                // histogram keeps three decimal places; negative scores
+                // (possible under ablated factor masks) floor at zero.
+                vc_obs::observe("rank.dok_score_milli", (f.max(0.0) * 1000.0).round() as u64);
+            }
             Ranked {
                 item,
                 familiarity,
@@ -139,13 +140,11 @@ pub fn rank(
         })
         .collect();
     if config.enabled {
-        out.sort_by(|a, b| {
-            match (a.familiarity, b.familiarity) {
-                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
-                (Some(_), None) => std::cmp::Ordering::Less,
-                (None, Some(_)) => std::cmp::Ordering::Greater,
-                (None, None) => std::cmp::Ordering::Equal,
-            }
+        out.sort_by(|a, b| match (a.familiarity, b.familiarity) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
         });
     }
     out

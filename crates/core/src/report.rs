@@ -1,7 +1,7 @@
-//! Final bug reports: serializable rows plus CSV rendering, matching the
-//! artifact's `detected.csv` output.
+//! Final bug reports: serializable rows plus CSV and JSON rendering,
+//! matching the artifact's `detected.csv` output.
 
-use serde::Serialize;
+use vc_obs::Json;
 use vc_vcs::Repository;
 
 use crate::{
@@ -10,7 +10,7 @@ use crate::{
 };
 
 /// One row of the final report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ReportRow {
     /// Rank position (1-based; 1 = least familiar author).
     pub rank: usize,
@@ -33,7 +33,7 @@ pub struct ReportRow {
 }
 
 /// A complete report.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Report {
     /// Ranked rows, highest priority first.
     pub rows: Vec<ReportRow>,
@@ -41,11 +41,7 @@ pub struct Report {
 
 impl Report {
     /// Builds a report from ranked findings.
-    pub fn from_ranked(
-        prog: &vc_ir::Program,
-        repo: &Repository,
-        ranked: &[Ranked],
-    ) -> Report {
+    pub fn from_ranked(prog: &vc_ir::Program, repo: &Repository, ranked: &[Ranked]) -> Report {
         let rows = ranked
             .iter()
             .enumerate()
@@ -73,8 +69,9 @@ impl Report {
 
     /// Renders the report as CSV (header + rows).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("rank,file,line,function,variable,scenario,author,familiarity,cross_scope\n");
+        let mut out = String::from(
+            "rank,file,line,function,variable,scenario,author,familiarity,cross_scope\n",
+        );
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{}\n",
@@ -90,6 +87,40 @@ impl Report {
             ));
         }
         out
+    }
+
+    /// Renders the report as pretty-printed JSON: `{"rows": [...]}`.
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("rank".into(), Json::Int(r.rank as i64)),
+                    ("file".into(), Json::Str(r.file.clone())),
+                    ("line".into(), Json::Int(r.line as i64)),
+                    ("function".into(), Json::Str(r.function.clone())),
+                    ("variable".into(), Json::Str(r.variable.clone())),
+                    ("scenario".into(), Json::Str(r.scenario.clone())),
+                    (
+                        "author".into(),
+                        match &r.author {
+                            Some(a) => Json::Str(a.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "familiarity".into(),
+                        match r.familiarity {
+                            Some(f) => Json::Float(f),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("cross_scope".into(), Json::Bool(r.cross_scope)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("rows".into(), Json::Arr(rows))]).to_string_pretty()
     }
 
     /// Number of findings.
@@ -127,5 +158,34 @@ mod tests {
         let r = Report::default();
         assert!(r.is_empty());
         assert_eq!(r.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn json_report_parses_and_keeps_fields() {
+        let r = Report {
+            rows: vec![ReportRow {
+                rank: 1,
+                file: "nfs.c".into(),
+                line: 6,
+                function: "nfs_readdir".into(),
+                variable: "error".into(),
+                scenario: "retval".into(),
+                author: Some("author1".into()),
+                familiarity: Some(0.25),
+                cross_scope: true,
+            }],
+        };
+        let doc = vc_obs::json::parse(&r.to_json()).unwrap();
+        let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("line").and_then(Json::as_i64), Some(6));
+        assert_eq!(
+            rows[0].get("author").and_then(Json::as_str),
+            Some("author1")
+        );
+        assert_eq!(
+            rows[0].get("cross_scope").and_then(Json::as_bool),
+            Some(true)
+        );
     }
 }

@@ -97,6 +97,7 @@ pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> Bloc
 
     let cap = 64 * n + 1024;
     let mut iterations = 0usize;
+    let mut pushes = n; // The initial seeding counts as worklist pushes.
 
     while let Some(b) = queue.pop_front() {
         queued[b.0 as usize] = false;
@@ -126,6 +127,7 @@ pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> Bloc
                     for &s in cfg.succs(b) {
                         if !queued[s.0 as usize] {
                             queued[s.0 as usize] = true;
+                            pushes += 1;
                             queue.push_back(s);
                         }
                     }
@@ -148,6 +150,7 @@ pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> Bloc
                     for &p in cfg.preds(b) {
                         if !queued[p.0 as usize] {
                             queued[p.0 as usize] = true;
+                            pushes += 1;
                             queue.push_back(p);
                         }
                     }
@@ -155,6 +158,11 @@ pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> Bloc
             }
         }
     }
+
+    vc_obs::counter_inc("dataflow.solves");
+    vc_obs::counter_add("dataflow.fixpoint_iterations", iterations as u64);
+    vc_obs::counter_add("dataflow.worklist_pushes", pushes as u64);
+    vc_obs::observe("dataflow.block_count", n as u64);
 
     BlockFacts {
         entry,
@@ -213,6 +221,32 @@ mod tests {
     }
 
     #[test]
+    fn solver_reports_fixpoint_metrics() {
+        let prog = Program::build(
+            &[(
+                "a.c",
+                "void f(int n) { for (int i = 0; i < n; i = i + 1) { g(i); } }",
+            )],
+            &[],
+        )
+        .unwrap();
+        let f = &prog.funcs[0];
+        let cfg = Cfg::new(f);
+        let obs = vc_obs::ObsSession::new();
+        let facts = {
+            let _g = obs.install();
+            solve(f, &cfg, &MinDepth)
+        };
+        assert_eq!(obs.registry.counter("dataflow.solves"), 1);
+        assert_eq!(
+            obs.registry.counter("dataflow.fixpoint_iterations"),
+            facts.iterations as u64
+        );
+        assert!(obs.registry.counter("dataflow.worklist_pushes") >= f.blocks.len() as u64);
+        assert_eq!(obs.registry.histogram("dataflow.block_count").count, 1);
+    }
+
+    #[test]
     fn facts_are_monotone_along_edges() {
         let prog = Program::build(
             &[(
@@ -232,12 +266,7 @@ mod tests {
             if b == cfg.entry || cfg.preds(b).is_empty() {
                 continue;
             }
-            let min = cfg
-                .preds(b)
-                .iter()
-                .map(|p| *facts.exit(*p))
-                .min()
-                .unwrap();
+            let min = cfg.preds(b).iter().map(|p| *facts.exit(*p)).min().unwrap();
             assert_eq!(*facts.entry(b), min);
         }
     }

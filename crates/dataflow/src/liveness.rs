@@ -247,17 +247,14 @@ mod tests {
     #[test]
     fn partial_overwrite_on_one_path_is_live() {
         // Overwritten on the then-path only; the else-path reads it.
-        let names = dead_names(
-            "void f(int c) { int x = 1; if (c) { x = 2; } use(x); }",
-        );
+        let names = dead_names("void f(int c) { int x = 1; if (c) { x = 2; } use(x); }");
         assert!(names.is_empty(), "unexpected dead stores: {names:?}");
     }
 
     #[test]
     fn overwrite_on_all_paths_is_dead() {
-        let names = dead_names(
-            "void f(int c) { int x = 1; if (c) { x = 2; } else { x = 3; } use(x); }",
-        );
+        let names =
+            dead_names("void f(int c) { int x = 1; if (c) { x = 2; } else { x = 3; } use(x); }");
         assert_eq!(names, vec!["x"]);
     }
 
@@ -353,9 +350,8 @@ mod tests {
     #[test]
     fn liveness_equation_holds_at_fixpoint() {
         // in[n] == gen/kill applied to out[n]; check by re-applying transfer.
-        let f = func(
-            "int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }",
-        );
+        let f =
+            func("int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }");
         let cfg = Cfg::new(&f);
         let facts = live_variables(&f, &cfg);
         for (bid, bb) in f.iter_blocks() {

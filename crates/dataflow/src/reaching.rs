@@ -220,8 +220,9 @@ mod tests {
         let dead = crate::liveness::dead_stores(&f, &cfg);
         for d in &dead {
             assert!(
-                !edges.iter().any(|e| e.def.block == d.block
-                    && e.def.inst_idx as usize == d.inst_idx),
+                !edges
+                    .iter()
+                    .any(|e| e.def.block == d.block && e.def.inst_idx as usize == d.inst_idx),
                 "dead store has a use"
             );
         }

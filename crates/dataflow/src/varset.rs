@@ -130,9 +130,13 @@ mod tests {
 
     #[test]
     fn whole_store_kills_fields() {
-        let mut s: VarKeySet = [VarKey::Field(L0, 0), VarKey::Field(L0, 7), VarKey::Local(L1)]
-            .into_iter()
-            .collect();
+        let mut s: VarKeySet = [
+            VarKey::Field(L0, 0),
+            VarKey::Field(L0, 7),
+            VarKey::Local(L1),
+        ]
+        .into_iter()
+        .collect();
         s.remove_killed(VarKey::Local(L0));
         assert!(!s.contains_covering(VarKey::Field(L0, 0)));
         assert!(s.contains_exact(VarKey::Local(L1)));

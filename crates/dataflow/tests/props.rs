@@ -1,7 +1,10 @@
 //! Property tests for the dataflow analyses, cross-checked against each
 //! other and against independent oracles on arbitrary generated programs.
+//!
+//! Each property runs as a deterministic loop over cases drawn from a
+//! seeded [`SplitMix64`]; a failing case prints its seed so it can be
+//! replayed exactly.
 
-use proptest::prelude::*;
 use vc_dataflow::{
     dead_stores,
     liveness::{
@@ -20,17 +23,20 @@ use vc_ir::{
     testing::source_from_seed,
     Program,
 };
+use vc_obs::SplitMix64;
 
 fn build(seed: u64) -> Program {
     let src = source_from_seed(seed);
     Program::build(&[("g.c", src.as_str())], &[]).expect("generated source builds")
 }
 
-proptest! {
-    /// Liveness is at a fixed point: re-applying every block's transfer to
-    /// its exit fact reproduces its entry fact.
-    #[test]
-    fn liveness_is_a_fixed_point(seed in any::<u64>()) {
+/// Liveness is at a fixed point: re-applying every block's transfer to
+/// its exit fact reproduces its entry fact.
+#[test]
+fn liveness_is_a_fixed_point() {
+    let mut rng = SplitMix64::new(0xF1);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
         let prog = build(seed);
         for f in &prog.funcs {
             let cfg = Cfg::new(f);
@@ -40,14 +46,18 @@ proptest! {
                 for inst in bb.insts.iter().rev() {
                     transfer_inst(inst, &mut fact);
                 }
-                prop_assert_eq!(&fact, facts.entry(bid));
+                assert_eq!(&fact, facts.entry(bid), "seed {seed}");
             }
         }
     }
+}
 
-    /// Exit facts are the join of successor entry facts.
-    #[test]
-    fn exit_facts_join_successors(seed in any::<u64>()) {
+/// Exit facts are the join of successor entry facts.
+#[test]
+fn exit_facts_join_successors() {
+    let mut rng = SplitMix64::new(0xF2);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
         let prog = build(seed);
         for f in &prog.funcs {
             let cfg = Cfg::new(f);
@@ -57,36 +67,47 @@ proptest! {
                 for &s in cfg.succs(bid) {
                     joined.union_with(facts.entry(s));
                 }
-                prop_assert_eq!(&joined, facts.exit(bid), "block {:?}", bid);
+                assert_eq!(&joined, facts.exit(bid), "seed {seed} block {bid:?}");
             }
         }
     }
+}
 
-    /// Soundness cross-check: a dead store never has a def-use edge, and a
-    /// store with a def-use edge is never reported dead.
-    #[test]
-    fn dead_stores_have_no_uses(seed in any::<u64>()) {
+/// Soundness cross-check: a dead store never has a def-use edge, and a
+/// store with a def-use edge is never reported dead.
+#[test]
+fn dead_stores_have_no_uses() {
+    let mut rng = SplitMix64::new(0xF3);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
         let prog = build(seed);
         for f in &prog.funcs {
             let cfg = Cfg::new(f);
             let dead = dead_stores(f, &cfg);
             let edges = def_use_chains(f, &cfg);
             for d in &dead {
-                prop_assert!(
-                    !edges.iter().any(|e| e.def.block == d.block
-                        && e.def.inst_idx as usize == d.inst_idx),
-                    "dead store {}:{} has a use in {}",
-                    d.block.0, d.inst_idx, f.name
+                assert!(
+                    !edges
+                        .iter()
+                        .any(|e| e.def.block == d.block && e.def.inst_idx as usize == d.inst_idx),
+                    "seed {seed}: dead store {}:{} has a use in {}",
+                    d.block.0,
+                    d.inst_idx,
+                    f.name
                 );
             }
         }
     }
+}
 
-    /// Every store to a tracked local either reaches a use or is reported
-    /// dead (completeness against the reaching-definitions oracle), for
-    /// non-escaping locals.
-    #[test]
-    fn non_dead_stores_reach_a_use(seed in any::<u64>()) {
+/// Every store to a tracked local either reaches a use or is reported
+/// dead (completeness against the reaching-definitions oracle), for
+/// non-escaping locals.
+#[test]
+fn non_dead_stores_reach_a_use() {
+    let mut rng = SplitMix64::new(0xF4);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
         let prog = build(seed);
         for f in &prog.funcs {
             let cfg = Cfg::new(f);
@@ -95,7 +116,9 @@ proptest! {
             let escaped = vc_dataflow::escaped_locals(f);
             for (bid, bb) in f.iter_blocks() {
                 for (idx, inst) in bb.insts.iter().enumerate() {
-                    let vc_ir::ir::Inst::Store { place, .. } = inst else { continue };
+                    let vc_ir::ir::Inst::Store { place, .. } = inst else {
+                        continue;
+                    };
                     let Some(key) = place.var_key() else { continue };
                     if escaped.contains(&key.local()) {
                         continue;
@@ -103,39 +126,56 @@ proptest! {
                     let has_use = edges
                         .iter()
                         .any(|e| e.def.block == bid && e.def.inst_idx as usize == idx);
-                    let is_dead = dead
-                        .iter()
-                        .any(|d| d.block == bid && d.inst_idx == idx);
+                    let is_dead = dead.iter().any(|d| d.block == bid && d.inst_idx == idx);
                     // Whole-variable stores can be kept live by field reads
                     // through covering; allow has_use via covering too: the
                     // def-use oracle already includes covering edges.
-                    prop_assert!(has_use || is_dead,
-                        "store {}:{} to {:?} neither used nor dead in {}",
-                        bid.0, idx, key, f.name);
+                    assert!(
+                        has_use || is_dead,
+                        "seed {seed}: store {}:{} to {key:?} neither used nor dead in {}",
+                        bid.0,
+                        idx,
+                        f.name
+                    );
                 }
             }
         }
     }
+}
 
-    /// VarKeySet covering semantics: inserting a whole variable covers all
-    /// its fields, and killing the whole variable removes them.
-    #[test]
-    fn varset_covering_laws(local in 0u32..8, fields in proptest::collection::vec(0u32..6, 0..6)) {
-        let l = LocalId(local);
+/// VarKeySet covering semantics: inserting a whole variable covers all
+/// its fields, and killing the whole variable removes them.
+#[test]
+fn varset_covering_laws() {
+    let mut rng = SplitMix64::new(0xF5);
+    for case in 0..200 {
+        let l = LocalId(rng.range_usize(0, 8) as u32);
+        let fields: Vec<u32> = (0..rng.range_usize(0, 6))
+            .map(|_| rng.range_usize(0, 6) as u32)
+            .collect();
         let mut s = VarKeySet::new();
         for &fi in &fields {
             s.insert(VarKey::Field(l, fi));
         }
         for &fi in &fields {
-            prop_assert!(s.contains_covering(VarKey::Field(l, fi)));
+            assert!(
+                s.contains_covering(VarKey::Field(l, fi)),
+                "case {case} fields {fields:?}"
+            );
         }
         if !fields.is_empty() {
-            prop_assert!(s.contains_covering(VarKey::Local(l)));
+            assert!(
+                s.contains_covering(VarKey::Local(l)),
+                "case {case} fields {fields:?}"
+            );
         }
         s.remove_killed(VarKey::Local(l));
         for &fi in &fields {
-            prop_assert!(!s.contains_covering(VarKey::Field(l, fi)));
+            assert!(
+                !s.contains_covering(VarKey::Field(l, fi)),
+                "case {case} fields {fields:?}"
+            );
         }
-        prop_assert!(s.is_empty());
+        assert!(s.is_empty(), "case {case} fields {fields:?}");
     }
 }

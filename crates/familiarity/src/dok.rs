@@ -7,15 +7,10 @@
 //! Lower DOK means the author is *less* familiar with the file, so unused
 //! definitions they introduced rank higher for review.
 
-use serde::{
-    Deserialize,
-    Serialize, //
-};
-
 use crate::metrics::Metrics;
 
 /// A linear DOK model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DokModel {
     /// Intercept α₀.
     pub alpha0: f64,
@@ -29,7 +24,7 @@ pub struct DokModel {
 
 /// Which DOK factors are active; used by the Table 6 ablations
 /// (w/o AC, w/o DL, w/o FA).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FactorMask {
     /// Include the FA term.
     pub fa: bool,

@@ -26,7 +26,10 @@ pub enum CommitKind {
 /// Classifies a commit message by keyword.
 pub fn classify_message(message: &str) -> CommitKind {
     let m = message.to_ascii_lowercase();
-    if ["fix", "bug", "repair", "fault", "cve"].iter().any(|k| m.contains(k)) {
+    if ["fix", "bug", "repair", "fault", "cve"]
+        .iter()
+        .any(|k| m.contains(k))
+    {
         CommitKind::BugFix
     } else if ["refactor", "cleanup", "clean up", "rename", "move", "style"]
         .iter()
@@ -94,9 +97,18 @@ mod tests {
 
     #[test]
     fn classification_by_keywords() {
-        assert_eq!(classify_message("Fix NULL deref in acl path"), CommitKind::BugFix);
-        assert_eq!(classify_message("refactor logging module"), CommitKind::Refactor);
-        assert_eq!(classify_message("add bitmap conversion"), CommitKind::Feature);
+        assert_eq!(
+            classify_message("Fix NULL deref in acl path"),
+            CommitKind::BugFix
+        );
+        assert_eq!(
+            classify_message("refactor logging module"),
+            CommitKind::Refactor
+        );
+        assert_eq!(
+            classify_message("add bitmap conversion"),
+            CommitKind::Feature
+        );
     }
 
     #[test]

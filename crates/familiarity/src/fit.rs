@@ -146,14 +146,34 @@ mod tests {
 
     #[test]
     fn rejects_underdetermined_input() {
-        let samples = vec![(Metrics { fa: 0.0, dl: 0.0, ac: 0.0 }, 3.0); 3];
+        let samples = vec![
+            (
+                Metrics {
+                    fa: 0.0,
+                    dl: 0.0,
+                    ac: 0.0
+                },
+                3.0
+            );
+            3
+        ];
         assert!(fit_dok(&samples).is_err());
     }
 
     #[test]
     fn rejects_degenerate_design() {
         // All samples identical: singular XᵀX.
-        let samples = vec![(Metrics { fa: 1.0, dl: 2.0, ac: 3.0 }, 4.0); 10];
+        let samples = vec![
+            (
+                Metrics {
+                    fa: 1.0,
+                    dl: 2.0,
+                    ac: 3.0
+                },
+                4.0
+            );
+            10
+        ];
         assert!(fit_dok(&samples).is_err());
     }
 }

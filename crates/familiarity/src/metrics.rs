@@ -72,9 +72,23 @@ mod tests {
         repo.commit(alice, 3, "more", vec![write("f.c", "a\nb\nc\n")]);
 
         let ma = Metrics::compute(&repo, "f.c", alice);
-        assert_eq!(ma, Metrics { fa: 1.0, dl: 2.0, ac: 1.0 });
+        assert_eq!(
+            ma,
+            Metrics {
+                fa: 1.0,
+                dl: 2.0,
+                ac: 1.0
+            }
+        );
         let mb = Metrics::compute(&repo, "f.c", bob);
-        assert_eq!(mb, Metrics { fa: 0.0, dl: 1.0, ac: 2.0 });
+        assert_eq!(
+            mb,
+            Metrics {
+                fa: 0.0,
+                dl: 1.0,
+                ac: 2.0
+            }
+        );
     }
 
     #[test]
@@ -82,7 +96,14 @@ mod tests {
         let mut repo = Repository::new();
         let a = repo.add_author("a");
         let m = Metrics::compute(&repo, "nope.c", a);
-        assert_eq!(m, Metrics { fa: 0.0, dl: 0.0, ac: 0.0 });
+        assert_eq!(
+            m,
+            Metrics {
+                fa: 0.0,
+                dl: 0.0,
+                ac: 0.0
+            }
+        );
     }
 
     #[test]

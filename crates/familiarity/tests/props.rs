@@ -1,69 +1,108 @@
 //! Property tests for the familiarity models: DOK monotonicity and OLS
 //! weight recovery for arbitrary (well-conditioned) true models.
+//!
+//! Each property runs as a deterministic loop over cases drawn from a
+//! seeded [`SplitMix64`]; a failing case prints its case number so it can
+//! be replayed exactly.
 
-use proptest::prelude::*;
 use vc_familiarity::{
     fit_dok,
     DokModel,
     FactorMask,
     Metrics, //
 };
+use vc_obs::SplitMix64;
 
-fn metrics_strategy() -> impl Strategy<Value = Metrics> {
-    (0u8..2, 0.0f64..40.0, 0.0f64..40.0).prop_map(|(fa, dl, ac)| Metrics {
-        fa: fa as f64,
-        dl,
-        ac,
-    })
+/// Uniform draw from the half-open interval `[lo, hi)`.
+fn uniform(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + rng.f64() * (hi - lo)
 }
 
-proptest! {
-    /// Familiarity is monotone: more first-authorship or deliveries never
-    /// lowers it; more foreign deliveries never raises it.
-    #[test]
-    fn dok_is_monotone(m in metrics_strategy(), bump in 0.1f64..10.0) {
+fn random_metrics(rng: &mut SplitMix64) -> Metrics {
+    Metrics {
+        fa: rng.range_usize(0, 2) as f64,
+        dl: uniform(rng, 0.0, 40.0),
+        ac: uniform(rng, 0.0, 40.0),
+    }
+}
+
+/// Familiarity is monotone: more first-authorship or deliveries never
+/// lowers it; more foreign deliveries never raises it.
+#[test]
+fn dok_is_monotone() {
+    let mut rng = SplitMix64::new(0xD1);
+    for case in 0..200 {
+        let m = random_metrics(&mut rng);
+        let bump = uniform(&mut rng, 0.1, 10.0);
         let model = DokModel::PAPER;
         let base = model.score(&m);
-        let more_dl = model.score(&Metrics { dl: m.dl + bump, ..m });
+        let more_dl = model.score(&Metrics {
+            dl: m.dl + bump,
+            ..m
+        });
         let with_fa = model.score(&Metrics { fa: 1.0, ..m });
         let without_fa = model.score(&Metrics { fa: 0.0, ..m });
-        let more_ac = model.score(&Metrics { ac: m.ac + bump, ..m });
-        prop_assert!(more_dl >= base);
-        prop_assert!(with_fa >= without_fa);
-        prop_assert!(more_ac <= base);
+        let more_ac = model.score(&Metrics {
+            ac: m.ac + bump,
+            ..m
+        });
+        assert!(more_dl >= base, "case {case}: {m:?} bump {bump}");
+        assert!(with_fa >= without_fa, "case {case}: {m:?}");
+        assert!(more_ac <= base, "case {case}: {m:?} bump {bump}");
     }
+}
 
-    /// Masking a factor makes the score independent of that factor.
-    #[test]
-    fn masked_factor_has_no_influence(m in metrics_strategy(), bump in 0.5f64..20.0) {
+/// Masking a factor makes the score independent of that factor.
+#[test]
+fn masked_factor_has_no_influence() {
+    let mut rng = SplitMix64::new(0xD2);
+    for case in 0..200 {
+        let m = random_metrics(&mut rng);
+        let bump = uniform(&mut rng, 0.5, 20.0);
         let model = DokModel::PAPER;
         for (factor, bumped) in [
-            ("ac", Metrics { ac: m.ac + bump, ..m }),
-            ("dl", Metrics { dl: m.dl + bump, ..m }),
-            ("fa", Metrics { fa: 1.0 - m.fa, ..m }),
+            (
+                "ac",
+                Metrics {
+                    ac: m.ac + bump,
+                    ..m
+                },
+            ),
+            (
+                "dl",
+                Metrics {
+                    dl: m.dl + bump,
+                    ..m
+                },
+            ),
+            (
+                "fa",
+                Metrics {
+                    fa: 1.0 - m.fa,
+                    ..m
+                },
+            ),
         ] {
             let mask = FactorMask::without(factor);
-            prop_assert!(
+            assert!(
                 (model.score_masked(&m, mask) - model.score_masked(&bumped, mask)).abs() < 1e-12,
-                "factor {factor} leaked"
+                "case {case}: factor {factor} leaked for {m:?}"
             );
         }
     }
+}
 
-    /// OLS recovers an arbitrary true model from noiseless samples over a
-    /// factor grid.
-    #[test]
-    fn fit_recovers_arbitrary_weights(
-        a0 in -5.0f64..5.0,
-        afa in -3.0f64..3.0,
-        adl in -1.0f64..1.0,
-        aac in -2.0f64..2.0,
-    ) {
+/// OLS recovers an arbitrary true model from noiseless samples over a
+/// factor grid.
+#[test]
+fn fit_recovers_arbitrary_weights() {
+    let mut rng = SplitMix64::new(0xD3);
+    for case in 0..100 {
         let truth = DokModel {
-            alpha0: a0,
-            alpha_fa: afa,
-            alpha_dl: adl,
-            alpha_ac: aac,
+            alpha0: uniform(&mut rng, -5.0, 5.0),
+            alpha_fa: uniform(&mut rng, -3.0, 3.0),
+            alpha_dl: uniform(&mut rng, -1.0, 1.0),
+            alpha_ac: uniform(&mut rng, -2.0, 2.0),
         };
         let mut samples = Vec::new();
         for fa in [0.0, 1.0] {
@@ -75,9 +114,18 @@ proptest! {
             }
         }
         let fitted = fit_dok(&samples).expect("well-conditioned grid");
-        prop_assert!((fitted.alpha0 - truth.alpha0).abs() < 1e-6);
-        prop_assert!((fitted.alpha_fa - truth.alpha_fa).abs() < 1e-6);
-        prop_assert!((fitted.alpha_dl - truth.alpha_dl).abs() < 1e-6);
-        prop_assert!((fitted.alpha_ac - truth.alpha_ac).abs() < 1e-6);
+        assert!((fitted.alpha0 - truth.alpha0).abs() < 1e-6, "case {case}");
+        assert!(
+            (fitted.alpha_fa - truth.alpha_fa).abs() < 1e-6,
+            "case {case}"
+        );
+        assert!(
+            (fitted.alpha_dl - truth.alpha_dl).abs() < 1e-6,
+            "case {case}"
+        );
+        assert!(
+            (fitted.alpha_ac - truth.alpha_ac).abs() < 1e-6,
+            "case {case}"
+        );
     }
 }

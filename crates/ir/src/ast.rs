@@ -385,7 +385,10 @@ impl Expr {
     pub fn is_lvalue(&self) -> bool {
         matches!(
             self.kind,
-            ExprKind::Var(_) | ExprKind::Deref(_) | ExprKind::Member { .. } | ExprKind::Index { .. }
+            ExprKind::Var(_)
+                | ExprKind::Deref(_)
+                | ExprKind::Member { .. }
+                | ExprKind::Index { .. }
         )
     }
 }

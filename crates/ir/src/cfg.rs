@@ -151,11 +151,7 @@ mod tests {
         let f = lower("int f(int x) { int y = 0; if (x) { y = 1; } else { y = 2; } return y; }");
         let cfg = Cfg::new(&f);
         // Entry + then + else + merge (+ possibly a trailing dead block).
-        let diamond_merge = cfg
-            .preds
-            .iter()
-            .filter(|p| p.len() == 2)
-            .count();
+        let diamond_merge = cfg.preds.iter().filter(|p| p.len() == 2).count();
         assert!(diamond_merge >= 1, "expected a merge block with 2 preds");
     }
 

@@ -6,11 +6,6 @@
 //! aggregates are separately-addressable `Field` places so the liveness
 //! analysis can be field-sensitive.
 
-use serde::{
-    Deserialize,
-    Serialize, //
-};
-
 use crate::{
     ast::BinOp,
     span::{
@@ -21,24 +16,24 @@ use crate::{
 };
 
 /// Index of a local stack slot within a function.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LocalId(pub u32);
 
 /// Index of an SSA-style value temporary within a function.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TempId(pub u32);
 
 /// Index of a basic block within a function.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 /// Index of a function within a [`crate::program::Program`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 /// The variable granule tracked by the liveness analysis: either a whole
 /// local slot or one field of a local aggregate (the paper's `v#n` naming).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum VarKey {
     /// A whole local variable.
     Local(LocalId),
@@ -142,7 +137,7 @@ pub enum Callee {
 /// How the stored value of a `Store` was produced; used by the detector to
 /// classify candidates (return values, parameter entries) and by the cursor
 /// pruner (self-increment by a constant).
-#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum StoreInfo {
     /// An ordinary store.
     #[default]

@@ -458,11 +458,10 @@ mod tests {
     #[test]
     fn skips_line_and_block_comments() {
         use TokenKind::*;
-        assert_eq!(kinds("/* a */ x // b\n y"), vec![
-            Ident("x".into()),
-            Ident("y".into()),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("/* a */ x // b\n y"),
+            vec![Ident("x".into()), Ident("y".into()), Eof]
+        );
     }
 
     #[test]
@@ -477,13 +476,16 @@ mod tests {
     #[test]
     fn lexes_preprocessor_directives() {
         use TokenKind::*;
-        assert_eq!(kinds("#ifdef USE_ICMP\nx\n#else\n#endif"), vec![
-            HashIf("USE_ICMP".into()),
-            Ident("x".into()),
-            HashElse,
-            HashEndif,
-            Eof
-        ]);
+        assert_eq!(
+            kinds("#ifdef USE_ICMP\nx\n#else\n#endif"),
+            vec![
+                HashIf("USE_ICMP".into()),
+                Ident("x".into()),
+                HashElse,
+                HashEndif,
+                Eof
+            ]
+        );
     }
 
     #[test]

@@ -314,7 +314,6 @@ impl BlockUnder {
     }
 }
 
-
 struct FuncLowerer<'a, 'b> {
     ctx: &'a LowerCtx<'b>,
     func_name: String,
@@ -438,12 +437,9 @@ impl<'a, 'b> FuncLowerer<'a, 'b> {
                 }
             }
             ExprKind::Assign { lhs, .. } => self.expr_type(lhs),
-            ExprKind::Call { callee, .. } => self
-                .ctx
-                .func_ret
-                .get(callee)
-                .cloned()
-                .unwrap_or(Type::Int),
+            ExprKind::Call { callee, .. } => {
+                self.ctx.func_ret.get(callee).cloned().unwrap_or(Type::Int)
+            }
             ExprKind::Member { base, field, .. } => {
                 let bt = self.expr_type(base);
                 let sname = match &bt {
@@ -462,11 +458,9 @@ impl<'a, 'b> FuncLowerer<'a, 'b> {
                     })
                     .unwrap_or(Type::Int)
             }
-            ExprKind::Index { base, .. } => self
-                .expr_type(base)
-                .pointee()
-                .cloned()
-                .unwrap_or(Type::Int),
+            ExprKind::Index { base, .. } => {
+                self.expr_type(base).pointee().cloned().unwrap_or(Type::Int)
+            }
             ExprKind::Cast { ty, .. } => ty.clone(),
             ExprKind::Ternary { then, .. } => self.expr_type(then),
         }
@@ -809,12 +803,7 @@ impl<'a, 'b> FuncLowerer<'a, 'b> {
                     // The implicit definition `[tmp] = f(...)` of Table 1.
                     let slot = self.add_local(LocalInfo {
                         name: format!("$ret_{}_{}", name, span.start.line),
-                        ty: self
-                            .ctx
-                            .func_ret
-                            .get(name)
-                            .cloned()
-                            .unwrap_or(Type::Int),
+                        ty: self.ctx.func_ret.get(name).cloned().unwrap_or(Type::Int),
                         span,
                         unused_attr: false,
                         kind: LocalKind::Synthetic,
@@ -913,7 +902,9 @@ impl<'a, 'b> FuncLowerer<'a, 'b> {
             ExprKind::AddrOf(inner) => {
                 match &inner.kind {
                     // `&func` yields the function address.
-                    ExprKind::Var(n) if self.lookup(n).is_none() && self.ctx.func_ret.contains_key(n) => {
+                    ExprKind::Var(n)
+                        if self.lookup(n).is_none() && self.ctx.func_ret.contains_key(n) =>
+                    {
                         Ok(Operand::FuncAddr(n.clone()))
                     }
                     _ => {
@@ -1212,12 +1203,7 @@ impl<'a, 'b> FuncLowerer<'a, 'b> {
             });
             return Ok((Some(dst), Callee::Indirect(t)));
         }
-        let ret = self
-            .ctx
-            .func_ret
-            .get(callee)
-            .cloned()
-            .unwrap_or(Type::Int);
+        let ret = self.ctx.func_ret.get(callee).cloned().unwrap_or(Type::Int);
         let dst = if ret == Type::Void {
             None
         } else {

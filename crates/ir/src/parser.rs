@@ -371,9 +371,7 @@ impl Parser {
                 let (name, _) = self.expect_ident()?;
                 Type::Struct(name)
             }
-            other => {
-                return Err(self.error(format!("expected a type, found {}", other.describe())))
-            }
+            other => return Err(self.error(format!("expected a type, found {}", other.describe()))),
         };
         self.eat(&TokenKind::KwConst);
         while self.eat(&TokenKind::Star) {
@@ -572,7 +570,11 @@ impl Parser {
                 let value = match self.peek().clone() {
                     TokenKind::Int(v) => {
                         self.bump();
-                        if negative { -v } else { v }
+                        if negative {
+                            -v
+                        } else {
+                            v
+                        }
                     }
                     other => {
                         return Err(self.error(format!(
@@ -995,9 +997,10 @@ impl Parser {
                 return Ok(e);
             }
             other => {
-                return Err(
-                    self.error(format!("expected an expression, found {}", other.describe()))
-                )
+                return Err(self.error(format!(
+                    "expected an expression, found {}",
+                    other.describe()
+                )))
             }
         };
         Ok(Expr { kind, span })
@@ -1088,9 +1091,10 @@ mod tests {
         let m = parse_ok(src);
         let f = only_func(&m);
         assert!(f.body.stmts[0].guards.is_empty());
-        assert_eq!(f.body.stmts[1].guards, vec![Guard::Defined(
-            "USE_ICMP".into()
-        )]);
+        assert_eq!(
+            f.body.stmts[1].guards,
+            vec![Guard::Defined("USE_ICMP".into())]
+        );
     }
 
     #[test]
@@ -1208,7 +1212,11 @@ mod tests {
 
     #[test]
     fn rejects_statement_before_first_case() {
-        assert!(parse(FileId(0), "void f(int x) { switch (x) { g(); case 1: h(); } }").is_err());
+        assert!(parse(
+            FileId(0),
+            "void f(int x) { switch (x) { g(); case 1: h(); } }"
+        )
+        .is_err());
     }
 
     #[test]

@@ -72,7 +72,12 @@ pub fn func_to_source(f: &FuncDef) -> String {
     if f.is_static {
         out.push_str("static ");
     }
-    out.push_str(&format!("{} {}({}) {{\n", f.ret, f.name, params_str(&f.params)));
+    out.push_str(&format!(
+        "{} {}({}) {{\n",
+        f.ret,
+        f.name,
+        params_str(&f.params)
+    ));
     block_body(&f.body, 1, &mut out);
     out.push_str("}\n");
     out
@@ -434,7 +439,9 @@ fn inst_str(f: &Function, inst: &Inst) -> String {
             binop_str(*op),
             operand_str(rhs)
         ),
-        Inst::Un { dst, op, operand, .. } => {
+        Inst::Un {
+            dst, op, operand, ..
+        } => {
             format!("t{} = {op:?} {}", dst.0, operand_str(operand))
         }
         Inst::AddrOf { dst, place, .. } => {
@@ -517,9 +524,7 @@ mod tests {
 
     #[test]
     fn round_trips_cursor_and_attrs() {
-        round_trip(
-            "void f(char *o, int force [[maybe_unused]]) {\n*o++ = '_';\n(void)force;\n}",
-        );
+        round_trip("void f(char *o, int force [[maybe_unused]]) {\n*o++ = '_';\n(void)force;\n}");
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl SourceMap {
 
     /// The name of a file, or `"<synthetic>"`.
     pub fn name(&self, id: FileId) -> &str {
-        self.file(id).map(|f| f.name.as_str()).unwrap_or("<synthetic>")
+        self.file(id)
+            .map(|f| f.name.as_str())
+            .unwrap_or("<synthetic>")
     }
 
     /// Number of registered files.
@@ -245,11 +247,10 @@ impl Program {
         for (name, module) in &modules {
             for item in &module.items {
                 if let Item::Func(f) = item {
-                    let lowered =
-                        lower_function(&ctx, f).map_err(|error| BuildError::Lower {
-                            file: name.clone(),
-                            error,
-                        })?;
+                    let lowered = lower_function(&ctx, f).map_err(|error| BuildError::Lower {
+                        file: name.clone(),
+                        error,
+                    })?;
                     funcs.push(lowered);
                 }
             }
@@ -344,7 +345,10 @@ mod tests {
         let prog = Program::build(
             &[
                 ("a.c", "int helper(int x) { return x + 1; }"),
-                ("b.c", "int helper(int x);\nint main(void) { return helper(2); }"),
+                (
+                    "b.c",
+                    "int helper(int x);\nint main(void) { return helper(2); }",
+                ),
             ],
             &[],
         )
@@ -358,7 +362,10 @@ mod tests {
     #[test]
     fn extern_prototypes_are_recorded() {
         let prog = Program::build(
-            &[("a.c", "int printf(char *fmt);\nvoid f(void) { printf(\"x\"); }")],
+            &[(
+                "a.c",
+                "int printf(char *fmt);\nvoid f(void) { printf(\"x\"); }",
+            )],
             &[],
         )
         .unwrap();

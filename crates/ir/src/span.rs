@@ -4,13 +4,8 @@
 //! (authorship lookup, pruning, reporting) can map analysis results back to a
 //! file and line. Lines are 1-based, matching the convention of `git blame`.
 
-use serde::{
-    Deserialize,
-    Serialize, //
-};
-
 /// Identifier of a source file within a [`crate::program::SourceMap`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u32);
 
 impl FileId {
@@ -19,7 +14,7 @@ impl FileId {
 }
 
 /// A position in a source file: 1-based line and column.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LineCol {
     /// 1-based line number.
     pub line: u32,
@@ -35,7 +30,7 @@ impl LineCol {
 }
 
 /// A contiguous region of a single source file.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Span {
     /// The file this span belongs to.
     pub file: FileId,

@@ -26,7 +26,11 @@ pub struct ValidateError {
 
 impl std::fmt::Display for ValidateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IR validation failed in `{}`: {}", self.func, self.message)
+        write!(
+            f,
+            "IR validation failed in `{}`: {}",
+            self.func, self.message
+        )
     }
 }
 
@@ -65,16 +69,15 @@ pub fn validate_function(f: &Function) -> Result<(), ValidateError> {
             defined[i] = true;
         }
     }
-    let check_temp_use =
-        |t: TempId, defined: &[bool]| -> Result<(), ValidateError> {
-            if (t.0 as usize) >= ntemps {
-                return Err(err(format!("temp {t:?} out of origin-table range")));
-            }
-            if !defined[t.0 as usize] {
-                return Err(err(format!("temp {t:?} used before definition")));
-            }
-            Ok(())
-        };
+    let check_temp_use = |t: TempId, defined: &[bool]| -> Result<(), ValidateError> {
+        if (t.0 as usize) >= ntemps {
+            return Err(err(format!("temp {t:?} out of origin-table range")));
+        }
+        if !defined[t.0 as usize] {
+            return Err(err(format!("temp {t:?} used before definition")));
+        }
+        Ok(())
+    };
     let check_operand = |o: &Operand, defined: &[bool]| -> Result<(), ValidateError> {
         if let Operand::Temp(t) = o {
             check_temp_use(*t, defined)?;
@@ -207,8 +210,7 @@ mod tests {
 
     #[test]
     fn detects_missing_temp_origin() {
-        let mut prog =
-            Program::build(&[("a.c", "int f(int x) { return x; }")], &[]).unwrap();
+        let mut prog = Program::build(&[("a.c", "int f(int x) { return x; }")], &[]).unwrap();
         // Truncate the origin table to invalidate the last temp.
         prog.funcs[0].temp_origins.pop();
         assert!(validate_program(&prog).is_err());

@@ -1,0 +1,170 @@
+//! Ambient observability sessions.
+//!
+//! Deep analysis code (the dataflow fixpoint, the Andersen solver) should
+//! not need a `&Registry` threaded through every signature just to bump a
+//! counter. Instead, an [`ObsSession`] — a registry plus a tracer — can be
+//! *installed* on the current thread; the free functions in this module
+//! ([`counter_add`], [`observe`], [`span`], ...) write to the innermost
+//! installed session and no-op when none is installed.
+//!
+//! Sessions stack per thread, so parallel tests each install their own
+//! session without seeing each other's metrics.
+
+use std::{cell::RefCell, sync::Arc};
+
+use crate::{
+    metrics::Registry,
+    trace::{Span, Tracer},
+};
+
+thread_local! {
+    static STACK: RefCell<Vec<ObsSession>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A metrics registry paired with a tracer; cheap to clone (two `Arc`s).
+#[derive(Clone, Debug, Default)]
+pub struct ObsSession {
+    /// Counter/gauge/histogram storage.
+    pub registry: Arc<Registry>,
+    /// Span recording.
+    pub tracer: Arc<Tracer>,
+}
+
+impl ObsSession {
+    /// A fresh session with empty registry and tracer.
+    pub fn new() -> ObsSession {
+        ObsSession::default()
+    }
+
+    /// Installs this session on the current thread until the returned guard
+    /// drops. Nested installs shadow outer ones.
+    pub fn install(&self) -> ScopeGuard {
+        STACK.with(|s| s.borrow_mut().push(self.clone()));
+        ScopeGuard { _priv: () }
+    }
+
+    /// The innermost session installed on this thread, if any.
+    pub fn current() -> Option<ObsSession> {
+        STACK.with(|s| s.borrow().last().cloned())
+    }
+
+    /// The innermost installed session, or a fresh detached one.
+    pub fn current_or_new() -> ObsSession {
+        ObsSession::current().unwrap_or_default()
+    }
+
+    /// Opens a span directly on this session's tracer.
+    pub fn span(&self, name: &str, cat: &str) -> Span {
+        self.tracer.span(name, cat)
+    }
+}
+
+/// Uninstalls the session pushed by [`ObsSession::install`] when dropped.
+#[must_use = "dropping the guard immediately uninstalls the session"]
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Adds `delta` to counter `name` on the installed session, if any.
+pub fn counter_add(name: &str, delta: u64) {
+    if let Some(s) = ObsSession::current() {
+        s.registry.add(name, delta);
+    }
+}
+
+/// Increments counter `name` by one on the installed session, if any.
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Sets gauge `name` on the installed session, if any.
+pub fn gauge_set(name: &str, v: f64) {
+    if let Some(s) = ObsSession::current() {
+        s.registry.set_gauge(name, v);
+    }
+}
+
+/// Records `v` into histogram `name` on the installed session, if any.
+pub fn observe(name: &str, v: u64) {
+    if let Some(s) = ObsSession::current() {
+        s.registry.observe(name, v);
+    }
+}
+
+/// Opens a span on the installed session's tracer, or an inert span when no
+/// session is installed.
+pub fn span(name: &str, cat: &str) -> Span {
+    match ObsSession::current() {
+        Some(s) => s.tracer.span(name, cat),
+        None => Span::disabled(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_functions_no_op_without_session() {
+        counter_inc("ghost");
+        observe("ghost", 1);
+        gauge_set("ghost", 1.0);
+        span("ghost", "test").end();
+        let s = ObsSession::new();
+        assert_eq!(s.registry.counter("ghost"), 0);
+    }
+
+    #[test]
+    fn installed_session_receives_writes() {
+        let s = ObsSession::new();
+        {
+            let _g = s.install();
+            counter_inc("hits");
+            counter_add("hits", 2);
+            gauge_set("level", 0.5);
+            observe("sizes", 10);
+            span("work", "test").end();
+        }
+        // Uninstalled again: further writes are dropped.
+        counter_inc("hits");
+        assert_eq!(s.registry.counter("hits"), 3);
+        assert_eq!(s.registry.gauge("level"), Some(0.5));
+        assert_eq!(s.registry.histogram("sizes").count, 1);
+        assert_eq!(s.tracer.records().len(), 1);
+    }
+
+    #[test]
+    fn nested_installs_shadow() {
+        let outer = ObsSession::new();
+        let inner = ObsSession::new();
+        let _go = outer.install();
+        {
+            let _gi = inner.install();
+            counter_inc("n");
+        }
+        counter_inc("n");
+        assert_eq!(inner.registry.counter("n"), 1);
+        assert_eq!(outer.registry.counter("n"), 1);
+    }
+
+    #[test]
+    fn sessions_are_per_thread() {
+        let s = ObsSession::new();
+        let _g = s.install();
+        let handle = std::thread::spawn(|| {
+            // No session installed on this thread.
+            counter_inc("cross-thread");
+            ObsSession::current().is_none()
+        });
+        assert!(handle.join().unwrap());
+        assert_eq!(s.registry.counter("cross-thread"), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! A span-based tracer.
+//!
+//! A [`Tracer`] hands out [`Span`] guards; each finished span becomes a
+//! [`SpanRecord`] with microsecond start/duration offsets from the tracer's
+//! epoch. The whole recording exports as Chrome `trace_event` JSON —
+//! complete (`"ph": "X"`) events that `chrome://tracing` and Perfetto load
+//! directly, nesting inferred from timestamp containment.
+
+use std::{
+    sync::{Arc, Mutex},
+    time::{Duration, Instant},
+};
+
+use crate::json::Json;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `stage.detect`.
+    pub name: String,
+    /// Category, e.g. `pipeline`.
+    pub cat: String,
+    /// Microseconds from the tracer's epoch to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Nesting depth at the time the span was opened (0 = top level).
+    pub depth: u32,
+}
+
+impl SpanRecord {
+    /// Whether `self` fully contains `other` on the timeline.
+    pub fn contains(&self, other: &SpanRecord) -> bool {
+        self.start_us <= other.start_us
+            && other.start_us + other.dur_us <= self.start_us + self.dur_us
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    records: Vec<SpanRecord>,
+    depth: u32,
+}
+
+/// Records nested timed spans relative to a fixed epoch.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer whose epoch is "now".
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Opens a span on a shared tracer. Ends when the guard is dropped or
+    /// [`Span::end`] is called.
+    pub fn span(self: &Arc<Tracer>, name: &str, cat: &str) -> Span {
+        let depth = {
+            let mut g = self.inner.lock().unwrap();
+            let d = g.depth;
+            g.depth += 1;
+            d
+        };
+        Span {
+            tracer: Some(self.clone()),
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start: Instant::now(),
+            depth,
+            done: false,
+        }
+    }
+
+    fn finish(&self, span: &mut Span) -> Duration {
+        let elapsed = span.start.elapsed();
+        let start_us = span
+            .start
+            .saturating_duration_since(self.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        // Derive the duration from a truncated *end* timestamp rather than
+        // truncating `elapsed` directly: truncation is then monotone in real
+        // time, so a child's recorded interval can never poke out of its
+        // parent's by a sub-microsecond rounding artefact.
+        let end_us = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut g = self.inner.lock().unwrap();
+        g.depth = g.depth.saturating_sub(1);
+        g.records.push(SpanRecord {
+            name: std::mem::take(&mut span.name),
+            cat: std::mem::take(&mut span.cat),
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            depth: span.depth,
+        });
+        elapsed
+    }
+
+    /// All finished spans, in completion order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.lock().unwrap().records.clone()
+    }
+
+    /// The recording as a Chrome `trace_event` document.
+    pub fn to_chrome_json(&self) -> Json {
+        let mut records = self.records();
+        records.sort_by_key(|r| (r.start_us, std::cmp::Reverse(r.dur_us)));
+        let events = records
+            .into_iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(r.name)),
+                    ("cat".into(), Json::Str(r.cat)),
+                    ("ph".into(), Json::Str("X".into())),
+                    ("ts".into(), Json::Int(r.start_us as i64)),
+                    ("dur".into(), Json::Int(r.dur_us as i64)),
+                    ("pid".into(), Json::Int(1)),
+                    ("tid".into(), Json::Int(1)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(events)),
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ])
+    }
+}
+
+/// An open span; records itself into its tracer when dropped or ended.
+///
+/// A span with no tracer (from [`crate::scope::span`] when no session is
+/// installed) is inert: it still measures elapsed time but records nothing.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Option<Arc<Tracer>>,
+    name: String,
+    cat: String,
+    start: Instant,
+    depth: u32,
+    done: bool,
+}
+
+impl Span {
+    /// An inert span that measures time but records nowhere.
+    pub fn disabled() -> Span {
+        Span {
+            tracer: None,
+            name: String::new(),
+            cat: String::new(),
+            start: Instant::now(),
+            depth: 0,
+            done: false,
+        }
+    }
+
+    /// Ends the span now and returns its exact measured duration.
+    pub fn end(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        if self.done {
+            return Duration::ZERO;
+        }
+        self.done = true;
+        match self.tracer.take() {
+            Some(t) => t.finish(self),
+            None => self.start.elapsed(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_with_nesting_depth() {
+        let t = Arc::new(Tracer::new());
+        let outer = t.span("outer", "test");
+        {
+            let _inner = t.span("inner", "test");
+        }
+        outer.end();
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        // Completion order: inner first.
+        assert_eq!(recs[0].name, "inner");
+        assert_eq!(recs[0].depth, 1);
+        assert_eq!(recs[1].name, "outer");
+        assert_eq!(recs[1].depth, 0);
+        assert!(recs[1].contains(&recs[0]), "outer must contain inner");
+    }
+
+    #[test]
+    fn end_returns_elapsed_and_prevents_double_record() {
+        let t = Arc::new(Tracer::new());
+        let s = t.span("once", "test");
+        std::thread::sleep(Duration::from_millis(2));
+        let d = s.end();
+        assert!(d >= Duration::from_millis(2));
+        assert_eq!(t.records().len(), 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let s = Span::disabled();
+        let d = s.end();
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let t = Arc::new(Tracer::new());
+        t.span("a", "cat").end();
+        let doc = t.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("name").and_then(Json::as_str), Some("a"));
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(e.get("pid").and_then(Json::as_i64), Some(1));
+        assert!(e.get("ts").and_then(Json::as_i64).is_some());
+        assert!(e.get("dur").and_then(Json::as_i64).is_some());
+        // Round trips through the parser.
+        let text = doc.to_string_pretty();
+        assert!(crate::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn export_orders_parents_before_children() {
+        let t = Arc::new(Tracer::new());
+        let outer = t.span("outer", "test");
+        t.span("inner", "test").end();
+        outer.end();
+        let doc = t.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("outer"));
+        assert_eq!(events[1].get("name").and_then(Json::as_str), Some("inner"));
+    }
+}

@@ -45,11 +45,7 @@ impl AliasUses {
         Self::compute_impl(prog, pts, Some(files))
     }
 
-    fn compute_impl(
-        prog: &Program,
-        pts: &PointsTo,
-        scope: Option<&BTreeSet<FileId>>,
-    ) -> AliasUses {
+    fn compute_impl(prog: &Program, pts: &PointsTo, scope: Option<&BTreeSet<FileId>>) -> AliasUses {
         let mut read_locals = BTreeSet::new();
         let mut mark = |obj: &MemObj| {
             if let MemObj::Local(f, l) | MemObj::LocalField(f, l, _) = obj {
@@ -163,7 +159,8 @@ mod tests {
 
     #[test]
     fn unrelated_local_is_not_marked() {
-        let (p, _, uses) = facts("int f(void) { int x = 1; int y = 2; int *p = &x; return *p + y; }");
+        let (p, _, uses) =
+            facts("int f(void) { int x = 1; int y = 2; int *p = &x; return *p + y; }");
         let fid = p.func_id("f").unwrap();
         let y = p.func_by_name("f").unwrap().local_by_name("y").unwrap();
         assert!(!uses.is_aliased_read(fid, y));

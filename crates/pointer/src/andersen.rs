@@ -94,6 +94,8 @@ struct Solver<'p> {
     bound: HashSet<(usize, String)>,
     worklist: Vec<u32>,
     queued: Vec<bool>,
+    /// Worklist pops performed before reaching the fixpoint.
+    propagations: u64,
     call_edges: BTreeSet<(FuncId, String)>,
     /// name -> (FuncId, param temps, return sources).
     func_info: HashMap<String, (FuncId, Vec<u32>, Vec<Src>)>,
@@ -119,16 +121,24 @@ impl PointsTo {
     }
 
     fn solve_impl(prog: &Program, config: Config, scope: Option<&BTreeSet<FileId>>) -> PointsTo {
+        let span = vc_obs::span("pointer.solve", "pointer");
         let mut solver = Solver::new(prog, config);
         solver.scope = scope.cloned();
         solver.generate();
         solver.run();
-        PointsTo {
+        span.end();
+        let out = PointsTo {
             interner: solver.interner,
             pts: solver.pts,
             call_edges: solver.call_edges,
             config,
-        }
+        };
+        vc_obs::counter_inc("pointer.solves");
+        vc_obs::counter_add("pointer.propagations", solver.propagations);
+        vc_obs::counter_add("pointer.nodes", out.pts.len() as u64);
+        vc_obs::counter_add("pointer.copy_edges", solver.copy_seen.len() as u64);
+        vc_obs::counter_add("pointer.facts", out.fact_count() as u64);
+        out
     }
 
     /// The points-to set of a temp, as memory objects.
@@ -202,6 +212,7 @@ impl<'p> Solver<'p> {
             bound: HashSet::new(),
             worklist: Vec::new(),
             queued: Vec::new(),
+            propagations: 0,
             call_edges: BTreeSet::new(),
             func_info: HashMap::new(),
         }
@@ -460,10 +471,7 @@ impl<'p> Solver<'p> {
             Inst::Bin { .. } | Inst::Un { .. } => {
                 // Pointer arithmetic (`p + 1`) keeps pointing at the same
                 // objects; propagate through the result.
-                if let Inst::Bin {
-                    dst, lhs, rhs, ..
-                } = inst
-                {
+                if let Inst::Bin { dst, lhs, rhs, .. } = inst {
                     let d = self.temp_var(fid, *dst);
                     for op in [lhs, rhs] {
                         if let Some(Src::Var(v)) = self.operand_src(fid, op) {
@@ -502,6 +510,7 @@ impl<'p> Solver<'p> {
     fn run(&mut self) {
         while let Some(v) = self.worklist.pop() {
             self.queued[v as usize] = false;
+            self.propagations += 1;
             let objs: Vec<u32> = self.pts[v as usize].iter().copied().collect();
 
             // Load constraints: d ⊇ *(v[.field]).
@@ -714,6 +723,23 @@ mod tests {
         field_objs.sort();
         field_objs.dedup();
         assert_eq!(field_objs.len(), 1, "expected collapse: {field_objs:?}");
+    }
+
+    #[test]
+    fn solver_reports_metrics() {
+        let obs = vc_obs::ObsSession::new();
+        let p = prog("void f(void) { int x = 1; int *p = &x; int *q = p; *q = 2; }");
+        let pts = {
+            let _g = obs.install();
+            PointsTo::solve(&p)
+        };
+        let reg = &obs.registry;
+        assert_eq!(reg.counter("pointer.solves"), 1);
+        assert!(reg.counter("pointer.propagations") > 0);
+        assert!(reg.counter("pointer.nodes") > 0);
+        assert_eq!(reg.counter("pointer.facts"), pts.fact_count() as u64);
+        let spans = obs.tracer.records();
+        assert!(spans.iter().any(|s| s.name == "pointer.solve"));
     }
 
     #[test]

@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn field_of_local_is_field_object() {
         let o = MemObj::Local(FuncId(0), LocalId(1));
-        assert_eq!(o.field(2), Some(MemObj::LocalField(FuncId(0), LocalId(1), 2)));
+        assert_eq!(
+            o.field(2),
+            Some(MemObj::LocalField(FuncId(0), LocalId(1), 2))
+        );
     }
 
     #[test]

@@ -208,7 +208,11 @@ mod tests {
     fn check(old: &[&str], new: &[&str]) -> Vec<Edit> {
         let (o, n) = (lines(old), lines(new));
         let script = diff_lines(&o, &n);
-        assert_eq!(patch(&o, &script), n, "patch(diff) != new for {o:?} -> {n:?}");
+        assert_eq!(
+            patch(&o, &script),
+            n,
+            "patch(diff) != new for {o:?} -> {n:?}"
+        );
         script
     }
 

@@ -9,26 +9,21 @@
 
 use std::collections::HashMap;
 
-use serde::{
-    Deserialize,
-    Serialize, //
-};
-
 use crate::diff::{
     diff_lines,
     Edit, //
 };
 
 /// Identifier of an author.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AuthorId(pub u32);
 
 /// Identifier of a commit; ids increase in history order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CommitId(pub u32);
 
 /// An author identity.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Author {
     /// Display name.
     pub name: String,
@@ -213,10 +208,7 @@ impl Repository {
 
     /// Commits that touched `path`, oldest first.
     pub fn log(&self, path: &str) -> &[CommitId] {
-        self.file_log
-            .get(path)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.file_log.get(path).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// The commit with the given id.
@@ -317,7 +309,12 @@ mod tests {
         let alice = repo.add_author("alice");
         let bob = repo.add_author("bob");
         repo.commit(alice, 1000, "init", vec![write("a.c", "l1\nl2\nl3\n")]);
-        repo.commit(bob, 2000, "edit line 2", vec![write("a.c", "l1\nl2-changed\nl3\n")]);
+        repo.commit(
+            bob,
+            2000,
+            "edit line 2",
+            vec![write("a.c", "l1\nl2-changed\nl3\n")],
+        );
         assert_eq!(repo.blame_author("a.c", 1), Some(alice));
         assert_eq!(repo.blame_author("a.c", 2), Some(bob));
         assert_eq!(repo.blame_author("a.c", 3), Some(alice));
@@ -381,12 +378,27 @@ mod tests {
         let mut repo = Repository::new();
         let a = repo.add_author("a");
         let b = repo.add_author("b");
-        let c1 = repo.commit(a, 10, "init", vec![write("f", "one
+        let c1 = repo.commit(
+            a,
+            10,
+            "init",
+            vec![write(
+                "f", "one
 two
-")]);
-        let _c2 = repo.commit(b, 20, "edit", vec![write("f", "one
+",
+            )],
+        );
+        let _c2 = repo.commit(
+            b,
+            20,
+            "edit",
+            vec![write(
+                "f",
+                "one
 two-x
-")]);
+",
+            )],
+        );
         let old = repo.checkout(c1);
         assert_eq!(old.blame_author("f", 2), Some(a));
         assert_eq!(repo.blame_author("f", 2), Some(b));
@@ -412,7 +424,12 @@ two-x
         let a = repo.add_author("a");
         let b = repo.add_author("b");
         repo.commit(a, 1, "init", vec![write("f", "keep\nold1\nold2\nkeep2\n")]);
-        repo.commit(b, 2, "rewrite middle", vec![write("f", "keep\nnew1\nnew2\nnew3\nkeep2\n")]);
+        repo.commit(
+            b,
+            2,
+            "rewrite middle",
+            vec![write("f", "keep\nnew1\nnew2\nnew3\nkeep2\n")],
+        );
         assert_eq!(repo.blame_author("f", 1), Some(a));
         assert_eq!(repo.blame_author("f", 2), Some(b));
         assert_eq!(repo.blame_author("f", 3), Some(b));

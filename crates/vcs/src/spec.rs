@@ -2,9 +2,9 @@
 //! in and out of the process — the interchange format of the `vcheck` and
 //! `genapp` command-line tools.
 
-use serde::{
-    Deserialize,
-    Serialize, //
+use vc_obs::{
+    json,
+    Json, //
 };
 
 use crate::repo::{
@@ -13,7 +13,7 @@ use crate::repo::{
 };
 
 /// One file write inside a commit spec.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WriteSpec {
     /// Repository-relative path.
     pub path: String,
@@ -22,7 +22,7 @@ pub struct WriteSpec {
 }
 
 /// One commit in the history spec.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommitSpec {
     /// Author name; registered on first use.
     pub author: String,
@@ -35,7 +35,7 @@ pub struct CommitSpec {
 }
 
 /// A whole linear history.
-#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistorySpec {
     /// Commits, oldest first.
     pub commits: Vec<CommitSpec>,
@@ -107,6 +107,92 @@ impl HistorySpec {
             }],
         }
     }
+
+    /// The spec as a JSON value.
+    fn json_value(&self) -> Json {
+        let commits = self
+            .commits
+            .iter()
+            .map(|c| {
+                let writes = c
+                    .writes
+                    .iter()
+                    .map(|w| {
+                        Json::Obj(vec![
+                            ("path".into(), Json::Str(w.path.clone())),
+                            ("content".into(), Json::Str(w.content.clone())),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("author".into(), Json::Str(c.author.clone())),
+                    ("timestamp".into(), Json::Int(c.timestamp)),
+                    ("message".into(), Json::Str(c.message.clone())),
+                    ("writes".into(), Json::Arr(writes)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![("commits".into(), Json::Arr(commits))])
+    }
+
+    /// Compact `history.json` text.
+    pub fn to_json(&self) -> String {
+        self.json_value().to_string()
+    }
+
+    /// Pretty-printed `history.json` text.
+    pub fn to_json_pretty(&self) -> String {
+        self.json_value().to_string_pretty()
+    }
+
+    /// Parses `history.json` text.
+    pub fn from_json(text: &str) -> Result<HistorySpec, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let commits = doc
+            .get("commits")
+            .and_then(Json::as_arr)
+            .ok_or("history spec: missing \"commits\" array")?;
+        let mut out = HistorySpec::default();
+        for (i, c) in commits.iter().enumerate() {
+            let field = |name: &str| {
+                c.get(name)
+                    .ok_or_else(|| format!("commit #{i}: missing \"{name}\""))
+            };
+            let str_field = |name: &str| {
+                field(name)?
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("commit #{i}: \"{name}\" must be a string"))
+            };
+            let mut writes = Vec::new();
+            for (j, w) in field("writes")?
+                .as_arr()
+                .ok_or_else(|| format!("commit #{i}: \"writes\" must be an array"))?
+                .iter()
+                .enumerate()
+            {
+                let wstr = |name: &str| {
+                    w.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("commit #{i} write #{j}: bad \"{name}\""))
+                };
+                writes.push(WriteSpec {
+                    path: wstr("path")?,
+                    content: wstr("content")?,
+                });
+            }
+            out.commits.push(CommitSpec {
+                author: str_field("author")?,
+                timestamp: field("timestamp")?
+                    .as_i64()
+                    .ok_or_else(|| format!("commit #{i}: \"timestamp\" must be an integer"))?,
+                message: str_field("message")?,
+                writes,
+            });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -139,10 +225,40 @@ mod tests {
         };
         let repo = spec.build();
         assert_eq!(repo.author_count(), 2);
-        assert_eq!(repo.blame_author("a.c", 2).map(|a| repo.author(a).name.clone()),
-            Some("bob".to_string()));
+        assert_eq!(
+            repo.blame_author("a.c", 2)
+                .map(|a| repo.author(a).name.clone()),
+            Some("bob".to_string())
+        );
         let back = HistorySpec::from_repo(&repo);
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = HistorySpec {
+            commits: vec![CommitSpec {
+                author: "alice \"quoted\"".into(),
+                timestamp: -3,
+                message: "line1\nline2\t🎉".into(),
+                writes: vec![WriteSpec {
+                    path: "dir/a.c".into(),
+                    content: "int x;\n".into(),
+                }],
+            }],
+        };
+        let compact = spec.to_json();
+        let pretty = spec.to_json_pretty();
+        assert_eq!(HistorySpec::from_json(&compact).unwrap(), spec);
+        assert_eq!(HistorySpec::from_json(&pretty).unwrap(), spec);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn from_json_reports_shape_errors() {
+        assert!(HistorySpec::from_json("{}").is_err());
+        assert!(HistorySpec::from_json("{\"commits\":[{}]}").is_err());
+        assert!(HistorySpec::from_json("not json").is_err());
     }
 
     #[test]

@@ -1,49 +1,81 @@
 //! Property tests for the VCS substrate: the diff/patch inverse law, blame
 //! coverage, and checkout consistency.
+//!
+//! Each property runs as a deterministic loop over cases drawn from a
+//! seeded [`SplitMix64`]; a failing case prints its case number so it can
+//! be replayed exactly.
 
-use proptest::prelude::*;
+use vc_obs::SplitMix64;
 use vc_vcs::{
     diff::{
         churn,
         diff_lines,
         patch, //
     },
-    FileWrite,
-    Repository,
+    FileWrite, Repository,
 };
 
-fn lines_strategy() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec("[abcdxyz]{0,3}", 0..40)
+/// A random file as a vector of short lines over a tiny alphabet, so that
+/// diffs see plenty of genuine matches and moves.
+fn random_lines(rng: &mut SplitMix64, max_lines: usize) -> Vec<String> {
+    const POOL: &[char] = &['a', 'b', 'c', 'd', 'x', 'y', 'z'];
+    let n = rng.range_usize(0, max_lines);
+    (0..n)
+        .map(|_| {
+            let len = rng.range_inclusive_usize(0, 3);
+            (0..len).map(|_| *rng.choice(POOL)).collect()
+        })
+        .collect()
 }
 
-proptest! {
-    /// patch(old, diff(old, new)) == new, always.
-    #[test]
-    fn patch_of_diff_is_identity(old in lines_strategy(), new in lines_strategy()) {
-        let script = diff_lines(&old, &new);
-        prop_assert_eq!(patch(&old, &script), new);
-    }
+/// A random history: each revision is a full rewrite of the file.
+fn random_history(rng: &mut SplitMix64, min_revs: usize, max_revs: usize) -> Vec<Vec<String>> {
+    let n = rng.range_usize(min_revs, max_revs);
+    (0..n).map(|_| random_lines(rng, 40)).collect()
+}
 
-    /// A diff never claims more churn than a full rewrite.
-    #[test]
-    fn churn_is_bounded(old in lines_strategy(), new in lines_strategy()) {
+/// patch(old, diff(old, new)) == new, always.
+#[test]
+fn patch_of_diff_is_identity() {
+    let mut rng = SplitMix64::new(0xC1);
+    for case in 0..200 {
+        let old = random_lines(&mut rng, 40);
+        let new = random_lines(&mut rng, 40);
         let script = diff_lines(&old, &new);
-        prop_assert!(churn(&script) <= old.len() + new.len());
+        assert_eq!(patch(&old, &script), new, "case {case}: {old:?} -> {new:?}");
     }
+}
 
-    /// Diffing a file against itself is pure Keep.
-    #[test]
-    fn self_diff_is_empty(old in lines_strategy()) {
+/// A diff never claims more churn than a full rewrite.
+#[test]
+fn churn_is_bounded() {
+    let mut rng = SplitMix64::new(0xC2);
+    for case in 0..200 {
+        let old = random_lines(&mut rng, 40);
+        let new = random_lines(&mut rng, 40);
+        let script = diff_lines(&old, &new);
+        assert!(churn(&script) <= old.len() + new.len(), "case {case}");
+    }
+}
+
+/// Diffing a file against itself is pure Keep.
+#[test]
+fn self_diff_is_empty() {
+    let mut rng = SplitMix64::new(0xC3);
+    for case in 0..200 {
+        let old = random_lines(&mut rng, 40);
         let script = diff_lines(&old, &old);
-        prop_assert_eq!(churn(&script), 0);
+        assert_eq!(churn(&script), 0, "case {case}: {old:?}");
     }
+}
 
-    /// After any sequence of commits, blame covers exactly the file's lines,
-    /// and every blame entry names a registered author and commit.
-    #[test]
-    fn blame_covers_exactly_the_file(
-        contents in proptest::collection::vec(lines_strategy(), 1..6)
-    ) {
+/// After any sequence of commits, blame covers exactly the file's lines,
+/// and every blame entry names a registered author and commit.
+#[test]
+fn blame_covers_exactly_the_file() {
+    let mut rng = SplitMix64::new(0xC4);
+    for case in 0..60 {
+        let contents = random_history(&mut rng, 1, 6);
         let mut repo = Repository::new();
         let authors = [repo.add_author("a"), repo.add_author("b")];
         for (i, lines) in contents.iter().enumerate() {
@@ -61,20 +93,22 @@ proptest! {
         // Writing an empty line list still produces "\n": one empty line,
         // matching git's accounting of a file containing a single newline.
         let expect = last.len().max(1);
-        prop_assert_eq!(repo.line_count("f"), expect);
+        assert_eq!(repo.line_count("f"), expect, "case {case}");
         for line in 1..=expect as u32 {
             let b = repo.blame("f", line).expect("line has blame");
-            prop_assert!(authors.contains(&b.author));
-            prop_assert!((b.commit.0 as usize) < contents.len());
+            assert!(authors.contains(&b.author), "case {case}");
+            assert!((b.commit.0 as usize) < contents.len(), "case {case}");
         }
-        prop_assert!(repo.blame("f", expect as u32 + 1).is_none());
+        assert!(repo.blame("f", expect as u32 + 1).is_none(), "case {case}");
     }
+}
 
-    /// `checkout(c)` reproduces the blame the repository had at commit `c`.
-    #[test]
-    fn checkout_blame_matches_incremental_blame(
-        contents in proptest::collection::vec(lines_strategy(), 2..6)
-    ) {
+/// `checkout(c)` reproduces the blame the repository had at commit `c`.
+#[test]
+fn checkout_blame_matches_incremental_blame() {
+    let mut rng = SplitMix64::new(0xC5);
+    for case in 0..60 {
+        let contents = random_history(&mut rng, 2, 6);
         // Build incrementally, capturing blame after the first commit.
         let mut repo = Repository::new();
         let a = repo.add_author("a");
@@ -99,28 +133,35 @@ proptest! {
             }
         }
         let old = repo.checkout(first_commit.unwrap());
-        prop_assert_eq!(old.line_count("f"), first_blames.len());
+        assert_eq!(old.line_count("f"), first_blames.len(), "case {case}");
         for (i, expect) in first_blames.iter().enumerate() {
-            prop_assert_eq!(old.blame("f", i as u32 + 1), Some(*expect));
+            assert_eq!(old.blame("f", i as u32 + 1), Some(*expect), "case {case}");
         }
     }
+}
 
-    /// Snapshot trees agree with replayed file contents.
-    #[test]
-    fn snapshot_matches_final_content(
-        contents in proptest::collection::vec(lines_strategy(), 1..5)
-    ) {
+/// Snapshot trees agree with replayed file contents.
+#[test]
+fn snapshot_matches_final_content() {
+    let mut rng = SplitMix64::new(0xC6);
+    for case in 0..60 {
+        let contents = random_history(&mut rng, 1, 5);
         let mut repo = Repository::new();
         let a = repo.add_author("a");
         let mut last = None;
         for (i, lines) in contents.iter().enumerate() {
-            last = Some(repo.commit(a, i as i64, "c", vec![FileWrite {
-                path: "f".into(),
-                content: lines.join("\n") + "\n",
-            }]));
+            last = Some(repo.commit(
+                a,
+                i as i64,
+                "c",
+                vec![FileWrite {
+                    path: "f".into(),
+                    content: lines.join("\n") + "\n",
+                }],
+            ));
         }
         let snap = repo.snapshot_at(last.unwrap());
         let expected = contents.last().unwrap().join("\n") + "\n";
-        prop_assert_eq!(snap.get("f"), Some(&expected));
+        assert_eq!(snap.get("f"), Some(&expected), "case {case}");
     }
 }

@@ -31,7 +31,11 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
             }
-            "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")))),
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--out needs a path")),
+                ))
+            }
             "--help" | "-h" => {
                 eprintln!("Usage: genapp --profile <linux|nfs-ganesha|mysql|openssl> [--scale F] --out DIR");
                 return;
@@ -63,16 +67,10 @@ fn main() {
         std::fs::write(&full, content).unwrap_or_else(|e| die(&format!("{e}")));
     }
     let spec = HistorySpec::from_repo(&app.repo);
-    std::fs::write(
-        out.join("history.json"),
-        serde_json::to_string(&spec).expect("history serializes"),
-    )
-    .unwrap_or_else(|e| die(&format!("{e}")));
-    std::fs::write(
-        out.join("truth.json"),
-        serde_json::to_string_pretty(&app.truth).expect("truth serializes"),
-    )
-    .unwrap_or_else(|e| die(&format!("{e}")));
+    std::fs::write(out.join("history.json"), spec.to_json())
+        .unwrap_or_else(|e| die(&format!("{e}")));
+    std::fs::write(out.join("truth.json"), app.truth.to_json())
+        .unwrap_or_else(|e| die(&format!("{e}")));
 
     eprintln!(
         "genapp: wrote `{}` ({} files, {} LOC, {} commits) to {}",

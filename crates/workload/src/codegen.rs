@@ -569,7 +569,11 @@ pub fn non_cross(id: &str, role: Role, when: i64, const_init: bool) -> Item {
     // Most same-author redundancies in real code are defensive constant
     // initializations (which fb-infer suppresses); a minority carry a
     // computed value.
-    let init = if const_init { "0".to_string() } else { "a * 2".to_string() };
+    let init = if const_init {
+        "0".to_string()
+    } else {
+        "a * 2".to_string()
+    };
     let text = format!(
         "void {name}(int a) {{\n\
          int t = {init};\n\

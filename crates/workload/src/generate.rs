@@ -15,11 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::{
-    rngs::StdRng,
-    Rng,
-    SeedableRng, //
-};
+use vc_obs::SplitMix64;
 use vc_vcs::{
     AuthorId,
     CommitId,
@@ -121,7 +117,7 @@ struct FilePlan {
 /// Generates an application from a profile. Deterministic in the profile's
 /// seed.
 pub fn generate(profile: &AppProfile) -> GeneratedApp {
-    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut rng = SplitMix64::new(profile.seed);
     let tag: String = profile
         .name
         .chars()
@@ -151,8 +147,8 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
         format!("{tag}_{:05}", *counter)
     };
 
-    let pick_weighted = |rng: &mut StdRng, table: &[(&str, f64)]| -> String {
-        let x: f64 = rng.gen();
+    let pick_weighted = |rng: &mut SplitMix64, table: &[(&str, f64)]| -> String {
+        let x = rng.f64();
         let mut acc = 0.0;
         for (name, w) in table {
             acc += w;
@@ -162,18 +158,18 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
         }
         table.last().expect("non-empty table").0.to_string()
     };
-    let pick_age = |rng: &mut StdRng| -> i64 {
-        let x: f64 = rng.gen();
+    let pick_age = |rng: &mut SplitMix64| -> i64 {
+        let x = rng.f64();
         let mut acc = 0.0;
         for (lo, hi, w) in AGE_BUCKETS {
             acc += w;
             if x < acc {
-                return rng.gen_range(*lo..*hi);
+                return rng.range_i64(*lo, *hi);
             }
         }
         AGE_BUCKETS[0].0
     };
-    let pick_severity = |rng: &mut StdRng| -> Severity {
+    let pick_severity = |rng: &mut SplitMix64| -> Severity {
         match pick_weighted(rng, SEVERITIES).as_str() {
             "high" => Severity::High,
             "low" => Severity::Low,
@@ -247,7 +243,7 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
     // False positives.
     for i in 0..(profile.fp_minor + profile.fp_debug) {
         let id = next_id(&mut counter);
-        let when = NOW - rng.gen_range(200..900) * DAY;
+        let when = NOW - rng.range_i64(200, 900) * DAY;
         let debug_code = i >= profile.fp_minor;
         let mut item = codegen::fp_retval(&id, when, debug_code);
         // One false positive per application comes from a newcomer, putting
@@ -268,32 +264,42 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
     // Intentional patterns.
     for i in 0..profile.prune_config {
         let id = next_id(&mut counter);
-        items.push(codegen::intentional_config(&id, PlantKind::Intentional {
-            pattern: IntentionalPattern::ConfigDependency,
-            actually_bug: i < profile.prune_fn_config,
-        }));
+        items.push(codegen::intentional_config(
+            &id,
+            PlantKind::Intentional {
+                pattern: IntentionalPattern::ConfigDependency,
+                actually_bug: i < profile.prune_fn_config,
+            },
+        ));
     }
     for _ in 0..profile.prune_cursor {
         let id = next_id(&mut counter);
-        let when = NOW - rng.gen_range(100..1200) * DAY;
-        items.push(codegen::intentional_cursor(&id, when, PlantKind::Intentional {
-            pattern: IntentionalPattern::Cursor,
-            actually_bug: false,
-        }));
+        let when = NOW - rng.range_i64(100, 1200) * DAY;
+        items.push(codegen::intentional_cursor(
+            &id,
+            when,
+            PlantKind::Intentional {
+                pattern: IntentionalPattern::Cursor,
+                actually_bug: false,
+            },
+        ));
     }
     for _ in 0..profile.prune_hints {
         let id = next_id(&mut counter);
-        items.push(codegen::intentional_hint(&id, PlantKind::Intentional {
-            pattern: IntentionalPattern::UnusedHint,
-            actually_bug: false,
-        }));
+        items.push(codegen::intentional_hint(
+            &id,
+            PlantKind::Intentional {
+                pattern: IntentionalPattern::UnusedHint,
+                actually_bug: false,
+            },
+        ));
     }
     // Peer groups of 11–18 sites.
     let mut peer_budget = profile.prune_peer;
     let mut group = 0usize;
     let mut peer_fn_left = profile.prune_fn_peer;
     while peer_budget > 0 {
-        let mut k = rng.gen_range(11..=18).min(peer_budget);
+        let mut k = rng.range_inclusive_usize(11, 18).min(peer_budget);
         // Never leave a remainder below the peer threshold.
         if peer_budget > k && peer_budget - k < 11 {
             k = peer_budget;
@@ -330,14 +336,14 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
             5..=7 => Role::Contributor,
             _ => Role::Owner,
         };
-        let when = NOW - rng.gen_range(50..1500) * DAY;
+        let when = NOW - rng.range_i64(50, 1500) * DAY;
         items.push(codegen::non_cross(&id, role, when, i % 5 != 0));
     }
 
     // Same-author unused call results that are real bugs (§8.4.5).
     for _ in 0..profile.non_cross_real {
         let id = next_id(&mut counter);
-        let when = NOW - rng.gen_range(30..400) * DAY;
+        let when = NOW - rng.range_i64(30, 400) * DAY;
         items.push(codegen::non_cross_real(&id, Role::Contributor, when));
     }
 
@@ -347,8 +353,8 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
         let bugfix = i < profile.prelim_bugfix;
         let cross = i < profile.prelim_cross;
         let peer_missed = i < profile.prelim_peer_missed;
-        let intro = T_PRELIM_INTRO + rng.gen_range(0..60) * DAY;
-        let removal = rng.gen_range(T_REMOVAL_LO..T_REMOVAL_HI);
+        let intro = T_PRELIM_INTRO + rng.range_i64(0, 60) * DAY;
+        let removal = rng.range_i64(T_REMOVAL_LO, T_REMOVAL_HI);
         items.push(codegen::prelim(
             &id,
             intro,
@@ -356,7 +362,7 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
             bugfix,
             cross,
             peer_missed,
-            (i + rng.gen_range(0..7)) % peer_groups,
+            (i + rng.range_usize(0, 7)) % peer_groups,
         ));
     }
 
@@ -369,7 +375,7 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
     // Shuffle so detection order interleaves kinds (the "w/o Familiarity"
     // ablation samples the first 20 in detection order).
     for i in (1..items.len()).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.range_inclusive_usize(0, i);
         items.swap(i, j);
     }
 
@@ -392,7 +398,7 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
                 files.push(f);
             }
             let owner = owners[file_no % owners.len()];
-            let t_init = T_IMPORT + rng.gen_range(0..60) * DAY;
+            let t_init = T_IMPORT + rng.range_i64(0, 60) * DAY;
             current = Some(FilePlan {
                 path: format!("src/{tag}_mod_{file_no:04}.c"),
                 protos: Vec::new(),
@@ -425,7 +431,9 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
         }
         for (idx, kind) in item.plants {
             truth.planted.push(Planted {
-                func: f.slots[(base_slot + idx).min(f.slots.len() - 1)].name.clone(),
+                func: f.slots[(base_slot + idx).min(f.slots.len() - 1)]
+                    .name
+                    .clone(),
                 file: f.path.clone(),
                 kind,
             });
@@ -439,12 +447,12 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
     // files throughout (raising every outsider's AC), while contributors and
     // half the drifters make same-author follow-up commits (raising their
     // own DL — the familiarity signal the DOK ranking keys on).
-    let pick_role_author = |rng: &mut StdRng, role: Role, owner: AuthorId| -> AuthorId {
+    let pick_role_author = |rng: &mut SplitMix64, role: Role, owner: AuthorId| -> AuthorId {
         match role {
             Role::Owner => owner,
-            Role::Newcomer => newcomers[rng.gen_range(0..newcomers.len())],
-            Role::Contributor => contributors[rng.gen_range(0..contributors.len())],
-            Role::Drifter => drifters[rng.gen_range(0..drifters.len())],
+            Role::Newcomer => *rng.choice(&newcomers),
+            Role::Contributor => *rng.choice(&contributors),
+            Role::Drifter => *rng.choice(&drifters),
         }
     };
     struct ResolvedEdit {
@@ -464,8 +472,8 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
                 let author = pick_role_author(&mut rng, e.role, f.owner);
                 // Same-author follow-up churns build the editor's DL.
                 let follow_ups = match e.role {
-                    Role::Contributor => rng.gen_range(3..=5),
-                    Role::Drifter => rng.gen_range(0..=1),
+                    Role::Contributor => rng.range_inclusive_usize(3, 5),
+                    Role::Drifter => rng.range_inclusive_usize(0, 1),
                     Role::Owner | Role::Newcomer => 0,
                 };
                 for k in 0..follow_ups {
@@ -481,9 +489,9 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
                 });
             }
         }
-        let n = rng.gen_range(6..12);
+        let n = rng.range_usize(6, 12);
         for _ in 0..n {
-            let t = rng.gen_range(f.t_init + 10 * DAY..NOW - 5 * DAY);
+            let t = rng.range_i64(f.t_init + 10 * DAY, NOW - 5 * DAY);
             f.churns.push((t, f.owner));
         }
         file_edits.push(resolved);
@@ -515,12 +523,16 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
         let mut events: Vec<(i64, usize, Ev)> = Vec::new();
         let mut seq = 0usize;
         for e in resolved {
-            events.push((e.time, seq, Ev::Edit {
-                slot: e.slot,
-                text: e.text.clone(),
-                author: e.author,
-                message: e.message.clone(),
-            }));
+            events.push((
+                e.time,
+                seq,
+                Ev::Edit {
+                    slot: e.slot,
+                    text: e.text.clone(),
+                    author: e.author,
+                    message: e.message.clone(),
+                },
+            ));
             seq += 1;
         }
         for (t, a) in &f.churns {
@@ -586,19 +598,22 @@ pub fn generate(profile: &AppProfile) -> GeneratedApp {
 
     planned.sort_by(|a, b| (a.time, &a.path).cmp(&(b.time, &b.path)));
     for p in planned {
-        repo.commit(p.author, p.time, p.message, vec![FileWrite {
-            path: p.path,
-            content: p.content,
-        }]);
+        repo.commit(
+            p.author,
+            p.time,
+            p.message,
+            vec![FileWrite {
+                path: p.path,
+                content: p.content,
+            }],
+        );
     }
 
     // ----- Final sources and snapshots --------------------------------------
     let mut sources: BTreeMap<String, String> = BTreeMap::new();
     let paths: Vec<String> = repo.paths().iter().map(|p| p.to_string()).collect();
     for path in paths {
-        let content = repo
-            .file_content(&path)
-            .expect("tracked file has content");
+        let content = repo.file_content(&path).expect("tracked file has content");
         sources.insert(path, content + "\n");
     }
     // Clamp recorded introduction times to the actual edit floor.

@@ -8,8 +8,6 @@
 //! the generator materializes a synthetic MiniC project + VCS history with
 //! those properties by construction.
 
-use serde::Serialize;
-
 /// Distribution weights for bug components (Fig. 7a).
 pub const COMPONENTS: &[(&str, f64)] = &[
     ("file-system", 0.38),
@@ -24,11 +22,8 @@ pub const COMPONENTS: &[(&str, f64)] = &[
 pub const SEVERITIES: &[(&str, f64)] = &[("high", 0.15), ("medium", 0.59), ("low", 0.26)];
 
 /// Bug-age buckets in days (Fig. 7c): `(min_days, max_days, weight)`.
-pub const AGE_BUCKETS: &[(i64, i64, f64)] = &[
-    (1000, 2500, 0.82),
-    (100, 1000, 0.13),
-    (7, 100, 0.05),
-];
+pub const AGE_BUCKETS: &[(i64, i64, f64)] =
+    &[(1000, 2500, 0.82), (100, 1000, 0.13), (7, 100, 0.05)];
 
 /// "Now" for the generated histories: 2022-07-01 00:00:00 UTC, shortly after
 /// the paper's analysis period.
@@ -38,7 +33,7 @@ pub const NOW: i64 = 1_656_633_600;
 pub const DAY: i64 = 86_400;
 
 /// A calibrated application profile.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AppProfile {
     /// Application name (`linux`, `nfs-ganesha`, `mysql`, `openssl`).
     pub name: String,

@@ -6,10 +6,10 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
+use vc_obs::Json;
 
 /// Bug category (Table 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BugCategory {
     /// A missing check on a return value / parameter / variable.
     MissingCheck,
@@ -18,7 +18,7 @@ pub enum BugCategory {
 }
 
 /// Severity label (Fig. 7b).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Severity {
     High,
     Medium,
@@ -26,7 +26,7 @@ pub enum Severity {
 }
 
 /// Which intentional pattern an injected non-bug matches (Table 4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IntentionalPattern {
     /// §5.1 configuration dependency.
     ConfigDependency,
@@ -39,7 +39,7 @@ pub enum IntentionalPattern {
 }
 
 /// What was planted in one generated function.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub enum PlantKind {
     /// A real, developer-confirmable bug.
     ConfirmedBug {
@@ -85,7 +85,7 @@ pub enum PlantKind {
 }
 
 /// One planted construct.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Planted {
     /// Unique function name containing the construct.
     pub func: String,
@@ -96,7 +96,7 @@ pub struct Planted {
 }
 
 /// Ground truth for one generated application.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct GroundTruth {
     /// Every planted construct, keyed by function name in `index`.
     pub planted: Vec<Planted>,
@@ -107,10 +107,7 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Builds the function-name index.
     pub fn index(&self) -> HashMap<&str, &Planted> {
-        self.planted
-            .iter()
-            .map(|p| (p.func.as_str(), p))
-            .collect()
+        self.planted.iter().map(|p| (p.func.as_str(), p)).collect()
     }
 
     /// Looks up the plant for a reported function, if any.
@@ -146,6 +143,28 @@ impl GroundTruth {
         c
     }
 
+    /// Renders the truth as pretty-printed JSON (the `truth.json` artifact
+    /// written next to generated applications). Plant kinds use an
+    /// externally-tagged layout: `{"ConfirmedBug": {...}}`.
+    pub fn to_json(&self) -> String {
+        let planted = self
+            .planted
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("func".into(), Json::Str(p.func.clone())),
+                    ("file".into(), Json::Str(p.file.clone())),
+                    ("kind".into(), kind_json(&p.kind)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("planted".into(), Json::Arr(planted)),
+            ("now".into(), Json::Int(self.now)),
+        ])
+        .to_string_pretty()
+    }
+
     /// Evaluates a list of reported function names against the truth:
     /// `(reported, real bugs, false positives)`.
     pub fn evaluate<'a>(&self, reported: impl Iterator<Item = &'a str>) -> (usize, usize, usize) {
@@ -159,6 +178,55 @@ impl GroundTruth {
         }
         (total, real, total - real)
     }
+}
+
+fn kind_json(kind: &PlantKind) -> Json {
+    let (tag, fields) = match kind {
+        PlantKind::ConfirmedBug {
+            category,
+            component,
+            severity,
+            introduced,
+        } => (
+            "ConfirmedBug",
+            vec![
+                ("category".into(), Json::Str(format!("{category:?}"))),
+                ("component".into(), Json::Str(component.clone())),
+                ("severity".into(), Json::Str(format!("{severity:?}"))),
+                ("introduced".into(), Json::Int(*introduced)),
+            ],
+        ),
+        PlantKind::FalsePositive { debug_code } => (
+            "FalsePositive",
+            vec![("debug_code".into(), Json::Bool(*debug_code))],
+        ),
+        PlantKind::Intentional {
+            pattern,
+            actually_bug,
+        } => (
+            "Intentional",
+            vec![
+                ("pattern".into(), Json::Str(format!("{pattern:?}"))),
+                ("actually_bug".into(), Json::Bool(*actually_bug)),
+            ],
+        ),
+        PlantKind::NonCross { real_bug } => {
+            ("NonCross", vec![("real_bug".into(), Json::Bool(*real_bug))])
+        }
+        PlantKind::PrelimRemoved {
+            bugfix,
+            cross_scope,
+            peer_missed,
+        } => (
+            "PrelimRemoved",
+            vec![
+                ("bugfix".into(), Json::Bool(*bugfix)),
+                ("cross_scope".into(), Json::Bool(*cross_scope)),
+                ("peer_missed".into(), Json::Bool(*peer_missed)),
+            ],
+        ),
+    };
+    Json::Obj(vec![(tag.into(), Json::Obj(fields))])
 }
 
 /// Coarse plant counts.
@@ -224,6 +292,18 @@ mod tests {
         let t = truth();
         assert!(t.is_confirmed_bug("f3"));
         assert!(!t.is_confirmed_bug("f2"));
+    }
+
+    #[test]
+    fn truth_json_parses_and_tags_kinds() {
+        let doc = vc_obs::json::parse(&truth().to_json()).unwrap();
+        let planted = doc.get("planted").and_then(Json::as_arr).unwrap();
+        assert_eq!(planted.len(), 3);
+        assert!(planted[0]
+            .get("kind")
+            .and_then(|k| k.get("ConfirmedBug"))
+            .is_some());
+        assert_eq!(doc.get("now").and_then(Json::as_i64), Some(100));
     }
 
     #[test]

@@ -79,7 +79,11 @@ fn check_app(profile: &AppProfile) {
             ),
         }
     }
-    assert_eq!(confirmed, profile.confirmed_bugs, "{}: confirmed", profile.name);
+    assert_eq!(
+        confirmed, profile.confirmed_bugs,
+        "{}: confirmed",
+        profile.name
+    );
 
     // No planted detection target was lost.
     let detected: HashSet<&str> = analysis
@@ -165,10 +169,8 @@ fn prelim_bugs_detectable_in_2019_snapshot() {
     let s2019 = app.snapshot_2019.expect("2019 snapshot");
     let old_repo = app.repo.checkout(s2019);
     let tree = app.repo.snapshot_at(s2019);
-    let mut sources: Vec<(&str, &str)> = tree
-        .iter()
-        .map(|(p, c)| (p.as_str(), c.as_str()))
-        .collect();
+    let mut sources: Vec<(&str, &str)> =
+        tree.iter().map(|(p, c)| (p.as_str(), c.as_str())).collect();
     sources.sort_by_key(|(p, _)| p.to_string());
     let prog = Program::build(&sources, &app.defines).unwrap();
     let analysis = run(&prog, &old_repo, &Options::paper());
@@ -199,7 +201,10 @@ fn prelim_bugs_detectable_in_2019_snapshot() {
         }
     }
     assert!(cross_total > 0);
-    assert_eq!(peer_missed_found, 0, "peer-pruned prelim bugs must be missed");
+    assert_eq!(
+        peer_missed_found, 0,
+        "peer-pruned prelim bugs must be missed"
+    );
     let missed = cross_total - found;
     // Exactly the peer-planted items are missed.
     assert_eq!(missed, app.profile.prelim_peer_missed, "recall misses");

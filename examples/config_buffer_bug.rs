@@ -50,19 +50,27 @@ void init_logging(void) {
     let mut repo = Repository::new();
     let author1 = repo.add_author("author1");
     let author2 = repo.add_author("author2");
-    repo.commit(author2, 1_450_000_000, "implement logfile module", vec![
-        FileWrite {
+    repo.commit(
+        author2,
+        1_450_000_000,
+        "implement logfile module",
+        vec![FileWrite {
             path: "logfile.c".into(),
             content: logfile.into(),
-        },
-    ]);
-    repo.commit(author1, 1_500_000_000, "wire header logging", vec![FileWrite {
-        path: "main.c".into(),
-        content: caller.into(),
-    }]);
+        }],
+    );
+    repo.commit(
+        author1,
+        1_500_000_000,
+        "wire header logging",
+        vec![FileWrite {
+            path: "main.c".into(),
+            content: caller.into(),
+        }],
+    );
 
-    let prog = Program::build(&[("logfile.c", logfile), ("main.c", caller)], &[])
-        .expect("program builds");
+    let prog =
+        Program::build(&[("logfile.c", logfile), ("main.c", caller)], &[]).expect("program builds");
     let analysis = run(&prog, &repo, &Options::paper());
 
     let finding = analysis

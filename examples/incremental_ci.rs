@@ -12,10 +12,14 @@
 use std::time::Instant;
 
 use valuecheck::{
-    incremental::analyze_commit,
+    incremental::{
+        analyze_commit_cached,
+        SnapshotCache, //
+    },
     prune::PruneConfig,
     rank::RankConfig,
 };
+use vc_obs::ObsSession;
 use vc_workload::{
     generate,
     AppProfile, //
@@ -42,10 +46,14 @@ fn main() {
         .map(|c| (c.id, c.author, c.message.clone()))
         .collect();
 
+    let obs = ObsSession::new();
+    let _guard = obs.install();
+    let mut cache = SnapshotCache::new();
     let mut total = 0.0f64;
     for (id, author, message) in commits.iter().rev() {
         let t0 = Instant::now();
-        let findings = analyze_commit(
+        let findings = analyze_commit_cached(
+            &mut cache,
             &app.repo,
             *id,
             &app.defines,
@@ -76,6 +84,12 @@ fn main() {
     println!(
         "average per-commit analysis time: {:.3}s",
         total / commits.len() as f64
+    );
+    println!(
+        "snapshot cache: {} hits, {} misses; {} functions analysed in total",
+        obs.registry.counter("incremental.cache.hits"),
+        obs.registry.counter("incremental.cache.misses"),
+        obs.registry.counter("incremental.functions_analysed"),
     );
 }
 

@@ -65,18 +65,24 @@ int bitmap4_to_attrmask_t(int *bm, int *mask) {
     let mut repo = Repository::new();
     let author1 = repo.add_author("author1");
     let author2 = repo.add_author("author2");
-    repo.commit(author1, 1_400_000_000, "convert NFSv4 bitmap to FSAL mask", vec![
-        FileWrite {
+    repo.commit(
+        author1,
+        1_400_000_000,
+        "convert NFSv4 bitmap to FSAL mask",
+        vec![FileWrite {
             path: "attrs.c".into(),
             content: v1.into(),
-        },
-    ]);
-    repo.commit(author2, 1_520_000_000, "rewrite conversion loop as for()", vec![
-        FileWrite {
+        }],
+    );
+    repo.commit(
+        author2,
+        1_520_000_000,
+        "rewrite conversion loop as for()",
+        vec![FileWrite {
             path: "attrs.c".into(),
             content: v2.into(),
-        },
-    ]);
+        }],
+    );
 
     let prog = Program::build(&[("attrs.c", v2)], &[]).expect("program builds");
     let analysis = run(&prog, &repo, &Options::paper());
@@ -103,5 +109,8 @@ int bitmap4_to_attrmask_t(int *bm, int *mask) {
     let module = parse(FileId(0), v2).expect("parses");
     let clang = clang_unused(&[("attrs.c".to_string(), module)]);
     assert!(clang.is_empty());
-    println!("Clang -Wunused: silent ({} findings) — attr is referenced later.", clang.len());
+    println!(
+        "Clang -Wunused: silent ({} findings) — attr is referenced later.",
+        clang.len()
+    );
 }

@@ -47,16 +47,24 @@ int reload(char *path) {
     let mut repo = Repository::new();
     let maintainer = repo.add_author("maintainer");
     let newcomer = repo.add_author("newcomer");
-    repo.commit(maintainer, 1_500_000_000, "import config reload", vec![
-        FileWrite {
+    repo.commit(
+        maintainer,
+        1_500_000_000,
+        "import config reload",
+        vec![FileWrite {
             path: "reload.c".into(),
             content: v1.into(),
-        },
-    ]);
-    repo.commit(newcomer, 1_560_000_000, "simplify reload", vec![FileWrite {
-        path: "reload.c".into(),
-        content: v2.into(),
-    }]);
+        }],
+    );
+    repo.commit(
+        newcomer,
+        1_560_000_000,
+        "simplify reload",
+        vec![FileWrite {
+            path: "reload.c".into(),
+            content: v2.into(),
+        }],
+    );
 
     // Compile the current tree and run the pipeline.
     let prog = Program::build(&[("reload.c", v2)], &[]).expect("program builds");
@@ -72,7 +80,11 @@ int reload(char *path) {
     println!();
     print!("{}", analysis.report.to_csv());
 
-    assert_eq!(analysis.detected(), 1, "the overwritten cfg must be reported");
+    assert_eq!(
+        analysis.detected(),
+        1,
+        "the overwritten cfg must be reported"
+    );
     let row = &analysis.report.rows[0];
     assert_eq!(row.variable, "cfg");
     assert_eq!(row.author.as_deref(), Some("newcomer"));

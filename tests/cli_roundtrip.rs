@@ -36,11 +36,7 @@ fn exported_project_reanalyzes_identically() {
         fs::write(&full, content).unwrap();
     }
     let spec = HistorySpec::from_repo(&app.repo);
-    fs::write(
-        dir.join("history.json"),
-        serde_json::to_string(&spec).unwrap(),
-    )
-    .unwrap();
+    fs::write(dir.join("history.json"), spec.to_json()).unwrap();
 
     // Re-load through the CLI path and re-analyse.
     let project = load_dir(&dir).unwrap();

@@ -32,14 +32,24 @@ fn two_authors(path: &str, v1: &str, v2: &str) -> Repository {
     let mut repo = Repository::new();
     let a1 = repo.add_author("author1");
     let a2 = repo.add_author("author2");
-    repo.commit(a1, 1_400_000_000, "original", vec![FileWrite {
-        path: path.into(),
-        content: v1.into(),
-    }]);
-    repo.commit(a2, 1_500_000_000, "rework", vec![FileWrite {
-        path: path.into(),
-        content: v2.into(),
-    }]);
+    repo.commit(
+        a1,
+        1_400_000_000,
+        "original",
+        vec![FileWrite {
+            path: path.into(),
+            content: v1.into(),
+        }],
+    );
+    repo.commit(
+        a2,
+        1_500_000_000,
+        "rework",
+        vec![FileWrite {
+            path: path.into(),
+            content: v2.into(),
+        }],
+    );
     repo
 }
 
@@ -87,14 +97,24 @@ fn figure_1b_bufsz_configuration_bug() {
     let mut repo = Repository::new();
     let author2 = repo.add_author("author2");
     let author1 = repo.add_author("author1");
-    repo.commit(author2, 1_400_000_000, "log module", vec![FileWrite {
-        path: "logfile.c".into(),
-        content: logfile.into(),
-    }]);
-    repo.commit(author1, 1_450_000_000, "wire logging", vec![FileWrite {
-        path: "main.c".into(),
-        content: caller.into(),
-    }]);
+    repo.commit(
+        author2,
+        1_400_000_000,
+        "log module",
+        vec![FileWrite {
+            path: "logfile.c".into(),
+            content: logfile.into(),
+        }],
+    );
+    repo.commit(
+        author1,
+        1_450_000_000,
+        "wire logging",
+        vec![FileWrite {
+            path: "main.c".into(),
+            content: caller.into(),
+        }],
+    );
     let prog = Program::build(&[("logfile.c", logfile), ("main.c", caller)], &[]).unwrap();
     let analysis = run(&prog, &repo, &Options::paper());
     let bufsz = analysis
@@ -102,7 +122,10 @@ fn figure_1b_bufsz_configuration_bug() {
         .iter()
         .find(|r| r.item.candidate.var_name == "bufsz")
         .expect("bufsz finding");
-    assert!(matches!(bufsz.item.candidate.scenario, Scenario::Param { index: 1 }));
+    assert!(matches!(
+        bufsz.item.candidate.scenario,
+        Scenario::Param { index: 1 }
+    ));
     assert!(bufsz.item.cross_scope);
 }
 

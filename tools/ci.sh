@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, format. No network access required — the
+# workspace has zero crates-io dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: OK"
