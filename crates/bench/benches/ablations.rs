@@ -44,6 +44,7 @@ fn pointer_field_sensitivity(h: &mut Harness) {
                 &prog,
                 PtConfig {
                     field_sensitive: fs,
+                    ..PtConfig::default()
                 },
             )
             .fact_count()

@@ -43,6 +43,12 @@ pub struct Attributed {
     pub counterpart_authors: Vec<AuthorId>,
     /// Whether the definition crosses author scopes.
     pub cross_scope: bool,
+    /// Whether the blame data needed by the scenario rule was missing or
+    /// partial. Unknown authorship degrades to *cross-scope* — the paper's
+    /// conservative default for an unresolvable boundary (a library callee
+    /// "counts as a different author") — rather than silently dropping the
+    /// candidate. Counted as `harden.authorship_unknown`.
+    pub authorship_unknown: bool,
 }
 
 /// Resolves authorship for candidates of a program against a repository.
@@ -77,16 +83,20 @@ impl<'a> AuthorshipCtx<'a> {
     /// Applies the scenario rules to one candidate.
     pub fn attribute(&self, cand: &Candidate) -> Attributed {
         let def_author = self.author_of(cand.span);
-        let (counterpart_authors, cross_scope) = match &cand.scenario {
+        let (counterpart_authors, cross_scope, authorship_unknown) = match &cand.scenario {
             Scenario::RetVal { callees } => self.retval_rule(cand, def_author, callees),
             Scenario::Param { .. } => self.param_rule(cand, def_author),
             Scenario::Overwritten => self.overwritten_rule(cand, def_author),
         };
+        if authorship_unknown {
+            vc_obs::counter_inc("harden.authorship_unknown");
+        }
         Attributed {
             candidate: cand.clone(),
             def_author,
             counterpart_authors,
             cross_scope,
+            authorship_unknown,
         }
     }
 
@@ -96,15 +106,19 @@ impl<'a> AuthorshipCtx<'a> {
         _cand: &Candidate,
         def_author: Option<AuthorId>,
         callees: &[String],
-    ) -> (Vec<AuthorId>, bool) {
+    ) -> (Vec<AuthorId>, bool, bool) {
         let Some(d) = def_author else {
-            return (Vec::new(), false);
+            // No blame for the call site: the boundary is unresolvable, so
+            // keep the candidate on the conservative (cross-scope) side.
+            return (Vec::new(), true, true);
         };
         let mut counterparts = Vec::new();
         let mut cross = false;
+        let mut unknown = false;
         if callees.is_empty() {
-            // Unresolvable indirect call: cannot establish the boundary.
-            return (counterparts, false);
+            // Unresolvable indirect call: an analysis limitation, not a
+            // blame gap — cannot establish the boundary.
+            return (counterparts, false, false);
         }
         for callee in callees {
             match self.prog.func_by_name(callee) {
@@ -114,12 +128,17 @@ impl<'a> AuthorshipCtx<'a> {
                         .iter()
                         .filter_map(|s| self.author_of(*s))
                         .collect();
-                    counterparts.extend(ret_authors.iter().copied());
                     // All return authors must differ from the call-site
                     // author (checkAuthor of Fig. 4).
-                    if !ret_authors.is_empty() && ret_authors.iter().all(|b| *b != d) {
+                    if !f.return_spans.is_empty() && ret_authors.is_empty() {
+                        // The callee has returns but none of them blame:
+                        // partial history, degrade to cross-scope.
+                        cross = true;
+                        unknown = true;
+                    } else if !ret_authors.is_empty() && ret_authors.iter().all(|b| *b != d) {
                         cross = true;
                     }
+                    counterparts.extend(ret_authors.iter().copied());
                 }
                 None => {
                     // Library call: "we regard the author is different".
@@ -127,12 +146,16 @@ impl<'a> AuthorshipCtx<'a> {
                 }
             }
         }
-        (counterparts, cross)
+        (counterparts, cross, unknown)
     }
 
     /// Scenario 2: call-site authors vs. the parameter's (or overwriter's)
     /// author.
-    fn param_rule(&self, cand: &Candidate, def_author: Option<AuthorId>) -> (Vec<AuthorId>, bool) {
+    fn param_rule(
+        &self,
+        cand: &Candidate,
+        def_author: Option<AuthorId>,
+    ) -> (Vec<AuthorId>, bool, bool) {
         // `def_author` is the author of the parameter declaration line (B).
         // When the parameter is overwritten inside the function by D, the
         // paper compares D to the call-site author C instead.
@@ -146,7 +169,9 @@ impl<'a> AuthorshipCtx<'a> {
             None => def_author,
         };
         let Some(inside) = inside else {
-            return (Vec::new(), false);
+            // Neither the overwriter nor the declaration blames: degrade to
+            // cross-scope rather than dropping the candidate.
+            return (Vec::new(), true, true);
         };
         let sites = self
             .call_index
@@ -157,8 +182,12 @@ impl<'a> AuthorshipCtx<'a> {
             .iter()
             .filter_map(|cs| self.author_of(cs.span))
             .collect();
+        if !sites.is_empty() && site_authors.is_empty() {
+            // Callers exist but none of their lines blame.
+            return (site_authors, true, true);
+        }
         let cross = site_authors.iter().any(|c| *c != inside);
-        (site_authors, cross)
+        (site_authors, cross, false)
     }
 
     /// Scenario 3: definition author vs. authors of all overwriters.
@@ -166,17 +195,22 @@ impl<'a> AuthorshipCtx<'a> {
         &self,
         cand: &Candidate,
         def_author: Option<AuthorId>,
-    ) -> (Vec<AuthorId>, bool) {
-        let Some(a) = def_author else {
-            return (Vec::new(), false);
-        };
+    ) -> (Vec<AuthorId>, bool, bool) {
         let over_authors: Vec<AuthorId> = cand
             .overwriters
             .iter()
             .filter_map(|s| self.author_of(*s))
             .collect();
+        let Some(a) = def_author else {
+            // Unknown definition author: conservative cross-scope.
+            return (over_authors, true, true);
+        };
+        if !cand.overwriters.is_empty() && over_authors.is_empty() {
+            // Overwriters exist but their blame is missing.
+            return (over_authors, true, true);
+        }
         let cross = !over_authors.is_empty() && over_authors.iter().all(|b| *b != a);
-        (over_authors, cross)
+        (over_authors, cross, false)
     }
 
     /// Attributes a batch of candidates.
@@ -338,8 +372,9 @@ mod tests {
     }
 
     #[test]
-    fn unknown_blame_is_never_cross_scope() {
-        // Empty repository: no blame data at all.
+    fn unknown_blame_degrades_to_conservative_cross_scope() {
+        // Empty repository: no blame data at all. The robustness ladder
+        // keeps such candidates (flagged) instead of silently dropping them.
         let prog = Program::build(
             &[("a.c", "void f(void) { int x = 1; x = 2; use(x); }")],
             &[],
@@ -347,6 +382,18 @@ mod tests {
         .unwrap();
         let repo = Repository::new();
         let a = attributed(&prog, &repo);
-        assert!(a.iter().all(|x| !x.cross_scope));
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|x| x.cross_scope && x.authorship_unknown));
+    }
+
+    #[test]
+    fn known_blame_is_not_flagged_unknown() {
+        let (prog, repo) = setup(
+            "void f(void) {\nint x = 1;\nx = 2;\nuse(x);\n}\n",
+            &["alice", "bob"],
+            &[(3, 1)],
+        );
+        let a = attributed(&prog, &repo);
+        assert!(a.iter().all(|x| !x.authorship_unknown));
     }
 }

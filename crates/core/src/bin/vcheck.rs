@@ -12,13 +12,22 @@
 //!   --top N              print only the N highest-priority findings
 //!   --json               emit findings as JSON instead of CSV
 //!   --stats              print a metrics summary (funnel, fixpoint counters,
-//!                        histograms) to stderr
+//!                        histograms, harden.* degradations) to stderr
 //!   --metrics-json FILE  write the full metrics snapshot as JSON
 //!   --trace FILE         write a Chrome trace_event file of the pipeline
 //!                        spans (open in chrome://tracing or Perfetto)
+//!   --budget-steps N     cap the Andersen and liveness fixpoints at N steps
+//!                        each; exhaustion degrades gracefully instead of
+//!                        hanging (see DESIGN.md "Robustness")
+//!   --budget-ms N        wall-clock cap per fixpoint solve, in milliseconds
+//!   --fail-fast          debugging mode: abort on the first parse error or
+//!                        panic instead of isolating and continuing
 //! ```
 //!
-//! Exit status: 0 with no findings, 1 with findings, 2 on usage/load errors.
+//! Malformed source files are reported to stderr (with line:column spans)
+//! and skipped; analysis continues over the files that parse. Exit status:
+//! 0 with no findings, 1 with findings, 2 on usage/load errors (or when
+//! every file fails to parse).
 
 use std::path::PathBuf;
 
@@ -43,6 +52,7 @@ fn main() {
     let mut stats = false;
     let mut metrics_json: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
+    let mut fail_fast = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,6 +88,21 @@ fn main() {
             }
             "--json" => json = true,
             "--stats" => stats = true,
+            "--budget-steps" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--budget-steps needs a number"));
+                opts.harden = opts.harden.with_step_budget(n);
+            }
+            "--budget-ms" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--budget-ms needs a number"));
+                opts.harden = opts.harden.with_time_budget_ms(n);
+            }
+            "--fail-fast" => fail_fast = true,
             "--metrics-json" => {
                 metrics_json = Some(PathBuf::from(
                     args.next()
@@ -93,7 +118,7 @@ fn main() {
                 eprintln!(
                     "Usage: vcheck <project-dir> [--define SYM]... [--all] [--no-rank] \
                      [--no-prune] [--top N] [--json] [--stats] [--metrics-json FILE] \
-                     [--trace FILE]"
+                     [--trace FILE] [--budget-steps N] [--budget-ms N] [--fail-fast]"
                 );
                 return;
             }
@@ -112,11 +137,45 @@ fn main() {
              cross-scope detection is limited to library return values"
         );
     }
-    let prog = Program::build(&project.source_refs(), &defines)
-        .unwrap_or_else(|e| die(&format!("build failed: {e}")));
-
     let obs = ObsSession::new();
-    let analysis = run_with_obs(&prog, &project.repo, &opts, obs.clone());
+    if fail_fast {
+        opts.harden.isolate = false;
+    }
+    let (prog, parse_errors) = if fail_fast {
+        let prog = Program::build(&project.source_refs(), &defines)
+            .unwrap_or_else(|e| die(&format!("build failed: {e}")));
+        (prog, Vec::new())
+    } else {
+        // Lenient build: report malformed files with their spans, keep
+        // analysing the rest.
+        let (prog, errors) = Program::build_lenient(&project.source_refs(), &defines);
+        for e in &errors {
+            eprintln!("vcheck: skipping file: {e}");
+        }
+        if prog.funcs.is_empty() && !errors.is_empty() {
+            die("every source file failed to parse");
+        }
+        (prog, errors)
+    };
+    obs.registry
+        .add("harden.parse_failures", parse_errors.len() as u64);
+
+    let mut analysis = run_with_obs(&prog, &project.repo, &opts, obs.clone());
+    for e in &parse_errors {
+        let file = match e {
+            vc_ir::program::BuildError::Parse { file, .. }
+            | vc_ir::program::BuildError::Lower { file, .. } => file.clone(),
+        };
+        analysis.report.failures.insert(
+            0,
+            valuecheck::harden::FailureRecord {
+                stage: valuecheck::harden::FailStage::Parse,
+                file,
+                function: None,
+                message: e.to_string(),
+            },
+        );
+    }
     eprintln!(
         "vcheck: {} unused definitions, {} cross-scope, {} pruned, {} reported",
         analysis.raw_candidates,
@@ -124,6 +183,15 @@ fn main() {
         analysis.prune_outcome.total_pruned(),
         analysis.detected()
     );
+    if !analysis.report.failures.is_empty() {
+        eprintln!(
+            "vcheck: {} unit(s) of work failed and were isolated:",
+            analysis.report.failures.len()
+        );
+        for f in &analysis.report.failures {
+            eprintln!("vcheck:   {f}");
+        }
+    }
 
     let mut report = analysis.report.clone();
     if let Some(n) = top {

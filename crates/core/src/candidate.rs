@@ -56,6 +56,10 @@ pub struct Candidate {
     pub synthetic: bool,
     /// Whether the destination variable carries an `unused` attribute.
     pub unused_attr: bool,
+    /// Whether the liveness facts backing this candidate were cut short by
+    /// a budget (the degradation ladder keeps the candidate but flags it
+    /// instead of dropping it).
+    pub low_confidence: bool,
 }
 
 impl Candidate {

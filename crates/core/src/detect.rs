@@ -18,7 +18,7 @@ use std::collections::{
 
 use vc_dataflow::{
     framework::{
-        solve,
+        solve_budgeted,
         DataflowAnalysis,
         Direction, //
     },
@@ -43,14 +43,23 @@ use vc_ir::{
     Span,
     VarKey, //
 };
+use vc_obs::Budget;
 use vc_pointer::{
     AliasUses,
     PointsTo, //
 };
 
-use crate::candidate::{
-    Candidate,
-    Scenario, //
+use crate::{
+    candidate::{
+        Candidate,
+        Scenario, //
+    },
+    harden::{
+        self,
+        FailStage,
+        FailureRecord,
+        HardenConfig, //
+    },
 };
 
 /// Detector configuration.
@@ -194,9 +203,24 @@ pub fn detect_function(
     pts: Option<&PointsTo>,
     alias: Option<&AliasUses>,
 ) -> Vec<Candidate> {
+    detect_function_budgeted(prog, fid, pts, alias, Budget::UNLIMITED).0
+}
+
+/// [`detect_function`] under a liveness [`Budget`]. When the fixpoint is
+/// cut short the function's candidates are still produced — from the
+/// partial facts — but marked [`Candidate::low_confidence`] (the
+/// degradation ladder's "keep, don't drop" tier). Returns the candidates
+/// and whether the budget ran out.
+pub fn detect_function_budgeted(
+    prog: &Program,
+    fid: FuncId,
+    pts: Option<&PointsTo>,
+    alias: Option<&AliasUses>,
+    budget: Budget,
+) -> (Vec<Candidate>, bool) {
     let f = prog.func(fid);
     let cfg = Cfg::new(f);
-    let facts = solve(f, &cfg, &LiveDefAnalysis);
+    let facts = solve_budgeted(f, &cfg, &LiveDefAnalysis, budget);
     let escaped = escaped_locals(f);
     let retvals = call_result_map(prog, fid, f, pts);
 
@@ -239,6 +263,7 @@ pub fn detect_function(
                             info: info.clone(),
                             synthetic: local.kind == LocalKind::Synthetic,
                             unused_attr: local.unused_attr,
+                            low_confidence: facts.exhausted,
                         });
                     }
                 }
@@ -250,7 +275,7 @@ pub fn detect_function(
     // staging slots): they are compiler artifacts, not source definitions.
     out.retain(|c| !c.synthetic || matches!(c.scenario, Scenario::RetVal { .. }));
     out.sort_by_key(|c| (c.span, c.var_name.clone()));
-    out
+    (out, facts.exhausted)
 }
 
 /// Classifies a dead store into the paper's scenarios.
@@ -286,29 +311,141 @@ fn classify(
     Scenario::Overwritten
 }
 
+/// The result of a hardened whole-program detection pass.
+#[derive(Debug, Default)]
+pub struct DetectOutcome {
+    /// Candidates from every function that completed.
+    pub candidates: Vec<Candidate>,
+    /// One record per poisoned function (panic inside the isolation
+    /// boundary) or poisoned pointer solve.
+    pub failures: Vec<FailureRecord>,
+    /// Whether the pointer stage fell back to the conservative
+    /// field-insensitive oracle (budget exhaustion or panic).
+    pub pointer_degraded: bool,
+    /// Functions whose liveness budget ran out (their candidates are
+    /// marked low-confidence).
+    pub liveness_degraded: usize,
+}
+
 /// Detects candidates across the whole program.
 ///
 /// Runs the pointer analysis once (when enabled) and reuses it for every
-/// function, mirroring the paper's per-bitcode SVF invocation.
+/// function, mirroring the paper's per-bitcode SVF invocation. Runs with
+/// default hardening (fault isolation on, no budgets); use
+/// [`detect_program_hardened`] for explicit control.
 pub fn detect_program(prog: &Program, config: DetectConfig) -> Vec<Candidate> {
-    let pts = config.use_alias_analysis.then(|| {
-        PointsTo::solve_with(
-            prog,
-            vc_pointer::Config {
-                field_sensitive: config.field_sensitive_pointers,
-            },
-        )
-    });
-    let alias = pts.as_ref().map(|p| AliasUses::compute(prog, p));
-    let mut out = Vec::new();
+    detect_program_hardened(prog, config, HardenConfig::default()).candidates
+}
+
+/// [`detect_program`] under a [`HardenConfig`]: the pointer solve and each
+/// function's detection run inside unwind boundaries with their stage
+/// budgets, implementing the degradation ladder:
+///
+/// - pointer budget exhausted (or pointer solve panicked) → conservative
+///   field-insensitive may-alias oracle, counted as
+///   `harden.degraded.pointer`;
+/// - liveness budget exhausted → candidates kept, marked low-confidence,
+///   counted as `harden.degraded.liveness`;
+/// - panic inside one function's detection → that function is poisoned
+///   (`harden.poisoned.detect`), everything else proceeds.
+pub fn detect_program_hardened(
+    prog: &Program,
+    config: DetectConfig,
+    hconf: HardenConfig,
+) -> DetectOutcome {
+    let mut out = DetectOutcome::default();
+
+    // Whole-program pointer/alias stage, isolated as one unit.
+    let mut alias: Option<AliasUses> = None;
+    if config.use_alias_analysis {
+        let solved = harden::isolated(hconf.isolate, || {
+            let pts = PointsTo::solve_with(
+                prog,
+                vc_pointer::Config {
+                    field_sensitive: config.field_sensitive_pointers,
+                    budget: hconf.pointer_budget,
+                },
+            );
+            let exhausted = pts.exhausted();
+            let uses = if exhausted {
+                AliasUses::conservative(prog)
+            } else {
+                AliasUses::compute(prog, &pts)
+            };
+            (pts, uses, exhausted)
+        });
+        match solved {
+            Ok((pts, uses, exhausted)) => {
+                if exhausted {
+                    out.pointer_degraded = true;
+                    vc_obs::counter_inc("harden.degraded.pointer");
+                    alias = Some(uses);
+                    // The partial points-to relation is discarded: an
+                    // under-approximation must not feed may-alias queries
+                    // or indirect-call resolution.
+                    drop(pts);
+                } else {
+                    alias = Some(uses);
+                    return detect_with(prog, Some(pts), alias, hconf, out);
+                }
+            }
+            Err(message) => {
+                out.pointer_degraded = true;
+                vc_obs::counter_inc("harden.degraded.pointer");
+                vc_obs::counter_inc("harden.poisoned.pointer");
+                out.failures.push(FailureRecord {
+                    stage: FailStage::Pointer,
+                    file: "<program>".to_string(),
+                    function: None,
+                    message,
+                });
+                alias = Some(AliasUses::conservative(prog));
+            }
+        }
+    }
+    detect_with(prog, None, alias, hconf, out)
+}
+
+/// Per-function detection loop over an already-settled pointer stage.
+fn detect_with(
+    prog: &Program,
+    pts: Option<PointsTo>,
+    alias: Option<AliasUses>,
+    hconf: HardenConfig,
+    mut out: DetectOutcome,
+) -> DetectOutcome {
     vc_obs::counter_add("detect.functions", prog.funcs.len() as u64);
     for fi in 0..prog.funcs.len() {
-        out.extend(detect_function(
-            prog,
-            FuncId(fi as u32),
-            pts.as_ref(),
-            alias.as_ref(),
-        ));
+        let fid = FuncId(fi as u32);
+        let f = prog.func(fid);
+        let detected = harden::isolated(hconf.isolate, || {
+            harden::failpoint(FailStage::Detect, &f.name);
+            detect_function_budgeted(
+                prog,
+                fid,
+                pts.as_ref(),
+                alias.as_ref(),
+                hconf.liveness_budget,
+            )
+        });
+        match detected {
+            Ok((cands, exhausted)) => {
+                if exhausted {
+                    out.liveness_degraded += 1;
+                    vc_obs::counter_inc("harden.degraded.liveness");
+                }
+                out.candidates.extend(cands);
+            }
+            Err(message) => {
+                vc_obs::counter_inc("harden.poisoned.detect");
+                out.failures.push(FailureRecord {
+                    stage: FailStage::Detect,
+                    file: prog.source.name(f.file).to_string(),
+                    function: Some(f.name.clone()),
+                    message,
+                });
+            }
+        }
     }
     out
 }
@@ -438,6 +575,94 @@ mod tests {
             .find(|c| c.var_name == "v#0")
             .expect("field candidate");
         assert_eq!(fa.overwriters.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_function_is_recorded_and_others_survive() {
+        let prog = Program::build(
+            &[(
+                "a.c",
+                "void poison_me(void) { int a = 1; a = 2; use(a); }\n\
+                 void healthy(void) { int b = 1; b = 2; use(b); }",
+            )],
+            &[],
+        )
+        .unwrap();
+        let _fp = harden::arm_failpoint(FailStage::Detect, "poison_me");
+        let out = detect_program_hardened(&prog, DetectConfig::default(), HardenConfig::default());
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].stage, FailStage::Detect);
+        assert_eq!(out.failures[0].function.as_deref(), Some("poison_me"));
+        assert_eq!(out.failures[0].file, "a.c");
+        // The healthy function's candidate is still found.
+        assert_eq!(out.candidates.len(), 1);
+        assert_eq!(out.candidates[0].func_name, "healthy");
+    }
+
+    #[test]
+    fn liveness_budget_exhaustion_keeps_low_confidence_candidates() {
+        let prog = Program::build(
+            &[(
+                "a.c",
+                "void f(int n) { int x = 1; x = 2; while (n) { n = n - 1; use(x); } }",
+            )],
+            &[],
+        )
+        .unwrap();
+        let hconf = HardenConfig {
+            liveness_budget: Budget::steps(1),
+            ..HardenConfig::default()
+        };
+        let obs = vc_obs::ObsSession::new();
+        let out = {
+            let _g = obs.install();
+            detect_program_hardened(&prog, DetectConfig::default(), hconf)
+        };
+        assert_eq!(out.liveness_degraded, 1);
+        assert!(out.candidates.iter().all(|c| c.low_confidence));
+        assert_eq!(obs.registry.counter("harden.degraded.liveness"), 1);
+        assert!(out.failures.is_empty());
+    }
+
+    #[test]
+    fn pointer_budget_exhaustion_falls_back_to_conservative_oracle() {
+        // Exhausting the Andersen budget must not kill the run or drop
+        // alias-free findings: the detector swaps in the conservative
+        // address-taken oracle (a superset of the precise aliased-read set,
+        // so suppression only grows) and flags the degradation. `z` has no
+        // pointer involvement and must survive; `y` is address-taken and
+        // stays suppressed under both oracles.
+        let src = "void write_it(int *p) { *p = 3; }\n\
+                   void f(void) { int y = 1; y = 2; write_it(&y); int z = 1; z = 2; use(z); }";
+        let prog = Program::build(&[("a.c", src)], &[]).unwrap();
+        let precise =
+            detect_program_hardened(&prog, DetectConfig::default(), HardenConfig::default());
+        assert!(!precise.pointer_degraded);
+        let obs = vc_obs::ObsSession::new();
+        let degraded = {
+            let _g = obs.install();
+            detect_program_hardened(
+                &prog,
+                DetectConfig::default(),
+                HardenConfig {
+                    pointer_budget: Budget::steps(0),
+                    ..HardenConfig::default()
+                },
+            )
+        };
+        assert!(degraded.pointer_degraded);
+        assert_eq!(obs.registry.counter("harden.degraded.pointer"), 1);
+        let names = |o: &DetectOutcome| {
+            o.candidates
+                .iter()
+                .map(|c| c.var_name.clone())
+                .collect::<Vec<_>>()
+        };
+        assert!(names(&degraded).contains(&"z".to_string()));
+        assert!(!names(&degraded).contains(&"y".to_string()));
+        // Degradation must never report MORE than the precise run.
+        assert!(degraded.candidates.len() <= precise.candidates.len());
+        assert!(degraded.failures.is_empty());
     }
 
     #[test]

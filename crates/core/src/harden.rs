@@ -1,0 +1,275 @@
+//! Fault isolation, per-stage budgets, and the graceful-degradation ladder.
+//!
+//! ValueCheck's value comes from scanning huge, messy codebases where one
+//! malformed function or pathological CFG must never take down the whole
+//! run. This module is the discipline layer that makes every pipeline run
+//! survivable and bounded:
+//!
+//! - **Per-function fault isolation.** Each function's detect/liveness/alias
+//!   work runs under [`std::panic::catch_unwind`]; a panic poisons that one
+//!   function, producing a [`FailureRecord`] in the [`Report`](crate::report::Report)
+//!   instead of aborting the run.
+//! - **Per-stage budgets.** [`HardenConfig`] carries step caps and
+//!   wall-clock deadlines for the Andersen solver and the liveness
+//!   fixpoints, enforced inside the solver loops via
+//!   [`vc_obs::BudgetMeter`].
+//! - **Degradation ladder.** On pointer budget exhaustion the pipeline
+//!   falls back to the conservative field-insensitive may-alias oracle
+//!   (`AliasUses::conservative`); on liveness budget exhaustion the
+//!   function's candidates are kept but marked low-confidence. Every
+//!   downgrade is counted under `harden.*` in the ambient
+//!   [`ObsSession`](vc_obs::ObsSession) and surfaced by `vcheck --stats`.
+//!
+//! For deterministic fault-injection testing, [`arm_failpoint`] plants a
+//! thread-local trigger that panics inside a chosen stage for functions
+//! whose name contains a needle — the in-tree equivalent of a failpoint
+//! library, compiled in release builds too (the check is one thread-local
+//! borrow per function, negligible next to a fixpoint solve).
+
+use std::{
+    cell::RefCell,
+    panic::{
+        catch_unwind,
+        AssertUnwindSafe, //
+    },
+};
+
+pub use vc_obs::{
+    Budget,
+    BudgetMeter, //
+};
+
+/// Robustness knobs threaded through the pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct HardenConfig {
+    /// Run each function's detection (and each candidate's authorship
+    /// lookup) under an unwind boundary, converting panics into
+    /// [`FailureRecord`]s. On by default; disable to let panics escape
+    /// (`vcheck --fail-fast`).
+    pub isolate: bool,
+    /// Budget for each function's liveness/define-set fixpoint.
+    pub liveness_budget: Budget,
+    /// Budget for the whole-program Andersen solve.
+    pub pointer_budget: Budget,
+}
+
+impl Default for HardenConfig {
+    fn default() -> Self {
+        Self {
+            isolate: true,
+            liveness_budget: Budget::UNLIMITED,
+            pointer_budget: Budget::UNLIMITED,
+        }
+    }
+}
+
+impl HardenConfig {
+    /// Applies one step cap to both the liveness and pointer budgets.
+    pub fn with_step_budget(mut self, steps: u64) -> HardenConfig {
+        self.liveness_budget = self.liveness_budget.with_steps(steps);
+        self.pointer_budget = self.pointer_budget.with_steps(steps);
+        self
+    }
+
+    /// Applies one wall-clock cap to both budgets.
+    pub fn with_time_budget_ms(mut self, ms: u64) -> HardenConfig {
+        self.liveness_budget = self.liveness_budget.with_millis(ms);
+        self.pointer_budget = self.pointer_budget.with_millis(ms);
+        self
+    }
+}
+
+/// The pipeline stage a failure was isolated in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailStage {
+    /// Source-level parse or lowering failure (lenient build).
+    Parse,
+    /// Per-function detection (liveness, define sets, classification).
+    Detect,
+    /// The whole-program pointer/alias solve.
+    Pointer,
+    /// Per-candidate authorship lookup.
+    Authorship,
+    /// The pruning stage.
+    Prune,
+    /// The ranking stage.
+    Rank,
+}
+
+impl FailStage {
+    /// Stable lowercase label, used in counters and report output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailStage::Parse => "parse",
+            FailStage::Detect => "detect",
+            FailStage::Pointer => "pointer",
+            FailStage::Authorship => "authorship",
+            FailStage::Prune => "prune",
+            FailStage::Rank => "rank",
+        }
+    }
+}
+
+/// One poisoned unit of work: the stage, where it happened, and why. A run
+/// that hits failures still completes; its [`Report`](crate::report::Report)
+/// carries these records alongside the surviving findings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureRecord {
+    /// The stage the failure was contained in.
+    pub stage: FailStage,
+    /// File of the poisoned unit (the function's file, or the unparseable
+    /// source file).
+    pub file: String,
+    /// The poisoned function, when the unit is function- or
+    /// candidate-grained.
+    pub function: Option<String>,
+    /// Human-readable cause (panic payload or build error).
+    pub message: String,
+}
+
+impl std::fmt::Display for FailureRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.function {
+            Some(func) => write!(
+                f,
+                "[{}] {} in {}: {}",
+                self.stage.label(),
+                func,
+                self.file,
+                self.message
+            ),
+            None => write!(
+                f,
+                "[{}] {}: {}",
+                self.stage.label(),
+                self.file,
+                self.message
+            ),
+        }
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs `work` under an unwind boundary when `isolate` is set, translating
+/// a panic into `Err(message)`. With `isolate` off the panic propagates —
+/// the fail-fast debugging mode.
+///
+/// The ambient [`ObsSession`](vc_obs::ObsSession) is per-thread and the
+/// closure runs on the calling thread, so counters recorded inside the
+/// boundary land in the same session.
+pub fn isolated<T>(isolate: bool, work: impl FnOnce() -> T) -> Result<T, String> {
+    if !isolate {
+        return Ok(work());
+    }
+    catch_unwind(AssertUnwindSafe(work)).map_err(panic_message)
+}
+
+thread_local! {
+    /// Armed failpoints: `(stage, function-name substring)` pairs.
+    static FAILPOINTS: RefCell<Vec<(FailStage, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Disarms the failpoint it was returned for when dropped.
+pub struct FailPointGuard {
+    stage: FailStage,
+    needle: String,
+}
+
+impl Drop for FailPointGuard {
+    fn drop(&mut self) {
+        FAILPOINTS.with(|fps| {
+            let mut fps = fps.borrow_mut();
+            if let Some(i) = fps
+                .iter()
+                .position(|(s, n)| *s == self.stage && *n == self.needle)
+            {
+                fps.remove(i);
+            }
+        });
+    }
+}
+
+/// Arms a deterministic failpoint on the current thread: any unit of work
+/// in `stage` whose function name contains `needle` will panic when it hits
+/// [`failpoint`]. Used by the fault-injection harness to prove panics stay
+/// inside the isolation boundary. Disarmed when the guard drops.
+pub fn arm_failpoint(stage: FailStage, needle: &str) -> FailPointGuard {
+    FAILPOINTS.with(|fps| fps.borrow_mut().push((stage, needle.to_string())));
+    FailPointGuard {
+        stage,
+        needle: needle.to_string(),
+    }
+}
+
+/// The trigger side of [`arm_failpoint`]: panics iff a matching failpoint
+/// is armed on this thread. A no-op (one thread-local borrow) otherwise.
+pub fn failpoint(stage: FailStage, function: &str) {
+    let hit = FAILPOINTS.with(|fps| {
+        fps.borrow()
+            .iter()
+            .any(|(s, n)| *s == stage && function.contains(n.as_str()))
+    });
+    if hit {
+        panic!("injected fault: {} in {function}", stage.label());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_catches_panics_with_message() {
+        let r: Result<(), String> = isolated(true, || panic!("boom {}", 42));
+        assert_eq!(r.unwrap_err(), "boom 42");
+        let ok = isolated(true, || 7);
+        assert_eq!(ok.unwrap(), 7);
+    }
+
+    #[test]
+    fn failpoint_hits_only_matching_stage_and_name() {
+        let _g = arm_failpoint(FailStage::Detect, "bad_fn");
+        // Non-matching stage and name pass through.
+        failpoint(FailStage::Authorship, "bad_fn");
+        failpoint(FailStage::Detect, "fine_fn");
+        let r = isolated(true, || failpoint(FailStage::Detect, "some_bad_fn_here"));
+        assert!(r.unwrap_err().contains("injected fault"));
+    }
+
+    #[test]
+    fn failpoint_disarms_on_guard_drop() {
+        {
+            let _g = arm_failpoint(FailStage::Detect, "poof");
+        }
+        failpoint(FailStage::Detect, "poof_target"); // must not panic
+    }
+
+    #[test]
+    fn failure_record_display_names_stage_and_function() {
+        let r = FailureRecord {
+            stage: FailStage::Detect,
+            file: "a.c".into(),
+            function: Some("f".into()),
+            message: "boom".into(),
+        };
+        assert_eq!(r.to_string(), "[detect] f in a.c: boom");
+    }
+
+    #[test]
+    fn harden_config_budget_builders() {
+        let h = HardenConfig::default().with_step_budget(9);
+        assert_eq!(h.liveness_budget.max_steps, Some(9));
+        assert_eq!(h.pointer_budget.max_steps, Some(9));
+        assert!(h.isolate);
+    }
+}

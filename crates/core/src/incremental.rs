@@ -11,6 +11,13 @@
 //! [`Program`]s by a content hash, and every commit analysed through
 //! [`analyze_commit_cached`] records `incremental.cache.hits` /
 //! `incremental.cache.misses` into the installed observability session.
+//!
+//! [`SnapshotStore`] persists the previous run's findings to disk so a
+//! follow-up run can diff against them. The store is written by a tool that
+//! may be killed mid-write and read by a newer binary with a different
+//! format, so [`SnapshotStore::load`] never fails: a corrupt, truncated, or
+//! version-mismatched file degrades to a cold (empty) store and bumps
+//! `harden.snapshot_recovered`.
 
 use std::{
     collections::{
@@ -18,6 +25,7 @@ use std::{
         HashMap,
         HashSet, //
     },
+    path::Path,
     sync::Arc,
 };
 
@@ -112,6 +120,141 @@ impl SnapshotCache {
         self.programs.insert(key, prog.clone());
         Ok(prog)
     }
+}
+
+/// On-disk format version of [`SnapshotStore`]. Bumped whenever the line
+/// format changes; older files are treated as cold caches, never parsed
+/// across versions.
+pub const SNAPSHOT_FILE_VERSION: u32 = 1;
+
+/// One persisted finding: the same identity triple as
+/// [`Candidate::identity`](crate::candidate::Candidate::identity), enough to
+/// diff runs without re-ranking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredFinding {
+    /// Containing function.
+    pub function: String,
+    /// Variable name.
+    pub variable: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+}
+
+/// Findings persisted between runs (the per-commit mode's memory).
+///
+/// The format is a line-oriented text file:
+///
+/// ```text
+/// valuecheck-snapshot v1
+/// commit 42
+/// finding <function>\t<variable>\t<line>
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStore {
+    /// The commit the stored findings belong to, when known.
+    pub commit: Option<CommitId>,
+    /// The findings of the stored run.
+    pub findings: Vec<StoredFinding>,
+}
+
+impl SnapshotStore {
+    /// Loads a store from disk. **Never fails**: a missing file is a normal
+    /// cold start; a corrupt, truncated, or version-mismatched file is
+    /// counted as `harden.snapshot_recovered` and also degrades to a cold
+    /// (empty) store, so the caller transparently rebuilds from scratch.
+    pub fn load(path: &Path) -> SnapshotStore {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(_) => return SnapshotStore::default(), // cold start
+        };
+        match Self::parse(&text) {
+            Some(store) => store,
+            None => {
+                vc_obs::counter_inc("harden.snapshot_recovered");
+                SnapshotStore::default()
+            }
+        }
+    }
+
+    fn parse(text: &str) -> Option<SnapshotStore> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let version = header.strip_prefix("valuecheck-snapshot v")?;
+        if version.parse::<u32>().ok()? != SNAPSHOT_FILE_VERSION {
+            return None;
+        }
+        let mut store = SnapshotStore::default();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(c) = line.strip_prefix("commit ") {
+                store.commit = Some(CommitId(c.parse().ok()?));
+            } else if let Some(f) = line.strip_prefix("finding ") {
+                let mut parts = f.split('\t');
+                let finding = StoredFinding {
+                    function: parts.next()?.to_string(),
+                    variable: parts.next()?.to_string(),
+                    line: parts.next()?.parse().ok()?,
+                };
+                if parts.next().is_some() {
+                    return None; // trailing garbage on the line
+                }
+                store.findings.push(finding);
+            } else {
+                return None; // unknown record kind
+            }
+        }
+        Some(store)
+    }
+
+    /// Serialises and writes the store.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = format!("valuecheck-snapshot v{SNAPSHOT_FILE_VERSION}\n");
+        if let Some(c) = self.commit {
+            out.push_str(&format!("commit {}\n", c.0));
+        }
+        for f in &self.findings {
+            out.push_str(&format!(
+                "finding {}\t{}\t{}\n",
+                f.function, f.variable, f.line
+            ));
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Replaces the stored run with `findings` for `commit`.
+    pub fn record(&mut self, commit: CommitId, findings: &[Ranked]) {
+        self.commit = Some(commit);
+        self.findings = findings
+            .iter()
+            .map(|r| StoredFinding {
+                function: r.item.candidate.func_name.clone(),
+                variable: r.item.candidate.var_name.clone(),
+                line: r.item.candidate.span.line(),
+            })
+            .collect();
+    }
+}
+
+/// [`analyze_commit`] with on-disk persistence: loads the previous run's
+/// findings from `store_path` (recovering from corruption transparently),
+/// analyses `commit`, and saves the new findings back.
+pub fn analyze_commit_stored(
+    store_path: &Path,
+    repo: &Repository,
+    commit: CommitId,
+    defines: &[String],
+    prune_config: &PruneConfig,
+    rank_config: &RankConfig,
+) -> Result<(CommitFindings, SnapshotStore), BuildError> {
+    let previous = SnapshotStore::load(store_path);
+    let findings = analyze_commit(repo, commit, defines, prune_config, rank_config)?;
+    let mut next = SnapshotStore::default();
+    next.record(commit, &findings.findings);
+    // A failed save is not fatal: the next run just starts cold.
+    let _ = next.save(store_path);
+    Ok((findings, previous))
 }
 
 /// FNV-1a over the snapshot contents and defines.
@@ -364,6 +507,115 @@ mod tests {
         assert_eq!(obs.registry.counter("incremental.cache.misses"), 2);
         assert_eq!(obs.registry.counter("incremental.cache.hits"), 1);
         assert_eq!(obs.registry.counter("incremental.commits"), 3);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("vc-snap-{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn snapshot_store_roundtrips() {
+        let path = temp_path("roundtrip");
+        let mut store = SnapshotStore::default();
+        store.commit = Some(CommitId(7));
+        store.findings.push(StoredFinding {
+            function: "f".into(),
+            variable: "x".into(),
+            line: 3,
+        });
+        store.save(&path).unwrap();
+        let loaded = SnapshotStore::load(&path);
+        assert_eq!(loaded, store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_file_recovers_cold_and_counts() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "valuecheck-snapshot v1\ncommit 3\nfinding f\tx\n").unwrap();
+        let obs = vc_obs::ObsSession::new();
+        let loaded = {
+            let _g = obs.install();
+            SnapshotStore::load(&path)
+        };
+        assert_eq!(loaded, SnapshotStore::default());
+        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatched_snapshot_recovers_cold() {
+        let path = temp_path("version");
+        std::fs::write(&path, "valuecheck-snapshot v999\ncommit 3\n").unwrap();
+        let obs = vc_obs::ObsSession::new();
+        let loaded = {
+            let _g = obs.install();
+            SnapshotStore::load(&path)
+        };
+        assert_eq!(loaded, SnapshotStore::default());
+        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_file_is_a_silent_cold_start() {
+        let path = temp_path("never-written");
+        let obs = vc_obs::ObsSession::new();
+        let loaded = {
+            let _g = obs.install();
+            SnapshotStore::load(&path)
+        };
+        assert_eq!(loaded, SnapshotStore::default());
+        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 0);
+    }
+
+    #[test]
+    fn analyze_commit_stored_persists_findings_across_runs() {
+        let path = temp_path("stored-run");
+        std::fs::remove_file(&path).ok();
+        let mut repo = Repository::new();
+        let alice = repo.add_author("alice");
+        let bob = repo.add_author("bob");
+        repo.commit(
+            alice,
+            1,
+            "init",
+            vec![write("a.c", "void fa(void) {\nint x = 1;\nuse(x);\n}\n")],
+        );
+        let c = repo.commit(
+            bob,
+            2,
+            "rework fa",
+            vec![write(
+                "a.c",
+                "void fa(void) {\nint x = 1;\nx = 2;\nuse(x);\n}\n",
+            )],
+        );
+        let (findings, previous) = analyze_commit_stored(
+            &path,
+            &repo,
+            c,
+            &[],
+            &PruneConfig::default(),
+            &RankConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(findings.findings.len(), 1);
+        assert_eq!(previous, SnapshotStore::default(), "first run is cold");
+        // Second run sees the first run's store.
+        let (_, previous) = analyze_commit_stored(
+            &path,
+            &repo,
+            c,
+            &[],
+            &PruneConfig::default(),
+            &RankConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(previous.commit, Some(c));
+        assert_eq!(previous.findings.len(), 1);
+        assert_eq!(previous.findings[0].variable, "x");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

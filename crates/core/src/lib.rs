@@ -13,7 +13,9 @@
 //! 4. [`rank`] — degree-of-knowledge familiarity ranking (§6).
 //!
 //! [`pipeline::run`] ties the stages together; [`incremental`] provides the
-//! per-commit mode of §8.6.
+//! per-commit mode of §8.6; [`harden`] supplies the fault-isolation,
+//! budget, and graceful-degradation layer that keeps a run alive on
+//! malformed or pathological input.
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@
 pub mod authorship;
 pub mod candidate;
 pub mod detect;
+pub mod harden;
 pub mod incremental;
 pub mod pipeline;
 pub mod project;
@@ -58,6 +61,11 @@ pub use detect::{
     detect_function,
     detect_program,
     DetectConfig, //
+};
+pub use harden::{
+    FailStage,
+    FailureRecord,
+    HardenConfig, //
 };
 pub use pipeline::{
     run,

@@ -21,8 +21,14 @@ use crate::{
         AuthorshipCtx, //
     },
     detect::{
-        detect_program,
+        detect_program_hardened,
         DetectConfig, //
+    },
+    harden::{
+        self,
+        FailStage,
+        FailureRecord,
+        HardenConfig, //
     },
     prune::{
         prune,
@@ -51,6 +57,8 @@ pub struct Options {
     pub prune: PruneConfig,
     /// Ranking options.
     pub rank: RankConfig,
+    /// Fault-isolation and budget knobs.
+    pub harden: HardenConfig,
 }
 
 impl Options {
@@ -62,6 +70,7 @@ impl Options {
             cross_scope_only: true,
             prune: PruneConfig::default(),
             rank: RankConfig::default(),
+            harden: HardenConfig::default(),
         }
     }
 }
@@ -95,6 +104,9 @@ pub struct Analysis {
     pub cross_scope_candidates: usize,
     /// Pruning outcome (counts per pattern; Table 4's breakdown).
     pub prune_outcome: PruneOutcome,
+    /// Candidates lost to isolated per-candidate failures (each has a
+    /// matching entry in `report.failures`).
+    pub failed_candidates: usize,
     /// The final ranked findings.
     pub ranked: Vec<Ranked>,
     /// The rendered report.
@@ -138,13 +150,37 @@ pub fn run_with_obs(
     let run_span = obs.span("pipeline.run", "pipeline");
 
     let detect_span = obs.span("stage.detect", "pipeline");
-    let candidates = detect_program(prog, opts.detect);
+    let outcome = detect_program_hardened(prog, opts.detect, opts.harden);
+    let candidates = outcome.candidates;
+    let mut failures = outcome.failures;
     let raw_candidates = candidates.len();
     let detect_time = detect_span.end();
 
     let authorship_span = obs.span("stage.authorship", "pipeline");
     let ctx = AuthorshipCtx::new(prog, repo);
-    let attributed = ctx.attribute_all(&candidates);
+    // Authorship is isolated per candidate: one poisoned blame lookup costs
+    // that candidate (recorded under `funnel.failed`), not the run.
+    let mut attributed: Vec<Attributed> = Vec::with_capacity(candidates.len());
+    let mut failed_candidates = 0usize;
+    for cand in &candidates {
+        let lookup = harden::isolated(opts.harden.isolate, || {
+            harden::failpoint(FailStage::Authorship, &cand.func_name);
+            ctx.attribute(cand)
+        });
+        match lookup {
+            Ok(a) => attributed.push(a),
+            Err(message) => {
+                failed_candidates += 1;
+                vc_obs::counter_inc("harden.poisoned.authorship");
+                failures.push(FailureRecord {
+                    stage: FailStage::Authorship,
+                    file: prog.source.name(cand.span.file).to_string(),
+                    function: Some(cand.func_name.clone()),
+                    message,
+                });
+            }
+        }
+    }
     let filtered: Vec<Attributed> = if opts.cross_scope_only {
         attributed.into_iter().filter(|a| a.cross_scope).collect()
     } else {
@@ -155,20 +191,75 @@ pub fn run_with_obs(
 
     let prune_span = obs.span("stage.prune", "pipeline");
     let peers = PeerStats::compute(prog);
-    let prune_outcome = prune(prog, &opts.prune, &peers, filtered);
+    // Pruning degrades whole-stage: a panic keeps every candidate (reports
+    // may contain extra false positives, but nothing is lost).
+    let prune_outcome = match harden::isolated(opts.harden.isolate, {
+        let filtered = filtered.clone();
+        let peers = &peers;
+        move || {
+            harden::failpoint(FailStage::Prune, "<program>");
+            prune(prog, &opts.prune, peers, filtered)
+        }
+    }) {
+        Ok(outcome) => outcome,
+        Err(message) => {
+            vc_obs::counter_inc("harden.degraded.prune");
+            failures.push(FailureRecord {
+                stage: FailStage::Prune,
+                file: "<program>".to_string(),
+                function: None,
+                message,
+            });
+            PruneOutcome {
+                kept: filtered,
+                pruned: Vec::new(),
+            }
+        }
+    };
     let prune_time = prune_span.end();
 
     let rank_span = obs.span("stage.rank", "pipeline");
-    let ranked = rank(prog, repo, &opts.rank, prune_outcome.kept.clone());
-    let report = Report::from_ranked(prog, repo, &ranked);
+    // Ranking degrades whole-stage: a panic falls back to the unranked
+    // (detection) order with no familiarity scores.
+    let ranked = match harden::isolated(opts.harden.isolate, {
+        let kept = prune_outcome.kept.clone();
+        move || {
+            harden::failpoint(FailStage::Rank, "<program>");
+            rank(prog, repo, &opts.rank, kept)
+        }
+    }) {
+        Ok(ranked) => ranked,
+        Err(message) => {
+            vc_obs::counter_inc("harden.degraded.rank");
+            failures.push(FailureRecord {
+                stage: FailStage::Rank,
+                file: "<program>".to_string(),
+                function: None,
+                message,
+            });
+            prune_outcome
+                .kept
+                .iter()
+                .map(|a| Ranked {
+                    item: a.clone(),
+                    familiarity: None,
+                    author: None,
+                })
+                .collect()
+        }
+    };
+    let mut report = Report::from_ranked(prog, repo, &ranked);
+    report.failures = failures;
     let rank_time = rank_span.end();
 
     // Candidate funnel (Table 4). Recorded here — not inside prune()/rank()
     // — so direct calls to those stages (incremental mode, ablations) don't
-    // double-count.
+    // double-count. Balance invariant (checked by the fault harness):
+    // raw = (raw - cross_scope - failed) + failed + pruned + reported.
     obs.registry.add("funnel.raw", raw_candidates as u64);
     obs.registry
         .add("funnel.cross_scope", cross_scope_candidates as u64);
+    obs.registry.add("funnel.failed", failed_candidates as u64);
     for reason in PruneReason::ALL {
         obs.registry.add(
             &format!("funnel.pruned.{}", reason.label()),
@@ -182,6 +273,7 @@ pub fn run_with_obs(
         raw_candidates,
         cross_scope_candidates,
         prune_outcome,
+        failed_candidates,
         ranked,
         report,
         timings: StageTimings {
@@ -324,5 +416,74 @@ mod tests {
         let reg = &analysis.obs.registry;
         assert_eq!(reg.counter("funnel.raw"), analysis.raw_candidates as u64);
         assert_eq!(reg.counter("funnel.reported"), analysis.detected() as u64);
+    }
+
+    #[test]
+    fn poisoned_authorship_loses_one_candidate_not_the_run() {
+        let (prog, repo) = two_author_setup();
+        let clean = run(&prog, &repo, &Options::paper());
+
+        let _g = harden::arm_failpoint(FailStage::Authorship, "acl");
+        let analysis = run(&prog, &repo, &Options::paper());
+        assert_eq!(analysis.failed_candidates, 1);
+        assert_eq!(analysis.raw_candidates, clean.raw_candidates);
+        assert_eq!(analysis.detected(), clean.detected() - 1);
+        let fail = &analysis.report.failures[0];
+        assert_eq!(fail.stage, FailStage::Authorship);
+        assert_eq!(fail.function.as_deref(), Some("acl"));
+        assert!(fail.message.contains("injected fault"));
+        assert_eq!(analysis.obs.registry.counter("funnel.failed"), 1);
+    }
+
+    #[test]
+    fn poisoned_prune_stage_degrades_to_keeping_everything() {
+        let (prog, repo) = two_author_setup();
+        let clean = run(&prog, &repo, &Options::paper());
+        let _g = harden::arm_failpoint(FailStage::Prune, "<program>");
+        let analysis = run(&prog, &repo, &Options::paper());
+        // Nothing pruned: every cross-scope candidate survives to ranking.
+        assert_eq!(analysis.prune_outcome.pruned.len(), 0);
+        assert_eq!(analysis.detected(), analysis.cross_scope_candidates);
+        assert!(analysis.detected() >= clean.detected());
+        assert!(analysis
+            .report
+            .failures
+            .iter()
+            .any(|f| f.stage == FailStage::Prune));
+    }
+
+    #[test]
+    fn poisoned_rank_stage_degrades_to_unranked_findings() {
+        let (prog, repo) = two_author_setup();
+        let clean = run(&prog, &repo, &Options::paper());
+        let _g = harden::arm_failpoint(FailStage::Rank, "<program>");
+        let analysis = run(&prog, &repo, &Options::paper());
+        assert_eq!(analysis.detected(), clean.detected());
+        assert!(analysis.ranked.iter().all(|r| r.familiarity.is_none()));
+        assert!(analysis
+            .report
+            .failures
+            .iter()
+            .any(|f| f.stage == FailStage::Rank));
+    }
+
+    #[test]
+    fn funnel_balances_with_failures() {
+        let (prog, repo) = two_author_setup();
+        let _g = harden::arm_failpoint(FailStage::Authorship, "conv");
+        let analysis = run(&prog, &repo, &Options::paper());
+        let reg = &analysis.obs.registry;
+        let raw = reg.counter("funnel.raw");
+        let cross = reg.counter("funnel.cross_scope");
+        let failed = reg.counter("funnel.failed");
+        let pruned: u64 = PruneReason::ALL
+            .iter()
+            .map(|r| reg.counter(&format!("funnel.pruned.{}", r.label())))
+            .sum();
+        let reported = reg.counter("funnel.reported");
+        assert!(failed > 0);
+        // filtered-out = (raw - failed) - cross; everything must add up.
+        assert_eq!(raw, (raw - failed - cross) + failed + cross);
+        assert_eq!(cross, pruned + reported);
     }
 }

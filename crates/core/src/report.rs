@@ -6,6 +6,7 @@ use vc_vcs::Repository;
 
 use crate::{
     candidate::Scenario,
+    harden::FailureRecord,
     rank::Ranked, //
 };
 
@@ -30,6 +31,10 @@ pub struct ReportRow {
     pub familiarity: Option<f64>,
     /// Whether the finding crossed author scopes.
     pub cross_scope: bool,
+    /// Whether the backing analysis was degraded (liveness budget cut the
+    /// fixpoint short, or authorship had to fall back to the conservative
+    /// cross-scope default).
+    pub low_confidence: bool,
 }
 
 /// A complete report.
@@ -37,6 +42,9 @@ pub struct ReportRow {
 pub struct Report {
     /// Ranked rows, highest priority first.
     pub rows: Vec<ReportRow>,
+    /// Units of work that were poisoned (panicked or failed to parse) and
+    /// isolated instead of aborting the run.
+    pub failures: Vec<FailureRecord>,
 }
 
 impl Report {
@@ -61,20 +69,24 @@ impl Report {
                     author: r.author.map(|a| repo.author(a).name.clone()),
                     familiarity: r.familiarity,
                     cross_scope: r.item.cross_scope,
+                    low_confidence: r.item.candidate.low_confidence || r.item.authorship_unknown,
                 }
             })
             .collect();
-        Report { rows }
+        Report {
+            rows,
+            failures: Vec::new(),
+        }
     }
 
     /// Renders the report as CSV (header + rows).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "rank,file,line,function,variable,scenario,author,familiarity,cross_scope\n",
+            "rank,file,line,function,variable,scenario,author,familiarity,cross_scope,low_confidence\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 r.rank,
                 csv_escape(&r.file),
                 r.line,
@@ -84,6 +96,7 @@ impl Report {
                 csv_escape(r.author.as_deref().unwrap_or("")),
                 r.familiarity.map(|f| format!("{f:.3}")).unwrap_or_default(),
                 r.cross_scope,
+                r.low_confidence,
             ));
         }
         out
@@ -117,10 +130,33 @@ impl Report {
                         },
                     ),
                     ("cross_scope".into(), Json::Bool(r.cross_scope)),
+                    ("low_confidence".into(), Json::Bool(r.low_confidence)),
                 ])
             })
             .collect();
-        Json::Obj(vec![("rows".into(), Json::Arr(rows))]).to_string_pretty()
+        let failures = self
+            .failures
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("stage".into(), Json::Str(f.stage.label().to_string())),
+                    ("file".into(), Json::Str(f.file.clone())),
+                    (
+                        "function".into(),
+                        match &f.function {
+                            Some(func) => Json::Str(func.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("message".into(), Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("rows".into(), Json::Arr(rows)),
+            ("failures".into(), Json::Arr(failures)),
+        ])
+        .to_string_pretty()
     }
 
     /// Number of findings.
@@ -173,6 +209,13 @@ mod tests {
                 author: Some("author1".into()),
                 familiarity: Some(0.25),
                 cross_scope: true,
+                low_confidence: false,
+            }],
+            failures: vec![crate::harden::FailureRecord {
+                stage: crate::harden::FailStage::Detect,
+                file: "bad.c".into(),
+                function: Some("broken".into()),
+                message: "boom".into(),
             }],
         };
         let doc = vc_obs::json::parse(&r.to_json()).unwrap();
@@ -186,6 +229,20 @@ mod tests {
         assert_eq!(
             rows[0].get("cross_scope").and_then(Json::as_bool),
             Some(true)
+        );
+        assert_eq!(
+            rows[0].get("low_confidence").and_then(Json::as_bool),
+            Some(false)
+        );
+        let failures = doc.get("failures").and_then(Json::as_arr).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].get("stage").and_then(Json::as_str),
+            Some("detect")
+        );
+        assert_eq!(
+            failures[0].get("function").and_then(Json::as_str),
+            Some("broken")
         );
     }
 }

@@ -13,6 +13,10 @@ use vc_ir::{
     ir::BlockId,
     Function, //
 };
+use vc_obs::{
+    Budget,
+    BudgetMeter, //
+};
 
 /// Direction of a dataflow analysis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +61,10 @@ pub struct BlockFacts<F> {
     pub exit: Vec<F>,
     /// How many block transfers the solver executed before convergence.
     pub iterations: usize,
+    /// Whether the solve stopped on budget exhaustion before reaching the
+    /// fixed point. Exhausted facts are partial: callers should treat
+    /// results derived from them as low-confidence.
+    pub exhausted: bool,
 }
 
 impl<F> BlockFacts<F> {
@@ -84,6 +92,19 @@ impl<F> BlockFacts<F> {
 /// Panics if the analysis fails to converge within `64 * blocks + 1024`
 /// block transfers, which indicates a non-monotone transfer function.
 pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> BlockFacts<A::Fact> {
+    solve_budgeted(f, cfg, analysis, Budget::UNLIMITED)
+}
+
+/// [`solve`] under a [`Budget`]: when the step cap or wall-clock deadline
+/// runs out mid-fixpoint, the solver stops and returns the facts computed so
+/// far with [`BlockFacts::exhausted`] set, instead of hanging or panicking.
+/// The defensive non-convergence cap still panics when no budget is set.
+pub fn solve_budgeted<A: DataflowAnalysis>(
+    f: &Function,
+    cfg: &Cfg,
+    analysis: &A,
+    budget: Budget,
+) -> BlockFacts<A::Fact> {
     let n = f.blocks.len();
     let mut entry: Vec<A::Fact> = (0..n).map(|_| analysis.init_fact(f)).collect();
     let mut exit: Vec<A::Fact> = (0..n).map(|_| analysis.init_fact(f)).collect();
@@ -98,8 +119,13 @@ pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> Bloc
     let cap = 64 * n + 1024;
     let mut iterations = 0usize;
     let mut pushes = n; // The initial seeding counts as worklist pushes.
+    let mut meter = BudgetMeter::start(budget);
 
     while let Some(b) = queue.pop_front() {
+        if !meter.tick() {
+            vc_obs::counter_inc("dataflow.budget_exhausted");
+            break;
+        }
         queued[b.0 as usize] = false;
         iterations += 1;
         assert!(
@@ -168,6 +194,7 @@ pub fn solve<A: DataflowAnalysis>(f: &Function, cfg: &Cfg, analysis: &A) -> Bloc
         entry,
         exit,
         iterations,
+        exhausted: meter.exhausted(),
     }
 }
 
@@ -244,6 +271,32 @@ mod tests {
         );
         assert!(obs.registry.counter("dataflow.worklist_pushes") >= f.blocks.len() as u64);
         assert_eq!(obs.registry.histogram("dataflow.block_count").count, 1);
+    }
+
+    #[test]
+    fn budgeted_solve_stops_early_and_flags_exhaustion() {
+        let prog = Program::build(
+            &[(
+                "a.c",
+                "void f(int n) { while (n) { for (int i = 0; i < n; i = i + 1) { g(i); } n = n \
+                 - 1; } }",
+            )],
+            &[],
+        )
+        .unwrap();
+        let f = &prog.funcs[0];
+        let cfg = Cfg::new(f);
+        let obs = vc_obs::ObsSession::new();
+        let facts = {
+            let _g = obs.install();
+            solve_budgeted(f, &cfg, &MinDepth, Budget::steps(1))
+        };
+        assert!(facts.exhausted);
+        assert!(facts.iterations <= 1);
+        assert_eq!(obs.registry.counter("dataflow.budget_exhausted"), 1);
+        // An unlimited budget converges and is not flagged.
+        let full = solve(f, &cfg, &MinDepth);
+        assert!(!full.exhausted);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod varset;
 
 pub use framework::{
     solve,
+    solve_budgeted,
     BlockFacts,
     DataflowAnalysis,
     Direction, //

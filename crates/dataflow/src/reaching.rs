@@ -20,8 +20,11 @@ use vc_ir::{
     VarKey, //
 };
 
+use vc_obs::Budget;
+
 use crate::framework::{
     solve,
+    solve_budgeted,
     BlockFacts,
     DataflowAnalysis,
     Direction, //
@@ -94,6 +97,18 @@ pub fn transfer_inst(inst: &Inst, bb: BlockId, idx: u32, fact: &mut ReachingFact
 /// Solves reaching definitions for `f`.
 pub fn reaching_definitions(f: &Function, cfg: &Cfg) -> BlockFacts<ReachingFact> {
     solve(f, cfg, &ReachingDefs)
+}
+
+/// [`reaching_definitions`] under a step/wall-clock [`Budget`]: on
+/// pathological CFGs the def-site sets grow with the block count and the
+/// fixpoint turns quadratic, so hardened callers bound it and accept the
+/// partial facts ([`BlockFacts::exhausted`]).
+pub fn reaching_definitions_budgeted(
+    f: &Function,
+    cfg: &Cfg,
+    budget: Budget,
+) -> BlockFacts<ReachingFact> {
+    solve_budgeted(f, cfg, &ReachingDefs, budget)
 }
 
 /// A def-use edge: the store at `def` flows to the load at `(use_block,

@@ -173,7 +173,37 @@ impl Program {
             })?;
             modules.push(((*name).to_string(), module));
         }
-        Self::assemble(map, modules, defines)
+        Self::assemble(map, modules, defines, None)
+    }
+
+    /// Fault-tolerant [`build`](Self::build): a file that fails to parse or
+    /// a function that fails to lower is skipped and its error collected,
+    /// instead of aborting the whole build. Every source file is still
+    /// registered in the [`SourceMap`] (so file ids and report paths stay
+    /// stable); only the malformed file's items are dropped.
+    ///
+    /// Returns the partial program plus one [`BuildError`] per skipped file
+    /// or function, in input order.
+    pub fn build_lenient(
+        sources: &[(&str, &str)],
+        defines: &[String],
+    ) -> (Program, Vec<BuildError>) {
+        let mut map = SourceMap::default();
+        let mut modules = Vec::new();
+        let mut errors = Vec::new();
+        for (name, src) in sources {
+            let id = map.add((*name).to_string(), (*src).to_string());
+            match parse(id, src) {
+                Ok(module) => modules.push(((*name).to_string(), module)),
+                Err(error) => errors.push(BuildError::Parse {
+                    file: (*name).to_string(),
+                    error,
+                }),
+            }
+        }
+        let prog = Self::assemble(map, modules, defines, Some(&mut errors))
+            .expect("lenient assembly collects errors instead of failing");
+        (prog, errors)
     }
 
     /// Builds a program from already-parsed modules.
@@ -185,13 +215,17 @@ impl Program {
         for (name, _) in &modules {
             map.add(name.clone(), String::new());
         }
-        Self::assemble(map, modules, defines)
+        Self::assemble(map, modules, defines, None)
     }
 
+    /// Pass 1 + 2 over parsed modules. With `errors: Some(..)` the build is
+    /// lenient: a function that fails to lower is recorded there and
+    /// skipped. With `None`, the first lowering error aborts the build.
     fn assemble(
         source: SourceMap,
         modules: Vec<(String, Module)>,
         defines: &[String],
+        mut errors: Option<&mut Vec<BuildError>>,
     ) -> Result<Program, BuildError> {
         // Pass 1: collect structs, globals and every function signature.
         let mut types = TypeTable::new();
@@ -247,11 +281,19 @@ impl Program {
         for (name, module) in &modules {
             for item in &module.items {
                 if let Item::Func(f) = item {
-                    let lowered = lower_function(&ctx, f).map_err(|error| BuildError::Lower {
-                        file: name.clone(),
-                        error,
-                    })?;
-                    funcs.push(lowered);
+                    match lower_function(&ctx, f) {
+                        Ok(lowered) => funcs.push(lowered),
+                        Err(error) => {
+                            let err = BuildError::Lower {
+                                file: name.clone(),
+                                error,
+                            };
+                            match errors.as_deref_mut() {
+                                Some(sink) => sink.push(err),
+                                None => return Err(err),
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -357,6 +399,38 @@ mod tests {
         assert!(prog.defines_function("helper"));
         // The prototype in b.c must not count as extern: helper is defined.
         assert!(prog.extern_by_name("helper").is_none());
+    }
+
+    #[test]
+    fn lenient_build_skips_malformed_files_and_reports_spans() {
+        let (prog, errors) = Program::build_lenient(
+            &[
+                ("good.c", "int ok(void) { return 1; }"),
+                ("bad.c", "int broken(void) { int x = 1;"),
+                ("also_good.c", "int fine(void) { return 2; }"),
+            ],
+            &[],
+        );
+        assert_eq!(prog.funcs.len(), 2);
+        assert!(prog.defines_function("ok"));
+        assert!(prog.defines_function("fine"));
+        assert!(!prog.defines_function("broken"));
+        assert_eq!(errors.len(), 1);
+        // The error names the file and carries a line:col position.
+        let msg = errors[0].to_string();
+        assert!(msg.starts_with("bad.c:"), "{msg}");
+        assert!(matches!(&errors[0], BuildError::Parse { .. }));
+        // All three files keep their SourceMap slots.
+        assert_eq!(prog.source.len(), 3);
+    }
+
+    #[test]
+    fn lenient_build_with_clean_input_matches_strict_build() {
+        let sources = [("a.c", "int f(void) { return 1; }")];
+        let strict = Program::build(&sources, &[]).unwrap();
+        let (lenient, errors) = Program::build_lenient(&sources, &[]);
+        assert!(errors.is_empty());
+        assert_eq!(strict.funcs.len(), lenient.funcs.len());
     }
 
     #[test]

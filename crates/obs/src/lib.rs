@@ -16,17 +16,25 @@
 //!   the analysis crates can record metrics without threading a registry
 //!   through every signature;
 //! - [`rng`] — a deterministic splitmix64 PRNG backing the workload
-//!   generator and the seeded property-test loops.
+//!   generator and the seeded property-test loops;
+//! - [`budget`] — step/wall-clock budgets ([`Budget`], [`BudgetMeter`])
+//!   enforced inside the dataflow and pointer fixpoint loops so pathological
+//!   inputs degrade instead of hanging.
 //!
 //! All instrumentation is cheap when no session is installed: a thread-local
 //! lookup and an immediate return.
 
+pub mod budget;
 pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod scope;
 pub mod trace;
 
+pub use budget::{
+    Budget,
+    BudgetMeter, //
+};
 pub use json::Json;
 pub use metrics::{
     HistogramSummary,

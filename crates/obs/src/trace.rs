@@ -115,7 +115,9 @@ impl Tracer {
     /// The recording as a Chrome `trace_event` document.
     pub fn to_chrome_json(&self) -> Json {
         let mut records = self.records();
-        records.sort_by_key(|r| (r.start_us, std::cmp::Reverse(r.dur_us)));
+        // Depth breaks the tie when a parent and child share the same
+        // microsecond start and duration — the parent must still precede.
+        records.sort_by_key(|r| (r.start_us, std::cmp::Reverse(r.dur_us), r.depth));
         let events = records
             .into_iter()
             .map(|r| {

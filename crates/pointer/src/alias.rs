@@ -95,6 +95,31 @@ impl AliasUses {
         AliasUses { read_locals }
     }
 
+    /// The degraded-mode oracle: a field-insensitive over-approximation
+    /// that needs no points-to solution at all. Every local whose address
+    /// is ever taken is treated as may-aliased-read, since `&x` is the only
+    /// way a local's storage can become reachable through a pointer. This
+    /// is the fallback tier when the Andersen solver's budget runs out
+    /// ([`PointsTo::exhausted`]); it is a strict superset of what
+    /// [`AliasUses::compute`] marks, so detection stays sound, merely less
+    /// precise.
+    pub fn conservative(prog: &Program) -> AliasUses {
+        let mut read_locals = BTreeSet::new();
+        for (fi, f) in prog.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for bb in &f.blocks {
+                for inst in &bb.insts {
+                    if let Inst::AddrOf { place, .. } = inst {
+                        if let Some(key) = place.var_key() {
+                            read_locals.insert((fid, key.local()));
+                        }
+                    }
+                }
+            }
+        }
+        AliasUses { read_locals }
+    }
+
     /// Whether `(func, local)` may be read through an alias.
     pub fn is_aliased_read(&self, func: FuncId, local: LocalId) -> bool {
         self.read_locals.contains(&(func, local))
@@ -164,6 +189,25 @@ mod tests {
         let fid = p.func_id("f").unwrap();
         let y = p.func_by_name("f").unwrap().local_by_name("y").unwrap();
         assert!(!uses.is_aliased_read(fid, y));
+    }
+
+    #[test]
+    fn conservative_oracle_covers_precise_analysis() {
+        let src = "int read_it(int *p) { return *p; }\n\
+                   void write_it(int *p) { *p = 3; }\n\
+                   int f(void) { int x = 7; int y = 1; write_it(&y); return read_it(&x) + y; }";
+        let (p, _, precise) = facts(src);
+        let cons = AliasUses::conservative(&p);
+        let fid = p.func_id("f").unwrap();
+        let f = p.func_by_name("f").unwrap();
+        // Everything the precise analysis marks, the oracle marks too.
+        for l in precise.aliased_locals(fid) {
+            assert!(cons.is_aliased_read(fid, l));
+        }
+        // And it marks the write-only address-taken local the precise
+        // analysis can skip.
+        let y = f.local_by_name("y").unwrap();
+        assert!(cons.is_aliased_read(fid, y));
     }
 
     #[test]

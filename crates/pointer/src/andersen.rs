@@ -57,12 +57,18 @@ pub struct Config {
     /// Field-sensitive object model (the paper's default). Disable for the
     /// field-sensitivity ablation bench.
     pub field_sensitive: bool,
+    /// Work budget for the constraint solver. When the step cap or deadline
+    /// runs out mid-solve the partial (under-approximate) solution is
+    /// returned with [`PointsTo::exhausted`] set; callers are expected to
+    /// fall back to a conservative alias oracle.
+    pub budget: vc_obs::Budget,
 }
 
 impl Default for Config {
     fn default() -> Self {
         Self {
             field_sensitive: true,
+            budget: vc_obs::Budget::UNLIMITED,
         }
     }
 }
@@ -76,6 +82,10 @@ pub struct PointsTo {
     call_edges: BTreeSet<(FuncId, String)>,
     /// Per-function temps of each parameter index, for binding.
     config: Config,
+    /// Whether the solver stopped on budget exhaustion: the relation is
+    /// partial (an under-approximation) and must not be trusted for
+    /// may-alias queries.
+    exhausted: bool,
 }
 
 struct Solver<'p> {
@@ -125,14 +135,18 @@ impl PointsTo {
         let mut solver = Solver::new(prog, config);
         solver.scope = scope.cloned();
         solver.generate();
-        solver.run();
+        let exhausted = solver.run();
         span.end();
         let out = PointsTo {
             interner: solver.interner,
             pts: solver.pts,
             call_edges: solver.call_edges,
             config,
+            exhausted,
         };
+        if exhausted {
+            vc_obs::counter_inc("pointer.budget_exhausted");
+        }
         vc_obs::counter_inc("pointer.solves");
         vc_obs::counter_add("pointer.propagations", solver.propagations);
         vc_obs::counter_add("pointer.nodes", out.pts.len() as u64);
@@ -186,6 +200,14 @@ impl PointsTo {
     /// Whether the analysis ran field-sensitively.
     pub fn is_field_sensitive(&self) -> bool {
         self.config.field_sensitive
+    }
+
+    /// Whether the solver stopped on budget exhaustion. An exhausted
+    /// solution under-approximates the points-to relation; may-alias
+    /// consumers must fall back to a conservative oracle (see
+    /// `AliasUses::conservative`).
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
     }
 
     /// Total number of points-to facts (for scalability reporting).
@@ -507,8 +529,14 @@ impl<'p> Solver<'p> {
 
     // ----- Solving ---------------------------------------------------------
 
-    fn run(&mut self) {
+    /// Runs the fixpoint loop; returns whether the work budget ran out
+    /// before convergence (in which case the relation is partial).
+    fn run(&mut self) -> bool {
+        let mut meter = vc_obs::BudgetMeter::start(self.config.budget);
         while let Some(v) = self.worklist.pop() {
+            if !meter.tick() {
+                return true;
+            }
             self.queued[v as usize] = false;
             self.propagations += 1;
             let objs: Vec<u32> = self.pts[v as usize].iter().copied().collect();
@@ -581,6 +609,7 @@ impl<'p> Solver<'p> {
                 }
             }
         }
+        false
     }
 }
 
@@ -708,6 +737,7 @@ mod tests {
             &p,
             Config {
                 field_sensitive: false,
+                ..Config::default()
             },
         );
         let fid = p.func_id("f").unwrap();

@@ -81,12 +81,14 @@ fn field_insensitive_is_coarser() {
             &prog,
             Config {
                 field_sensitive: true,
+                ..Config::default()
             },
         );
         let fi = PointsTo::solve_with(
             &prog,
             Config {
                 field_sensitive: false,
+                ..Config::default()
             },
         );
         for (f_idx, f) in prog.funcs.iter().enumerate() {

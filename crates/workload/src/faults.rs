@@ -1,0 +1,230 @@
+//! Deterministic fault injection for generated applications.
+//!
+//! The robustness layer (`valuecheck::harden`) promises that one malformed
+//! file, degenerate CFG, or poisoned function never takes down a run. This
+//! module supplies the adversarial half of that contract: given a
+//! [`GeneratedApp`], [`inject_faults`] mutates it with a seeded set of
+//! pathologies and returns, for each, the **evidence** a surviving pipeline
+//! run must show exactly once:
+//!
+//! | fault            | mutation                                   | expected evidence        |
+//! |------------------|--------------------------------------------|--------------------------|
+//! | `TruncatedBody`  | an existing file cut mid-function          | one `parse` failure      |
+//! | `GarbageTokens`  | a new file of lexer garbage                | one `parse` failure      |
+//! | `CyclicCfg`      | committed file with do-while self-loop + planted dead retval | one report row |
+//! | `AbsurdArity`    | committed file calling a 40-parameter helper with 2 args + planted dead retval | one report row |
+//! | `MissingBlame`   | uncommitted file with a planted dead store (no history at all) | one report row |
+//! | `PanicInjection` | committed healthy file whose function name matches the harness failpoint | one `detect` failure |
+//!
+//! The module itself is pure data mutation — arming the `PanicInjection`
+//! failpoint is the test harness's job (`valuecheck` is a dev-dependency),
+//! via `arm_failpoint(FailStage::Detect, PANIC_NEEDLE)`.
+
+use vc_obs::SplitMix64;
+use vc_vcs::FileWrite;
+
+use crate::{
+    generate::GeneratedApp,
+    profile::{
+        DAY,
+        NOW, //
+    },
+};
+
+/// Substring planted in the `PanicInjection` function's name; the harness
+/// arms a detect-stage failpoint on it.
+pub const PANIC_NEEDLE: &str = "vc_fault_panic";
+
+/// The kinds of injected pathology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An existing source file truncated mid-function (unclosed body).
+    TruncatedBody,
+    /// A fresh file that does not even lex.
+    GarbageTokens,
+    /// A degenerate cyclic CFG (single-statement do-while self-loop)
+    /// wrapped around a planted cross-scope dead store.
+    CyclicCfg,
+    /// A call passing 2 arguments to a 40-parameter function, plus a
+    /// planted cross-scope dead store.
+    AbsurdArity,
+    /// A file present in the sources but absent from the repository: every
+    /// blame lookup fails.
+    MissingBlame,
+    /// A healthy function whose name matches [`PANIC_NEEDLE`], for the
+    /// harness to poison with an injected panic.
+    PanicInjection,
+}
+
+impl FaultKind {
+    /// Every kind, in injection order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::TruncatedBody,
+        FaultKind::GarbageTokens,
+        FaultKind::CyclicCfg,
+        FaultKind::AbsurdArity,
+        FaultKind::MissingBlame,
+        FaultKind::PanicInjection,
+    ];
+}
+
+/// What a surviving pipeline run must show for one injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Evidence {
+    /// Exactly one parse-stage failure record naming the fault's file.
+    ParseFailure,
+    /// Exactly one detect-stage failure record naming the fault's function.
+    DetectFailure,
+    /// Exactly one report row naming the fault's function.
+    ReportRow,
+}
+
+/// One injected fault and the evidence it must leave behind.
+#[derive(Clone, Debug)]
+pub struct InjectedFault {
+    /// The pathology injected.
+    pub kind: FaultKind,
+    /// The file it lives in.
+    pub file: String,
+    /// The function carrying the evidence (empty for file-level faults).
+    pub function: String,
+    /// What the run must report.
+    pub evidence: Evidence,
+}
+
+/// Mutates `app` with one fault of every [`FaultKind`], deterministically in
+/// `seed`. Returns the expected evidence list.
+pub fn inject_faults(app: &mut GeneratedApp, seed: u64) -> Vec<InjectedFault> {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_FAC7);
+    let tag = format!("s{seed}");
+    let mut out = Vec::new();
+
+    // --- TruncatedBody: cut an existing file just before its last `}` ----
+    let victim = rng.range_usize(0, app.sources.len());
+    let (victim_path, victim_text) = app.sources[victim].clone();
+    if let Some(cut) = victim_text.rfind('}') {
+        app.sources[victim].1 = victim_text[..cut].to_string();
+        out.push(InjectedFault {
+            kind: FaultKind::TruncatedBody,
+            file: victim_path,
+            function: String::new(),
+            evidence: Evidence::ParseFailure,
+        });
+    }
+
+    // --- GarbageTokens: a file the lexer rejects outright ----------------
+    let garbage_path = format!("src/zz_fault_garbage_{tag}.c");
+    app.sources
+        .push((garbage_path.clone(), "@@ %% ?? garbage ## $$\n".to_string()));
+    out.push(InjectedFault {
+        kind: FaultKind::GarbageTokens,
+        file: garbage_path,
+        function: String::new(),
+        evidence: Evidence::ParseFailure,
+    });
+
+    // Committed fault files are authored by a dedicated author so blame
+    // resolves; the planted dead store takes its value from a *library*
+    // callee, which the retval rule counts as cross-scope regardless of the
+    // local history — the finding survives the authorship filter under
+    // every seed.
+    let faultbot = app.repo.add_author(format!("faultbot_{tag}"));
+    let mut commit_file = |app: &mut GeneratedApp, path: &str, text: &str| {
+        app.repo.commit(
+            faultbot,
+            NOW - DAY,
+            format!("inject {path}"),
+            vec![FileWrite {
+                path: path.to_string(),
+                content: text.to_string(),
+            }],
+        );
+        app.sources.push((path.to_string(), format!("{text}\n")));
+    };
+
+    // --- CyclicCfg: do-while self-loop around a planted dead store -------
+    let cyclic_fn = format!("vc_fault_cyclic_{tag}");
+    let cyclic_path = format!("src/zz_fault_cyclic_{tag}.c");
+    let cyclic_src = format!(
+        "int vc_fault_cyc_lib_{tag}(void);\n\
+         int {cyclic_fn}(void) {{\n\
+         int spin = 8;\n\
+         do {{ spin = spin - 1; }} while (spin);\n\
+         int got = vc_fault_cyc_lib_{tag}();\n\
+         got = 2;\n\
+         return got;\n\
+         }}\n"
+    );
+    commit_file(app, &cyclic_path, &cyclic_src);
+    out.push(InjectedFault {
+        kind: FaultKind::CyclicCfg,
+        file: cyclic_path,
+        function: cyclic_fn,
+        evidence: Evidence::ReportRow,
+    });
+
+    // --- AbsurdArity: 40 parameters, called with 2 arguments -------------
+    let arity_fn = format!("vc_fault_arity_{tag}");
+    let arity_path = format!("src/zz_fault_arity_{tag}.c");
+    let params: Vec<String> = (0..40).map(|i| format!("int a{i}")).collect();
+    let arity_src = format!(
+        "int vc_fault_ar_lib_{tag}(void);\n\
+         int vc_fault_ar_helper_{tag}({}) {{\n\
+         return a0;\n\
+         }}\n\
+         void {arity_fn}(void) {{\n\
+         int got = vc_fault_ar_lib_{tag}();\n\
+         got = vc_fault_ar_helper_{tag}(1, 2);\n\
+         use(got);\n\
+         }}\n",
+        params.join(", ")
+    );
+    commit_file(app, &arity_path, &arity_src);
+    out.push(InjectedFault {
+        kind: FaultKind::AbsurdArity,
+        file: arity_path,
+        function: arity_fn,
+        evidence: Evidence::ReportRow,
+    });
+
+    // --- MissingBlame: in the sources, never committed --------------------
+    let blame_fn = format!("vc_fault_noblame_{tag}");
+    let blame_path = format!("src/zz_fault_noblame_{tag}.c");
+    app.sources.push((
+        blame_path.clone(),
+        format!(
+            "void {blame_fn}(void) {{\n\
+             int x = 1;\n\
+             x = 2;\n\
+             use(x);\n\
+             }}\n"
+        ),
+    ));
+    out.push(InjectedFault {
+        kind: FaultKind::MissingBlame,
+        file: blame_path,
+        function: blame_fn,
+        evidence: Evidence::ReportRow,
+    });
+
+    // --- PanicInjection: healthy code, poisoned by the harness failpoint --
+    let panic_fn = format!("{PANIC_NEEDLE}_{tag}");
+    let panic_path = format!("src/zz_fault_panic_{tag}.c");
+    let panic_src = format!(
+        "int vc_fault_pn_lib_{tag}(void);\n\
+         void {panic_fn}(void) {{\n\
+         int got = vc_fault_pn_lib_{tag}();\n\
+         got = 2;\n\
+         use(got);\n\
+         }}\n"
+    );
+    commit_file(app, &panic_path, &panic_src);
+    out.push(InjectedFault {
+        kind: FaultKind::PanicInjection,
+        file: panic_path,
+        function: panic_fn,
+        evidence: Evidence::DetectFailure,
+    });
+
+    out
+}

@@ -13,12 +13,24 @@
 //! - a same-author candidate pool for the w/o-Authorship ablation (§8.5.1);
 //! - the §3.1 preliminary history: unused definitions present in the 2019
 //!   tree and removed by bug-fix or cleanup commits before 2021.
+//!
+//! [`faults`] mutates a generated application with seeded pathologies
+//! (truncated files, degenerate CFGs, absurd arity, missing blame, injected
+//! panics) and states the evidence a robust pipeline run must produce for
+//! each — the adversarial workload behind `tools/ci.sh faults`.
 
 pub mod codegen;
+pub mod faults;
 pub mod generate;
 pub mod profile;
 pub mod truth;
 
+pub use faults::{
+    inject_faults,
+    Evidence,
+    FaultKind,
+    InjectedFault, //
+};
 pub use generate::{
     generate,
     GeneratedApp, //

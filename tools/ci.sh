@@ -11,6 +11,13 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# faults: the 32-seed fault-injection sweep (crates/workload/tests/faults.rs)
+# — every seeded run must survive truncated files, degenerate CFGs, absurd
+# arity, missing blame, and an injected panic, with a balanced funnel and
+# exactly one piece of evidence per fault.
+echo "==> cargo test -p vc-workload --test faults -q (32 seeds)"
+cargo test -p vc-workload --test faults -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
