@@ -20,6 +20,18 @@
 //!                        each; exhaustion degrades gracefully instead of
 //!                        hanging (see DESIGN.md "Robustness")
 //!   --budget-ms N        wall-clock cap per fixpoint solve, in milliseconds
+//!   --jobs N             worker threads for the supervised scan executor
+//!                        (default: available parallelism; report output is
+//!                        byte-identical for any N)
+//!   --retry K            attempts per scan unit before it is marked
+//!                        failed-permanent (default 3)
+//!   --unit-deadline-ms N per-unit wall-clock deadline enforced by the
+//!                        supervisor; late units are requeued
+//!   --journal FILE       write an append-only crash-safe scan journal
+//!                        (checkpoint every completed function)
+//!   --resume             replay the journal and skip already-completed
+//!                        units (implies --journal; default path is
+//!                        <project-dir>/scan.journal)
 //!   --fail-fast          debugging mode: abort on the first parse error or
 //!                        panic instead of isolating and continuing
 //! ```
@@ -33,12 +45,17 @@ use std::path::PathBuf;
 
 use valuecheck::{
     pipeline::{
+        run_sentinel,
         run_with_obs,
         Options, //
     },
     project::load_dir,
     prune::PruneConfig,
     rank::RankConfig,
+    sentinel::{
+        salt_strings,
+        SentinelConfig, //
+    },
 };
 use vc_ir::Program;
 use vc_obs::ObsSession;
@@ -53,6 +70,7 @@ fn main() {
     let mut metrics_json: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
     let mut fail_fast = false;
+    let mut sconf = SentinelConfig::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -102,6 +120,32 @@ fn main() {
                     .unwrap_or_else(|| die("--budget-ms needs a number"));
                 opts.harden = opts.harden.with_time_budget_ms(n);
             }
+            "--jobs" => {
+                sconf.jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+            }
+            "--retry" => {
+                let k: u32 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--retry needs a number"));
+                sconf.retry = k.max(1);
+            }
+            "--unit-deadline-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--unit-deadline-ms needs a number"));
+                sconf.unit_deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--journal" => {
+                sconf.journal = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--journal needs a path")),
+                ));
+            }
+            "--resume" => sconf.resume = true,
             "--fail-fast" => fail_fast = true,
             "--metrics-json" => {
                 metrics_json = Some(PathBuf::from(
@@ -118,7 +162,9 @@ fn main() {
                 eprintln!(
                     "Usage: vcheck <project-dir> [--define SYM]... [--all] [--no-rank] \
                      [--no-prune] [--top N] [--json] [--stats] [--metrics-json FILE] \
-                     [--trace FILE] [--budget-steps N] [--budget-ms N] [--fail-fast]"
+                     [--trace FILE] [--budget-steps N] [--budget-ms N] [--jobs N] \
+                     [--retry K] [--unit-deadline-ms N] [--journal FILE] [--resume] \
+                     [--fail-fast]"
                 );
                 return;
             }
@@ -160,7 +206,19 @@ fn main() {
     obs.registry
         .add("harden.parse_failures", parse_errors.len() as u64);
 
-    let mut analysis = run_with_obs(&prog, &project.repo, &opts, obs.clone());
+    if sconf.resume && sconf.journal.is_none() {
+        sconf.journal = Some(dir.join("scan.journal"));
+    }
+    sconf.fingerprint_salt = salt_strings(&defines);
+
+    // `--fail-fast` wants panics to propagate to the top of the process,
+    // which the sequential path does naturally; everything else runs under
+    // the supervised executor (output is identical either way).
+    let mut analysis = if fail_fast {
+        run_with_obs(&prog, &project.repo, &opts, obs.clone())
+    } else {
+        run_sentinel(&prog, &project.repo, &opts, &sconf, obs.clone())
+    };
     for e in &parse_errors {
         let file = match e {
             vc_ir::program::BuildError::Parse { file, .. }

@@ -354,56 +354,66 @@ pub fn detect_program_hardened(
     hconf: HardenConfig,
 ) -> DetectOutcome {
     let mut out = DetectOutcome::default();
+    let (pts, alias) = pointer_stage(prog, config, hconf, &mut out);
+    detect_with(prog, pts, alias, hconf, out)
+}
 
-    // Whole-program pointer/alias stage, isolated as one unit.
-    let mut alias: Option<AliasUses> = None;
-    if config.use_alias_analysis {
-        let solved = harden::isolated(hconf.isolate, || {
-            let pts = PointsTo::solve_with(
-                prog,
-                vc_pointer::Config {
-                    field_sensitive: config.field_sensitive_pointers,
-                    budget: hconf.pointer_budget,
-                },
-            );
-            let exhausted = pts.exhausted();
-            let uses = if exhausted {
-                AliasUses::conservative(prog)
-            } else {
-                AliasUses::compute(prog, &pts)
-            };
-            (pts, uses, exhausted)
-        });
-        match solved {
-            Ok((pts, uses, exhausted)) => {
-                if exhausted {
-                    out.pointer_degraded = true;
-                    vc_obs::counter_inc("harden.degraded.pointer");
-                    alias = Some(uses);
-                    // The partial points-to relation is discarded: an
-                    // under-approximation must not feed may-alias queries
-                    // or indirect-call resolution.
-                    drop(pts);
-                } else {
-                    alias = Some(uses);
-                    return detect_with(prog, Some(pts), alias, hconf, out);
-                }
-            }
-            Err(message) => {
+/// The whole-program pointer/alias stage, isolated as one unit. Shared by
+/// the sequential detection loop above and the parallel
+/// [`sentinel`](crate::sentinel) executor: it runs once, single-threaded,
+/// before any per-function unit is scheduled, and its degradations are
+/// recorded into `out`.
+pub(crate) fn pointer_stage(
+    prog: &Program,
+    config: DetectConfig,
+    hconf: HardenConfig,
+    out: &mut DetectOutcome,
+) -> (Option<PointsTo>, Option<AliasUses>) {
+    if !config.use_alias_analysis {
+        return (None, None);
+    }
+    let solved = harden::isolated(hconf.isolate, || {
+        let pts = PointsTo::solve_with(
+            prog,
+            vc_pointer::Config {
+                field_sensitive: config.field_sensitive_pointers,
+                budget: hconf.pointer_budget,
+            },
+        );
+        let exhausted = pts.exhausted();
+        let uses = if exhausted {
+            AliasUses::conservative(prog)
+        } else {
+            AliasUses::compute(prog, &pts)
+        };
+        (pts, uses, exhausted)
+    });
+    match solved {
+        Ok((pts, uses, exhausted)) => {
+            if exhausted {
                 out.pointer_degraded = true;
                 vc_obs::counter_inc("harden.degraded.pointer");
-                vc_obs::counter_inc("harden.poisoned.pointer");
-                out.failures.push(FailureRecord {
-                    stage: FailStage::Pointer,
-                    file: "<program>".to_string(),
-                    function: None,
-                    message,
-                });
-                alias = Some(AliasUses::conservative(prog));
+                // The partial points-to relation is discarded: an
+                // under-approximation must not feed may-alias queries
+                // or indirect-call resolution.
+                (None, Some(uses))
+            } else {
+                (Some(pts), Some(uses))
             }
         }
+        Err(message) => {
+            out.pointer_degraded = true;
+            vc_obs::counter_inc("harden.degraded.pointer");
+            vc_obs::counter_inc("harden.poisoned.pointer");
+            out.failures.push(FailureRecord {
+                stage: FailStage::Pointer,
+                file: "<program>".to_string(),
+                function: None,
+                message,
+            });
+            (None, Some(AliasUses::conservative(prog)))
+        }
     }
-    detect_with(prog, None, alias, hconf, out)
 }
 
 /// Per-function detection loop over an already-settled pointer stage.

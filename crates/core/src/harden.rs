@@ -32,6 +32,10 @@ use std::{
         catch_unwind,
         AssertUnwindSafe, //
     },
+    sync::{
+        Arc,
+        Mutex, //
+    },
 };
 
 pub use vc_obs::{
@@ -94,6 +98,10 @@ pub enum FailStage {
     Prune,
     /// The ranking stage.
     Rank,
+    /// The sentinel executor's worker loop itself, *outside* the per-unit
+    /// isolation boundary — a hit here simulates a poisoned worker thread
+    /// rather than a poisoned unit.
+    Worker,
 }
 
 impl FailStage {
@@ -106,7 +114,22 @@ impl FailStage {
             FailStage::Authorship => "authorship",
             FailStage::Prune => "prune",
             FailStage::Rank => "rank",
+            FailStage::Worker => "worker",
         }
+    }
+
+    /// The inverse of [`FailStage::label`], for journal replay.
+    pub fn from_label(label: &str) -> Option<FailStage> {
+        Some(match label {
+            "parse" => FailStage::Parse,
+            "detect" => FailStage::Detect,
+            "pointer" => FailStage::Pointer,
+            "authorship" => FailStage::Authorship,
+            "prune" => FailStage::Prune,
+            "rank" => FailStage::Rank,
+            "worker" => FailStage::Worker,
+            _ => return None,
+        })
     }
 }
 
@@ -174,51 +197,111 @@ pub fn isolated<T>(isolate: bool, work: impl FnOnce() -> T) -> Result<T, String>
     catch_unwind(AssertUnwindSafe(work)).map_err(panic_message)
 }
 
+/// A shareable set of armed failpoints.
+///
+/// Failpoints used to be a plain thread-local `Vec`, which broke under the
+/// `sentinel` executor: a failpoint armed on the test thread was invisible
+/// to the worker threads actually running detection. A `FailpointPlan` is
+/// the same set behind an `Arc<Mutex<..>>`: each thread still has its *own*
+/// plan by default (parallel tests stay isolated from each other), but the
+/// executor captures [`FailpointPlan::current`] at spawn time and installs
+/// it on every worker, so arming — and disarming, including guard drops
+/// after spawn — propagates to all workers sharing the plan.
+#[derive(Clone, Debug, Default)]
+pub struct FailpointPlan {
+    points: Arc<Mutex<Vec<(FailStage, String)>>>,
+}
+
+impl FailpointPlan {
+    /// The plan installed on the current thread (every thread lazily gets
+    /// an empty one). Cloning shares the underlying set.
+    pub fn current() -> FailpointPlan {
+        FAILPOINTS.with(|p| p.borrow().clone())
+    }
+
+    /// Installs this plan on the current thread until the returned guard
+    /// drops; the previous plan is restored afterwards. Worker threads call
+    /// this with the spawning thread's plan so injection is deterministic
+    /// under `--jobs > 1`.
+    pub fn install(&self) -> FailpointPlanGuard {
+        let prev = FAILPOINTS.with(|p| p.replace(self.clone()));
+        FailpointPlanGuard { prev }
+    }
+
+    /// Whether a failpoint matching `(stage, function)` is armed.
+    fn hit(&self, stage: FailStage, function: &str) -> bool {
+        self.points
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|(s, n)| *s == stage && function.contains(n.as_str()))
+    }
+
+    fn arm(&self, stage: FailStage, needle: &str) {
+        self.points
+            .lock()
+            .unwrap()
+            .push((stage, needle.to_string()));
+    }
+
+    fn disarm(&self, stage: FailStage, needle: &str) {
+        let mut pts = self.points.lock().unwrap();
+        if let Some(i) = pts.iter().position(|(s, n)| *s == stage && *n == needle) {
+            pts.remove(i);
+        }
+    }
+}
+
+/// Restores the previously installed [`FailpointPlan`] when dropped.
+#[must_use = "dropping the guard immediately restores the previous plan"]
+pub struct FailpointPlanGuard {
+    prev: FailpointPlan,
+}
+
+impl Drop for FailpointPlanGuard {
+    fn drop(&mut self) {
+        FAILPOINTS.with(|p| p.replace(self.prev.clone()));
+    }
+}
+
 thread_local! {
-    /// Armed failpoints: `(stage, function-name substring)` pairs.
-    static FAILPOINTS: RefCell<Vec<(FailStage, String)>> = const { RefCell::new(Vec::new()) };
+    /// The thread's armed failpoint plan (shareable across worker threads).
+    static FAILPOINTS: RefCell<FailpointPlan> = RefCell::new(FailpointPlan::default());
 }
 
 /// Disarms the failpoint it was returned for when dropped.
 pub struct FailPointGuard {
+    plan: FailpointPlan,
     stage: FailStage,
     needle: String,
 }
 
 impl Drop for FailPointGuard {
     fn drop(&mut self) {
-        FAILPOINTS.with(|fps| {
-            let mut fps = fps.borrow_mut();
-            if let Some(i) = fps
-                .iter()
-                .position(|(s, n)| *s == self.stage && *n == self.needle)
-            {
-                fps.remove(i);
-            }
-        });
+        self.plan.disarm(self.stage, &self.needle);
     }
 }
 
-/// Arms a deterministic failpoint on the current thread: any unit of work
-/// in `stage` whose function name contains `needle` will panic when it hits
-/// [`failpoint`]. Used by the fault-injection harness to prove panics stay
-/// inside the isolation boundary. Disarmed when the guard drops.
+/// Arms a deterministic failpoint on the current thread's plan: any unit of
+/// work in `stage` whose function name contains `needle` will panic when it
+/// hits [`failpoint`] — on this thread, or on any executor worker the plan
+/// was installed on. Used by the fault-injection harness to prove panics
+/// stay inside the isolation boundary. Disarmed when the guard drops.
 pub fn arm_failpoint(stage: FailStage, needle: &str) -> FailPointGuard {
-    FAILPOINTS.with(|fps| fps.borrow_mut().push((stage, needle.to_string())));
+    let plan = FailpointPlan::current();
+    plan.arm(stage, needle);
     FailPointGuard {
+        plan,
         stage,
         needle: needle.to_string(),
     }
 }
 
 /// The trigger side of [`arm_failpoint`]: panics iff a matching failpoint
-/// is armed on this thread. A no-op (one thread-local borrow) otherwise.
+/// is armed on this thread's plan. A no-op (one thread-local borrow and,
+/// when the plan is armed at all, one uncontended lock) otherwise.
 pub fn failpoint(stage: FailStage, function: &str) {
-    let hit = FAILPOINTS.with(|fps| {
-        fps.borrow()
-            .iter()
-            .any(|(s, n)| *s == stage && function.contains(n.as_str()))
-    });
+    let hit = FAILPOINTS.with(|p| p.borrow().hit(stage, function));
     if hit {
         panic!("injected fault: {} in {function}", stage.label());
     }
@@ -263,6 +346,51 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(r.to_string(), "[detect] f in a.c: boom");
+    }
+
+    #[test]
+    fn failpoint_plan_propagates_to_spawned_threads() {
+        let _g = arm_failpoint(FailStage::Detect, "worker_bad");
+        let plan = FailpointPlan::current();
+        let caught = std::thread::spawn(move || {
+            let _p = plan.install();
+            isolated(true, || failpoint(FailStage::Detect, "worker_bad_fn")).is_err()
+        })
+        .join()
+        .unwrap();
+        assert!(caught, "armed failpoint must fire on the worker thread");
+    }
+
+    #[test]
+    fn failpoint_disarm_propagates_to_shared_plan() {
+        let plan = {
+            let _g = arm_failpoint(FailStage::Detect, "gone");
+            FailpointPlan::current()
+        };
+        // The guard dropped: the shared plan must no longer fire anywhere.
+        let fired = std::thread::spawn(move || {
+            let _p = plan.install();
+            isolated(true, || failpoint(FailStage::Detect, "gone_fn")).is_err()
+        })
+        .join()
+        .unwrap();
+        assert!(!fired);
+    }
+
+    #[test]
+    fn fail_stage_label_roundtrips() {
+        for stage in [
+            FailStage::Parse,
+            FailStage::Detect,
+            FailStage::Pointer,
+            FailStage::Authorship,
+            FailStage::Prune,
+            FailStage::Rank,
+            FailStage::Worker,
+        ] {
+            assert_eq!(FailStage::from_label(stage.label()), Some(stage));
+        }
+        assert_eq!(FailStage::from_label("bogus"), None);
     }
 
     #[test]

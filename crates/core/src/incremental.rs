@@ -15,8 +15,12 @@
 //! [`SnapshotStore`] persists the previous run's findings to disk so a
 //! follow-up run can diff against them. The store is written by a tool that
 //! may be killed mid-write and read by a newer binary with a different
-//! format, so [`SnapshotStore::load`] never fails: a corrupt, truncated, or
-//! version-mismatched file degrades to a cold (empty) store and bumps
+//! format, so the file carries a trailing content checksum,
+//! [`SnapshotStore::save`] is atomic (temp file + fsync + rename — a
+//! concurrent reader sees the old store or the new one, never a torn mix),
+//! and [`SnapshotStore::load`] never fails: a checksum mismatch degrades to
+//! a cold (empty) store under `harden.snapshot_corrupt`, while a truncated,
+//! malformed, or version-mismatched file degrades the same way under
 //! `harden.snapshot_recovered`.
 
 use std::{
@@ -124,8 +128,8 @@ impl SnapshotCache {
 
 /// On-disk format version of [`SnapshotStore`]. Bumped whenever the line
 /// format changes; older files are treated as cold caches, never parsed
-/// across versions.
-pub const SNAPSHOT_FILE_VERSION: u32 = 1;
+/// across versions. v2 added the trailing `checksum` line.
+pub const SNAPSHOT_FILE_VERSION: u32 = 2;
 
 /// One persisted finding: the same identity triple as
 /// [`Candidate::identity`](crate::candidate::Candidate::identity), enough to
@@ -142,12 +146,14 @@ pub struct StoredFinding {
 
 /// Findings persisted between runs (the per-commit mode's memory).
 ///
-/// The format is a line-oriented text file:
+/// The format is a line-oriented text file whose last line is an FNV-1a
+/// checksum of everything above it:
 ///
 /// ```text
-/// valuecheck-snapshot v1
+/// valuecheck-snapshot v2
 /// commit 42
 /// finding <function>\t<variable>\t<line>
+/// checksum <hex16>
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SnapshotStore {
@@ -159,21 +165,42 @@ pub struct SnapshotStore {
 
 impl SnapshotStore {
     /// Loads a store from disk. **Never fails**: a missing file is a normal
-    /// cold start; a corrupt, truncated, or version-mismatched file is
-    /// counted as `harden.snapshot_recovered` and also degrades to a cold
-    /// (empty) store, so the caller transparently rebuilds from scratch.
+    /// cold start; any other defect degrades to a cold (empty) store, so
+    /// the caller transparently rebuilds from scratch. Defects are counted
+    /// by kind — a failed content checksum (bit rot, torn concurrent
+    /// write) bumps `harden.snapshot_corrupt`, while a truncated,
+    /// malformed, or version-mismatched file bumps
+    /// `harden.snapshot_recovered`.
     pub fn load(path: &Path) -> SnapshotStore {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(_) => return SnapshotStore::default(), // cold start
         };
-        match Self::parse(&text) {
+        let Some((body, sum)) = Self::split_checksum(&text) else {
+            // No checksum line: a pre-v2 file or one truncated mid-write.
+            vc_obs::counter_inc("harden.snapshot_recovered");
+            return SnapshotStore::default();
+        };
+        if content_hash(body) != sum {
+            vc_obs::counter_inc("harden.snapshot_corrupt");
+            return SnapshotStore::default();
+        }
+        match Self::parse(body) {
             Some(store) => store,
             None => {
                 vc_obs::counter_inc("harden.snapshot_recovered");
                 SnapshotStore::default()
             }
         }
+    }
+
+    /// Splits the file into (body, trailing checksum). `None` when the last
+    /// line is not a well-formed `checksum <hex16>` record.
+    fn split_checksum(text: &str) -> Option<(&str, u64)> {
+        let trimmed = text.strip_suffix('\n')?;
+        let body_end = trimmed.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let sum = u64::from_str_radix(trimmed[body_end..].strip_prefix("checksum ")?, 16).ok()?;
+        Some((&text[..body_end], sum))
     }
 
     fn parse(text: &str) -> Option<SnapshotStore> {
@@ -208,8 +235,13 @@ impl SnapshotStore {
         Some(store)
     }
 
-    /// Serialises and writes the store.
+    /// Serialises and writes the store **atomically**: the content (plus
+    /// its trailing checksum line) goes to a temp file in the same
+    /// directory, is fsynced, and is renamed over `path`. A reader — or a
+    /// crash — at any point sees either the complete old store or the
+    /// complete new one, never a torn mix.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
         let mut out = format!("valuecheck-snapshot v{SNAPSHOT_FILE_VERSION}\n");
         if let Some(c) = self.commit {
             out.push_str(&format!("commit {}\n", c.0));
@@ -220,7 +252,37 @@ impl SnapshotStore {
                 f.function, f.variable, f.line
             ));
         }
-        std::fs::write(path, out)
+        out.push_str(&format!("checksum {:016x}\n", content_hash(&out)));
+
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))?;
+        let tmp = path.with_file_name(format!(
+            ".{}.tmp.{}",
+            file_name.to_string_lossy(),
+            std::process::id()
+        ));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // Make the rename itself durable (best-effort: directory fsync is
+        // not available on every platform).
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(if dir.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                dir
+            }) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Replaces the stored run with `findings` for `commit`.
@@ -255,6 +317,16 @@ pub fn analyze_commit_stored(
     // A failed save is not fatal: the next run just starts cold.
     let _ = next.save(store_path);
     Ok((findings, previous))
+}
+
+/// FNV-1a over a text blob — the store file's content checksum.
+fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// FNV-1a over the snapshot contents and defines.
@@ -530,9 +602,11 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_file_recovers_cold_and_counts() {
-        let path = temp_path("corrupt");
-        std::fs::write(&path, "valuecheck-snapshot v1\ncommit 3\nfinding f\tx\n").unwrap();
+    fn truncated_snapshot_file_recovers_cold_and_counts() {
+        // A file killed mid-write before the checksum line: structurally
+        // incomplete, counted as recovered (not corrupt).
+        let path = temp_path("truncated");
+        std::fs::write(&path, "valuecheck-snapshot v2\ncommit 3\nfinding f\tx\n").unwrap();
         let obs = vc_obs::ObsSession::new();
         let loaded = {
             let _g = obs.install();
@@ -540,7 +614,56 @@ mod tests {
         };
         assert_eq!(loaded, SnapshotStore::default());
         assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 1);
+        assert_eq!(obs.registry.counter("harden.snapshot_corrupt"), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_mismatch_counts_as_corrupt_not_recovered() {
+        let path = temp_path("bitrot");
+        let mut store = SnapshotStore::default();
+        store.commit = Some(CommitId(3));
+        store.findings.push(StoredFinding {
+            function: "f".into(),
+            variable: "x".into(),
+            line: 9,
+        });
+        store.save(&path).unwrap();
+        // Flip one content byte; the trailing checksum no longer matches.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\tx\t", "\ty\t")).unwrap();
+        let obs = vc_obs::ObsSession::new();
+        let loaded = {
+            let _g = obs.install();
+            SnapshotStore::load(&path)
+        };
+        assert_eq!(loaded, SnapshotStore::default());
+        assert_eq!(obs.registry.counter("harden.snapshot_corrupt"), 1);
+        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("vc-snap-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.snap");
+        let mut store = SnapshotStore::default();
+        store.commit = Some(CommitId(1));
+        store.save(&path).unwrap();
+        store.commit = Some(CommitId(2));
+        store.save(&path).unwrap();
+        assert_eq!(SnapshotStore::load(&path).commit, Some(CommitId(2)));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "store.snap")
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

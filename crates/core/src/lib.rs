@@ -15,7 +15,9 @@
 //! [`pipeline::run`] ties the stages together; [`incremental`] provides the
 //! per-commit mode of §8.6; [`harden`] supplies the fault-isolation,
 //! budget, and graceful-degradation layer that keeps a run alive on
-//! malformed or pathological input.
+//! malformed or pathological input; [`sentinel`] runs detection under a
+//! supervised parallel executor with crash-safe journaled checkpoints
+//! ([`pipeline::run_sentinel`], `vcheck --jobs/--journal/--resume`).
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@ pub mod project;
 pub mod prune;
 pub mod rank;
 pub mod report;
+pub mod sentinel;
 
 pub use authorship::{
     Attributed,
@@ -69,6 +72,7 @@ pub use harden::{
 };
 pub use pipeline::{
     run,
+    run_sentinel,
     Analysis,
     Options, //
 };
@@ -81,3 +85,7 @@ pub use rank::{
     Ranked, //
 };
 pub use report::Report;
+pub use sentinel::{
+    CrashPlan,
+    SentinelConfig, //
+};

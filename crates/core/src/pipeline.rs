@@ -43,6 +43,10 @@ use crate::{
         Ranked, //
     },
     report::Report,
+    sentinel::{
+        detect_program_sentinel,
+        SentinelConfig, //
+    },
 };
 
 /// Full pipeline configuration.
@@ -151,10 +155,48 @@ pub fn run_with_obs(
 
     let detect_span = obs.span("stage.detect", "pipeline");
     let outcome = detect_program_hardened(prog, opts.detect, opts.harden);
+    let detect_time = detect_span.end();
+
+    run_stages(prog, repo, opts, obs, outcome, detect_time, run_span)
+}
+
+/// Runs the pipeline with the sentinel executor driving the detection
+/// stage: `sconf.jobs` supervised workers, optional journal durability, and
+/// `--resume` replay. Everything downstream of detection — and the report
+/// bytes — is identical to [`run_with_obs`].
+pub fn run_sentinel(
+    prog: &Program,
+    repo: &Repository,
+    opts: &Options,
+    sconf: &SentinelConfig,
+    obs: ObsSession,
+) -> Analysis {
+    let _guard = obs.install();
+    let run_span = obs.span("pipeline.run", "pipeline");
+
+    let detect_span = obs.span("stage.detect", "pipeline");
+    let outcome = detect_program_sentinel(prog, opts.detect, opts.harden, sconf);
+    let detect_time = detect_span.end();
+
+    run_stages(prog, repo, opts, obs, outcome, detect_time, run_span)
+}
+
+/// Everything downstream of detection: authorship, cross-scope filtering,
+/// pruning, ranking, report assembly, and the funnel accounting. Shared by
+/// the sequential and sentinel front halves so both produce identical
+/// output for identical detection outcomes.
+fn run_stages(
+    prog: &Program,
+    repo: &Repository,
+    opts: &Options,
+    obs: ObsSession,
+    outcome: crate::detect::DetectOutcome,
+    detect_time: Duration,
+    run_span: vc_obs::Span,
+) -> Analysis {
     let candidates = outcome.candidates;
     let mut failures = outcome.failures;
     let raw_candidates = candidates.len();
-    let detect_time = detect_span.end();
 
     let authorship_span = obs.span("stage.authorship", "pipeline");
     let ctx = AuthorshipCtx::new(prog, repo);
@@ -465,6 +507,30 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.stage == FailStage::Rank));
+    }
+
+    #[test]
+    fn sentinel_pipeline_matches_sequential_bytes() {
+        let (prog, repo) = two_author_setup();
+        let seq = run(&prog, &repo, &Options::paper());
+        for jobs in [1, 2, 8] {
+            let sconf = SentinelConfig {
+                jobs,
+                ..SentinelConfig::default()
+            };
+            let par = run_sentinel(
+                &prog,
+                &repo,
+                &Options::paper(),
+                &sconf,
+                ObsSession::current_or_new(),
+            );
+            assert_eq!(
+                par.report.canonical_bytes(),
+                seq.report.canonical_bytes(),
+                "jobs={jobs}"
+            );
+        }
     }
 
     #[test]

@@ -102,6 +102,16 @@ impl Report {
         out
     }
 
+    /// Every rendered byte of the report — the CSV followed by the JSON —
+    /// as one buffer. The determinism tests compare this across worker
+    /// counts and resume points: equality here means equality of anything
+    /// `vcheck` can print.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = self.to_csv().into_bytes();
+        out.extend_from_slice(self.to_json().as_bytes());
+        out
+    }
+
     /// Renders the report as pretty-printed JSON: `{"rows": [...]}`.
     pub fn to_json(&self) -> String {
         let rows = self

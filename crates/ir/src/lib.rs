@@ -43,5 +43,6 @@ pub use ir::{
 pub use program::Program;
 pub use span::{
     FileId,
+    LineCol,
     Span, //
 };

@@ -54,5 +54,6 @@ pub use scope::{
 pub use trace::{
     Span,
     SpanRecord,
-    Tracer, //
+    Tracer,
+    MAIN_TID, //
 };

@@ -13,6 +13,10 @@ use std::{
 
 use crate::json::Json;
 
+/// The Chrome-trace thread lane the main pipeline records into; executor
+/// workers use `MAIN_TID + 1 + worker_index`.
+pub const MAIN_TID: u32 = 1;
+
 /// One finished span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -26,6 +30,9 @@ pub struct SpanRecord {
     pub dur_us: u64,
     /// Nesting depth at the time the span was opened (0 = top level).
     pub depth: u32,
+    /// Chrome-trace thread lane ([`MAIN_TID`] for the pipeline thread; one
+    /// lane per executor worker).
+    pub tid: u32,
 }
 
 impl SpanRecord {
@@ -67,6 +74,13 @@ impl Tracer {
     /// Opens a span on a shared tracer. Ends when the guard is dropped or
     /// [`Span::end`] is called.
     pub fn span(self: &Arc<Tracer>, name: &str, cat: &str) -> Span {
+        self.span_on(name, cat, MAIN_TID)
+    }
+
+    /// Opens a span on an explicit Chrome-trace thread lane. The sentinel
+    /// executor gives each worker its own lane so worker activity renders
+    /// side by side in `chrome://tracing` / Perfetto.
+    pub fn span_on(self: &Arc<Tracer>, name: &str, cat: &str, tid: u32) -> Span {
         let depth = {
             let mut g = self.inner.lock().unwrap();
             let d = g.depth;
@@ -79,6 +93,7 @@ impl Tracer {
             cat: cat.to_string(),
             start: Instant::now(),
             depth,
+            tid,
             done: false,
         }
     }
@@ -103,6 +118,7 @@ impl Tracer {
             start_us,
             dur_us: end_us.saturating_sub(start_us),
             depth: span.depth,
+            tid: span.tid,
         });
         elapsed
     }
@@ -115,9 +131,10 @@ impl Tracer {
     /// The recording as a Chrome `trace_event` document.
     pub fn to_chrome_json(&self) -> Json {
         let mut records = self.records();
-        // Depth breaks the tie when a parent and child share the same
-        // microsecond start and duration — the parent must still precede.
-        records.sort_by_key(|r| (r.start_us, std::cmp::Reverse(r.dur_us), r.depth));
+        // Lanes first, then time; depth breaks the tie when a parent and
+        // child share the same microsecond start and duration — the parent
+        // must still precede.
+        records.sort_by_key(|r| (r.tid, r.start_us, std::cmp::Reverse(r.dur_us), r.depth));
         let events = records
             .into_iter()
             .map(|r| {
@@ -128,7 +145,7 @@ impl Tracer {
                     ("ts".into(), Json::Int(r.start_us as i64)),
                     ("dur".into(), Json::Int(r.dur_us as i64)),
                     ("pid".into(), Json::Int(1)),
-                    ("tid".into(), Json::Int(1)),
+                    ("tid".into(), Json::Int(r.tid as i64)),
                 ])
             })
             .collect();
@@ -150,6 +167,7 @@ pub struct Span {
     cat: String,
     start: Instant,
     depth: u32,
+    tid: u32,
     done: bool,
 }
 
@@ -162,6 +180,7 @@ impl Span {
             cat: String::new(),
             start: Instant::now(),
             depth: 0,
+            tid: MAIN_TID,
             done: false,
         }
     }
@@ -244,6 +263,22 @@ mod tests {
         // Round trips through the parser.
         let text = doc.to_string_pretty();
         assert!(crate::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn worker_lane_spans_export_their_tid() {
+        let t = Arc::new(Tracer::new());
+        t.span_on("unit", "sentinel", MAIN_TID + 3).end();
+        t.span("main", "pipeline").end();
+        let recs = t.records();
+        assert_eq!(recs[0].tid, MAIN_TID + 3);
+        assert_eq!(recs[1].tid, MAIN_TID);
+        let doc = t.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Export groups by lane: the main lane precedes the worker lane.
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("main"));
+        assert_eq!(events[0].get("tid").and_then(Json::as_i64), Some(1));
+        assert_eq!(events[1].get("tid").and_then(Json::as_i64), Some(4));
     }
 
     #[test]

@@ -129,7 +129,7 @@ pub fn inject_faults(app: &mut GeneratedApp, seed: u64) -> Vec<InjectedFault> {
     // local history — the finding survives the authorship filter under
     // every seed.
     let faultbot = app.repo.add_author(format!("faultbot_{tag}"));
-    let mut commit_file = |app: &mut GeneratedApp, path: &str, text: &str| {
+    let commit_file = |app: &mut GeneratedApp, path: &str, text: &str| {
         app.repo.commit(
             faultbot,
             NOW - DAY,
@@ -227,4 +227,68 @@ pub fn inject_faults(app: &mut GeneratedApp, seed: u64) -> Vec<InjectedFault> {
     });
 
     out
+}
+
+// ---------------------------------------------------------------------------
+// Kill-at-random-point sweep (crash harness)
+// ---------------------------------------------------------------------------
+
+/// Environment variable the crash harness uses to hand a [`CrashPoint`] to
+/// its re-executed child process.
+pub const CRASH_ENV: &str = "VC_CRASH_CHILD";
+
+/// One planned kill of the crash sweep: the child process scans the seeded
+/// app with a journal and aborts (as a SIGKILL would — no unwinding, no
+/// destructors) while appending the `abort_at_record`-th journal record,
+/// optionally leaving a torn partial line behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Seed of the generated app the child scans.
+    pub seed: u64,
+    /// 0-based journal record during whose append the process dies.
+    pub abort_at_record: usize,
+    /// Bytes of that record written (and fsynced) before dying: `0` is a
+    /// clean between-records crash, a positive value manufactures a torn
+    /// record for the replayer to detect and skip.
+    pub torn_bytes: usize,
+}
+
+impl CrashPoint {
+    /// The sweep grid for a scan of `units` journal records and the given
+    /// seeds: kill points at the first, second, middle, and last record,
+    /// each both clean and torn.
+    pub fn sweep(seeds: &[u64], units: usize) -> Vec<CrashPoint> {
+        let mut offsets = vec![0, 1, units / 2, units.saturating_sub(1)];
+        offsets.retain(|o| *o < units);
+        offsets.dedup();
+        let mut out = Vec::new();
+        for &seed in seeds {
+            for &abort_at_record in &offsets {
+                for torn_bytes in [0usize, 7] {
+                    out.push(CrashPoint {
+                        seed,
+                        abort_at_record,
+                        torn_bytes,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Serialises for [`CRASH_ENV`].
+    pub fn to_env(&self) -> String {
+        format!("{}:{}:{}", self.seed, self.abort_at_record, self.torn_bytes)
+    }
+
+    /// Parses a [`CrashPoint::to_env`] string.
+    pub fn from_env(s: &str) -> Option<CrashPoint> {
+        let mut parts = s.split(':');
+        let point = CrashPoint {
+            seed: parts.next()?.parse().ok()?,
+            abort_at_record: parts.next()?.parse().ok()?,
+            torn_bytes: parts.next()?.parse().ok()?,
+        };
+        parts.next().is_none().then_some(point)
+    }
 }

@@ -27,6 +27,7 @@ pub mod truth;
 
 pub use faults::{
     inject_faults,
+    CrashPoint,
     Evidence,
     FaultKind,
     InjectedFault, //

@@ -18,6 +18,18 @@ cargo test --workspace -q
 echo "==> cargo test -p vc-workload --test faults -q (32 seeds)"
 cargo test -p vc-workload --test faults -q
 
+# crash: the kill-at-random-point sweep (crates/workload/tests/crash.rs) —
+# child processes abort mid-journal-append (clean and torn) at every grid
+# offset; resuming from the survivor journal must lose and duplicate
+# nothing. Bounded seeds keep this step well under a minute.
+echo "==> cargo test -p vc-workload --test crash -q (kill-point sweep)"
+cargo test -p vc-workload --test crash -q
+
+# sentinel: byte-identical reports and --stats across --jobs 1/2/8, journal
+# replay idempotence, and the fault sweep under parallel workers.
+echo "==> cargo test -p vc-workload --test sentinel -q"
+cargo test -p vc-workload --test sentinel -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
