@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! Usage: vcheck <project-dir> [options]
+//!        vcheck delta <project-dir> --from REV --to REV [options]
 //!
 //!   <project-dir>        directory with *.c sources and, ideally, a
 //!                        history.json (see vc_vcs::HistorySpec)
@@ -40,10 +41,35 @@
 //! and skipped; analysis continues over the files that parse. Exit status:
 //! 0 with no findings, 1 with findings, 2 on usage/load errors (or when
 //! every file fails to parse).
+//!
+//! The `delta` subcommand scans two revisions of the project's history and
+//! classifies every finding as new / fixed / persisting using drift-stable
+//! fingerprints (see DESIGN.md §10):
+//!
+//! ```text
+//!   --from REV           old revision (HEAD, HEAD~N, or a commit id)
+//!   --to REV             new revision
+//!   --baseline FILE      suppress would-be-new findings whose fingerprint
+//!                        appears in this snapshot store
+//!   --write-baseline FILE  save the new revision's findings as a store
+//!                        (usable as a later --baseline)
+//! ```
+//!
+//! plus `--define/--all/--no-rank/--no-prune/--json/--stats/--metrics-json/
+//! --jobs/--retry/--unit-deadline-ms/--journal/--resume` with the same
+//! meanings as the main scan (the journal gains `.from`/`.to` suffixes, one
+//! per side; `--resume` defaults it to `<project-dir>/delta.journal`).
+//! Exit status: 0 when no *new* findings, 1 when new findings are present
+//! (the CI gate), 2 on usage/load errors.
 
 use std::path::PathBuf;
 
 use valuecheck::{
+    delta::{
+        delta_scan,
+        DeltaStatus, //
+    },
+    incremental::SnapshotStore,
     pipeline::{
         run_sentinel,
         run_with_obs,
@@ -59,8 +85,213 @@ use valuecheck::{
 };
 use vc_ir::Program;
 use vc_obs::ObsSession;
+use vc_vcs::{
+    CommitId,
+    Repository, //
+};
 
 fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("delta") {
+        args.next();
+        delta_main(args);
+    }
+    scan_main(args);
+}
+
+/// Resolves a revision argument: `HEAD`, `HEAD~N`, or a numeric commit id.
+fn resolve_rev(repo: &Repository, s: &str) -> Option<CommitId> {
+    let commits = repo.commits();
+    if let Some(rest) = s.strip_prefix("HEAD") {
+        let back: usize = if rest.is_empty() {
+            0
+        } else {
+            rest.strip_prefix('~')?.parse().ok()?
+        };
+        let idx = commits.len().checked_sub(1 + back)?;
+        return Some(commits[idx].id);
+    }
+    let n: u32 = s.parse().ok()?;
+    commits.iter().find(|c| c.id.0 == n).map(|c| c.id)
+}
+
+fn delta_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut dir: Option<PathBuf> = None;
+    let mut defines: Vec<String> = Vec::new();
+    let mut opts = Options::paper();
+    let mut from_rev: Option<String> = None;
+    let mut to_rev: Option<String> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut json = false;
+    let mut stats = false;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut sconf = SentinelConfig::default();
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--from" => from_rev = Some(args.next().unwrap_or_else(|| die("--from needs a REV"))),
+            "--to" => to_rev = Some(args.next().unwrap_or_else(|| die("--to needs a REV"))),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--baseline needs a path")),
+                ));
+            }
+            "--write-baseline" => {
+                write_baseline = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--write-baseline needs a path")),
+                ));
+            }
+            "--define" => {
+                defines.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--define needs a symbol")),
+                );
+            }
+            "--all" => opts.cross_scope_only = false,
+            "--no-rank" => {
+                opts.rank = RankConfig {
+                    enabled: false,
+                    ..RankConfig::default()
+                };
+            }
+            "--no-prune" => {
+                opts.prune = PruneConfig {
+                    config_dependency: false,
+                    cursor: false,
+                    unused_hints: false,
+                    peer_definitions: false,
+                    ..PruneConfig::default()
+                };
+            }
+            "--json" => json = true,
+            "--stats" => stats = true,
+            "--metrics-json" => {
+                metrics_json = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics-json needs a path")),
+                ));
+            }
+            "--jobs" => {
+                sconf.jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+            }
+            "--retry" => {
+                let k: u32 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--retry needs a number"));
+                sconf.retry = k.max(1);
+            }
+            "--unit-deadline-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--unit-deadline-ms needs a number"));
+                sconf.unit_deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--journal" => {
+                sconf.journal = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--journal needs a path")),
+                ));
+            }
+            "--resume" => sconf.resume = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: vcheck delta <project-dir> --from REV --to REV [--baseline FILE] \
+                     [--write-baseline FILE] [--define SYM]... [--all] [--no-rank] [--no-prune] \
+                     [--json] [--stats] [--metrics-json FILE] [--jobs N] [--retry K] \
+                     [--unit-deadline-ms N] [--journal FILE] [--resume]"
+                );
+                std::process::exit(0);
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| die("missing <project-dir>"));
+    let from_rev = from_rev.unwrap_or_else(|| die("delta needs --from REV"));
+    let to_rev = to_rev.unwrap_or_else(|| die("delta needs --to REV"));
+
+    let project = load_dir(&dir).unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
+    if !project.has_history {
+        die("delta needs a history.json (two revisions to compare)");
+    }
+    let repo = &project.repo;
+    let from = resolve_rev(repo, &from_rev)
+        .unwrap_or_else(|| die(&format!("cannot resolve --from revision `{from_rev}`")));
+    let to = resolve_rev(repo, &to_rev)
+        .unwrap_or_else(|| die(&format!("cannot resolve --to revision `{to_rev}`")));
+
+    let baseline_set = match &baseline {
+        Some(path) => {
+            if !path.exists() {
+                die(&format!("--baseline {}: file not found", path.display()));
+            }
+            SnapshotStore::load(path).fingerprint_set()
+        }
+        None => Default::default(),
+    };
+
+    if sconf.resume && sconf.journal.is_none() {
+        sconf.journal = Some(dir.join("delta.journal"));
+    }
+    sconf.fingerprint_salt = salt_strings(&defines);
+
+    let obs = ObsSession::new();
+    let outcome = delta_scan(
+        repo,
+        from,
+        to,
+        &defines,
+        &opts,
+        &sconf,
+        &baseline_set,
+        obs.clone(),
+    )
+    .unwrap_or_else(|e| die(&format!("build failed: {e}")));
+
+    if let Some(path) = &write_baseline {
+        let store = SnapshotStore::from_findings(to, &outcome.to.findings);
+        store
+            .save(path)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+
+    let report = &outcome.report;
+    eprintln!(
+        "vcheck delta: {} new, {} fixed, {} persisting, {} suppressed (commit {} -> {})",
+        report.count(DeltaStatus::New),
+        report.count(DeltaStatus::Fixed),
+        report.count(DeltaStatus::Persisting),
+        report.count(DeltaStatus::Suppressed),
+        from.0,
+        to.0,
+    );
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_csv());
+    }
+
+    let snapshot = obs.registry.snapshot();
+    if stats {
+        eprint!("{}", snapshot.render_text());
+    }
+    if let Some(path) = metrics_json {
+        let text = snapshot.to_json().to_string_pretty();
+        std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+    std::process::exit(if report.has_new() { 1 } else { 0 });
+}
+
+fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     let mut dir: Option<PathBuf> = None;
     let mut defines: Vec<String> = Vec::new();
     let mut opts = Options::paper();
@@ -72,7 +303,6 @@ fn main() {
     let mut fail_fast = false;
     let mut sconf = SentinelConfig::default();
 
-    let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--define" => {
@@ -164,9 +394,10 @@ fn main() {
                      [--no-prune] [--top N] [--json] [--stats] [--metrics-json FILE] \
                      [--trace FILE] [--budget-steps N] [--budget-ms N] [--jobs N] \
                      [--retry K] [--unit-deadline-ms N] [--journal FILE] [--resume] \
-                     [--fail-fast]"
+                     [--fail-fast]\n       vcheck delta <project-dir> --from REV --to REV \
+                     [options] (see `vcheck delta --help`)"
                 );
-                return;
+                std::process::exit(0);
             }
             other if dir.is_none() && !other.starts_with('-') => {
                 dir = Some(PathBuf::from(other));

@@ -128,12 +128,15 @@ impl SnapshotCache {
 
 /// On-disk format version of [`SnapshotStore`]. Bumped whenever the line
 /// format changes; older files are treated as cold caches, never parsed
-/// across versions. v2 added the trailing `checksum` line.
-pub const SNAPSHOT_FILE_VERSION: u32 = 2;
+/// across versions. v2 added the trailing `checksum` line; v3 added the
+/// file, scenario, and drift-stable fingerprint fields (so a store doubles
+/// as a `vcheck delta --baseline` suppression set).
+pub const SNAPSHOT_FILE_VERSION: u32 = 3;
 
-/// One persisted finding: the same identity triple as
-/// [`Candidate::identity`](crate::candidate::Candidate::identity), enough to
-/// diff runs without re-ranking.
+/// One persisted finding: the identity triple plus the coordinates the
+/// differential scanner needs — file, scenario, and the drift-stable
+/// [`Fingerprint`](crate::delta::Fingerprint) — enough to diff runs without
+/// re-ranking.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoredFinding {
     /// Containing function.
@@ -142,6 +145,12 @@ pub struct StoredFinding {
     pub variable: String,
     /// 1-based line of the definition.
     pub line: u32,
+    /// File of the definition.
+    pub file: String,
+    /// Scenario label (`retval`, `param`, or `overwritten`).
+    pub scenario: String,
+    /// Drift-stable fingerprint (hex16 on disk).
+    pub fingerprint: u64,
 }
 
 /// Findings persisted between runs (the per-commit mode's memory).
@@ -150,9 +159,9 @@ pub struct StoredFinding {
 /// checksum of everything above it:
 ///
 /// ```text
-/// valuecheck-snapshot v2
+/// valuecheck-snapshot v3
 /// commit 42
-/// finding <function>\t<variable>\t<line>
+/// finding <function>\t<variable>\t<line>\t<file>\t<scenario>\t<fp-hex16>
 /// checksum <hex16>
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -223,6 +232,9 @@ impl SnapshotStore {
                     function: parts.next()?.to_string(),
                     variable: parts.next()?.to_string(),
                     line: parts.next()?.parse().ok()?,
+                    file: parts.next()?.to_string(),
+                    scenario: parts.next()?.to_string(),
+                    fingerprint: u64::from_str_radix(parts.next()?, 16).ok()?,
                 };
                 if parts.next().is_some() {
                     return None; // trailing garbage on the line
@@ -248,8 +260,8 @@ impl SnapshotStore {
         }
         for f in &self.findings {
             out.push_str(&format!(
-                "finding {}\t{}\t{}\n",
-                f.function, f.variable, f.line
+                "finding {}\t{}\t{}\t{}\t{}\t{:016x}\n",
+                f.function, f.variable, f.line, f.file, f.scenario, f.fingerprint
             ));
         }
         out.push_str(&format!("checksum {:016x}\n", content_hash(&out)));
@@ -285,17 +297,46 @@ impl SnapshotStore {
         Ok(())
     }
 
-    /// Replaces the stored run with `findings` for `commit`.
-    pub fn record(&mut self, commit: CommitId, findings: &[Ranked]) {
+    /// Replaces the stored run with `findings` for `commit`. The program is
+    /// needed to resolve file names and compute drift-stable fingerprints.
+    pub fn record(&mut self, prog: &vc_ir::Program, commit: CommitId, findings: &[Ranked]) {
         self.commit = Some(commit);
-        self.findings = findings
-            .iter()
-            .map(|r| StoredFinding {
-                function: r.item.candidate.func_name.clone(),
-                variable: r.item.candidate.var_name.clone(),
-                line: r.item.candidate.span.line(),
+        self.findings = crate::delta::fingerprint_ranked(prog, findings)
+            .into_iter()
+            .map(|f| StoredFinding {
+                function: f.function,
+                variable: f.variable,
+                line: f.line,
+                file: f.file,
+                scenario: f.scenario,
+                fingerprint: f.fingerprint.0,
             })
             .collect();
+    }
+
+    /// The stored fingerprints as a suppression set (`vcheck delta
+    /// --baseline`).
+    pub fn fingerprint_set(&self) -> HashSet<u64> {
+        self.findings.iter().map(|f| f.fingerprint).collect()
+    }
+
+    /// Builds a store directly from fingerprinted findings (`vcheck delta
+    /// --write-baseline` records the new-revision scan this way).
+    pub fn from_findings(commit: CommitId, findings: &[crate::delta::Finding]) -> SnapshotStore {
+        SnapshotStore {
+            commit: Some(commit),
+            findings: findings
+                .iter()
+                .map(|f| StoredFinding {
+                    function: f.function.clone(),
+                    variable: f.variable.clone(),
+                    line: f.line,
+                    file: f.file.clone(),
+                    scenario: f.scenario.clone(),
+                    fingerprint: f.fingerprint.0,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -311,9 +352,14 @@ pub fn analyze_commit_stored(
     rank_config: &RankConfig,
 ) -> Result<(CommitFindings, SnapshotStore), BuildError> {
     let previous = SnapshotStore::load(store_path);
-    let findings = analyze_commit(repo, commit, defines, prune_config, rank_config)?;
+    let tree = repo.snapshot_at(commit);
+    let mut sources: Vec<(&str, &str)> =
+        tree.iter().map(|(p, c)| (p.as_str(), c.as_str())).collect();
+    sources.sort_by_key(|(p, _)| p.to_string());
+    let prog = Program::build(&sources, defines)?;
+    let findings = analyze_commit_in(&prog, repo, commit, prune_config, rank_config);
     let mut next = SnapshotStore::default();
-    next.record(commit, &findings.findings);
+    next.record(&prog, commit, &findings.findings);
     // A failed save is not fatal: the next run just starts cold.
     let _ = next.save(store_path);
     Ok((findings, previous))
@@ -594,6 +640,9 @@ mod tests {
             function: "f".into(),
             variable: "x".into(),
             line: 3,
+            file: "a.c".into(),
+            scenario: "retval".into(),
+            fingerprint: 0xDEAD_BEEF_0123_4567,
         });
         store.save(&path).unwrap();
         let loaded = SnapshotStore::load(&path);
@@ -606,7 +655,7 @@ mod tests {
         // A file killed mid-write before the checksum line: structurally
         // incomplete, counted as recovered (not corrupt).
         let path = temp_path("truncated");
-        std::fs::write(&path, "valuecheck-snapshot v2\ncommit 3\nfinding f\tx\n").unwrap();
+        std::fs::write(&path, "valuecheck-snapshot v3\ncommit 3\nfinding f\tx\n").unwrap();
         let obs = vc_obs::ObsSession::new();
         let loaded = {
             let _g = obs.install();
@@ -627,6 +676,9 @@ mod tests {
             function: "f".into(),
             variable: "x".into(),
             line: 9,
+            file: "a.c".into(),
+            scenario: "param".into(),
+            fingerprint: 7,
         });
         store.save(&path).unwrap();
         // Flip one content byte; the trailing checksum no longer matches.
@@ -738,6 +790,43 @@ mod tests {
         assert_eq!(previous.commit, Some(c));
         assert_eq!(previous.findings.len(), 1);
         assert_eq!(previous.findings[0].variable, "x");
+        assert_eq!(previous.findings[0].file, "a.c");
+        assert_eq!(previous.findings[0].scenario, "overwritten");
+        assert_ne!(
+            previous.findings[0].fingerprint, 0,
+            "stored findings carry a real fingerprint"
+        );
+        assert_eq!(
+            previous.fingerprint_set().len(),
+            1,
+            "the store doubles as a baseline suppression set"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v2_snapshot_recovers_cold() {
+        // A v2 file (pre-fingerprint format) with a *valid* checksum: the
+        // version gate — not the checksum — must reject it.
+        let path = temp_path("legacy-v2");
+        let body = "valuecheck-snapshot v2\ncommit 3\nfinding f\tx\t9\n";
+        let sum = {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for &b in body.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        };
+        std::fs::write(&path, format!("{body}checksum {sum:016x}\n")).unwrap();
+        let obs = vc_obs::ObsSession::new();
+        let loaded = {
+            let _g = obs.install();
+            SnapshotStore::load(&path)
+        };
+        assert_eq!(loaded, SnapshotStore::default());
+        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 1);
+        assert_eq!(obs.registry.counter("harden.snapshot_corrupt"), 0);
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,7 +17,10 @@
 //! budget, and graceful-degradation layer that keeps a run alive on
 //! malformed or pathological input; [`sentinel`] runs detection under a
 //! supervised parallel executor with crash-safe journaled checkpoints
-//! ([`pipeline::run_sentinel`], `vcheck --jobs/--journal/--resume`).
+//! ([`pipeline::run_sentinel`], `vcheck --jobs/--journal/--resume`);
+//! [`delta`] scans two revisions and classifies every finding as
+//! new/fixed/persisting using drift-stable fingerprints
+//! (`vcheck delta --from REV --to REV`).
 //!
 //! # Examples
 //!
@@ -42,6 +45,7 @@
 
 pub mod authorship;
 pub mod candidate;
+pub mod delta;
 pub mod detect;
 pub mod harden;
 pub mod incremental;
@@ -59,6 +63,11 @@ pub use authorship::{
 pub use candidate::{
     Candidate,
     Scenario, //
+};
+pub use delta::{
+    DeltaReport,
+    DeltaStatus,
+    Fingerprint, //
 };
 pub use detect::{
     detect_function,

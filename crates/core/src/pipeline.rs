@@ -181,6 +181,46 @@ pub fn run_sentinel(
     run_stages(prog, repo, opts, obs, outcome, detect_time, run_span)
 }
 
+/// A pipeline run against one historical revision: the program built from
+/// that revision's snapshot plus the analysis of it. The differential
+/// scanner ([`crate::delta`]) runs one of these per side.
+#[derive(Clone, Debug)]
+pub struct RevisionAnalysis {
+    /// The analysed commit.
+    pub commit: vc_vcs::CommitId,
+    /// The program built from the commit's snapshot (sources sorted by
+    /// path, so unit order — and report bytes — are revision-determined).
+    pub prog: Program,
+    /// The pipeline result.
+    pub analysis: Analysis,
+}
+
+/// Runs the sentinel pipeline against the snapshot at `commit`: the program
+/// is rebuilt from that revision's tree and authorship/blame run against the
+/// history truncated at the commit, exactly as a checkout at that point
+/// would have seen it.
+pub fn run_at_commit(
+    repo: &Repository,
+    commit: vc_vcs::CommitId,
+    defines: &[String],
+    opts: &Options,
+    sconf: &SentinelConfig,
+    obs: ObsSession,
+) -> Result<RevisionAnalysis, vc_ir::program::BuildError> {
+    let tree = repo.snapshot_at(commit);
+    let mut sources: Vec<(&str, &str)> =
+        tree.iter().map(|(p, c)| (p.as_str(), c.as_str())).collect();
+    sources.sort_by_key(|(p, _)| p.to_string());
+    let prog = Program::build(&sources, defines)?;
+    let repo_at = repo.checkout(commit);
+    let analysis = run_sentinel(&prog, &repo_at, opts, sconf, obs);
+    Ok(RevisionAnalysis {
+        commit,
+        prog,
+        analysis,
+    })
+}
+
 /// Everything downstream of detection: authorship, cross-scope filtering,
 /// pruning, ranking, report assembly, and the funnel accounting. Shared by
 /// the sequential and sentinel front halves so both produce identical

@@ -72,7 +72,8 @@ pub struct PruneConfig {
     pub unused_hints: bool,
     /// Enable §5.4.
     pub peer_definitions: bool,
-    /// Peer pruning: minimum number of peer occurrences ("over ten").
+    /// Peer pruning: minimum number of peer occurrences (the paper's
+    /// "≥ 10 peer call sites"; the threshold itself counts).
     pub peer_min_occurrences: usize,
     /// Peer pruning: minimum unused fraction ("over half").
     pub peer_unused_ratio: f64,
@@ -318,7 +319,7 @@ fn prune_one(
             Scenario::RetVal { callees } => {
                 for callee in callees {
                     if let Some((total, unused)) = peers.retval.get(callee) {
-                        if *total > config.peer_min_occurrences
+                        if *total >= config.peer_min_occurrences
                             && (*unused as f64) > (*total as f64) * config.peer_unused_ratio
                         {
                             return Some(PruneReason::PeerDefinition);
@@ -329,7 +330,7 @@ fn prune_one(
             Scenario::Param { index } => {
                 let sig: Vec<Type> = f.params.iter().map(|p| p.ty.clone()).collect();
                 if let Some((total, unused)) = peers.params.get(&(sig, *index)) {
-                    if *total > config.peer_min_occurrences
+                    if *total >= config.peer_min_occurrences
                         && (*unused as f64) > (*total as f64) * config.peer_unused_ratio
                     {
                         return Some(PruneReason::PeerDefinition);
@@ -431,7 +432,7 @@ mod tests {
 
     #[test]
     fn rarely_ignored_retval_survives_peer_pruning() {
-        // Only 3 call sites: below the ">10 occurrences" threshold.
+        // Only 3 call sites: below the "≥ 10 occurrences" threshold.
         let mut src = String::from("int read_cfg(void);\n");
         src.push_str("void a(void) {\nint x = read_cfg();\nuse(x);\n}\n");
         src.push_str("void b(void) {\nint y = read_cfg();\nuse(y);\n}\n");
@@ -439,6 +440,81 @@ mod tests {
         let (out, _) = run_prune(&src);
         assert_eq!(out.count(PruneReason::PeerDefinition), 0);
         assert!(out.kept.iter().any(|k| k.candidate.func_name == "g"));
+    }
+
+    #[test]
+    fn peer_pruning_fires_at_exactly_ten_retval_sites() {
+        // 9 call sites ignore the result + 1 assigns-but-never-reads:
+        // exactly 10 occurrences, all unused. The paper's "≥ 10 peer call
+        // sites" threshold is inclusive, so pruning must fire here.
+        let mut src = String::from("int log_ev(char *m);\n");
+        for i in 0..9 {
+            src.push_str(&format!("void f{i}(void) {{\nlog_ev(\"x\");\n}}\n"));
+        }
+        src.push_str("void g(void) {\nint r = log_ev(\"y\");\nr = 0;\nuse(r);\n}\n");
+        let (out, _) = run_prune(&src);
+        assert!(
+            out.count(PruneReason::PeerDefinition) >= 1,
+            "threshold is inclusive; pruned: {:?}",
+            out.pruned
+                .iter()
+                .map(|(a, r)| (a.candidate.var_name.clone(), *r))
+                .collect::<Vec<_>>()
+        );
+        assert!(out.kept.iter().all(|k| k.candidate.func_name != "g"));
+    }
+
+    #[test]
+    fn peer_pruning_stays_quiet_at_nine_retval_sites() {
+        // One fewer site than the boundary: the candidate must survive.
+        let mut src = String::from("int log_ev(char *m);\n");
+        for i in 0..8 {
+            src.push_str(&format!("void f{i}(void) {{\nlog_ev(\"x\");\n}}\n"));
+        }
+        src.push_str("void g(void) {\nint r = log_ev(\"y\");\nr = 0;\nuse(r);\n}\n");
+        let (out, _) = run_prune(&src);
+        assert!(out.kept.iter().any(|k| k.candidate.func_name == "g"));
+    }
+
+    #[test]
+    fn peer_pruning_fires_at_exactly_ten_param_peers() {
+        // 9 functions with signature (int) never touch the parameter + 1
+        // overwrites it before any read: 10 peers, all with a dead entry
+        // definition, so the boundary fires for the param scenario too.
+        let mut src = String::new();
+        for i in 0..9 {
+            src.push_str(&format!("void p{i}(int v) {{\n}}\n"));
+        }
+        src.push_str("void q(int v) {\nv = 5;\nuse(v);\n}\n");
+        let (out, _) = run_prune(&src);
+        assert!(
+            out.pruned
+                .iter()
+                .any(|(a, r)| a.candidate.func_name == "q" && *r == PruneReason::PeerDefinition),
+            "pruned: {:?}",
+            out.pruned
+                .iter()
+                .map(|(a, r)| (a.candidate.func_name.clone(), *r))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn peer_pruning_stays_quiet_at_nine_param_peers() {
+        let mut src = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("void p{i}(int v) {{\n}}\n"));
+        }
+        src.push_str("void q(int v) {\nv = 5;\nuse(v);\n}\n");
+        let (out, _) = run_prune(&src);
+        assert!(
+            out.kept.iter().any(|k| k.candidate.func_name == "q"),
+            "below the boundary the finding survives; pruned: {:?}",
+            out.pruned
+                .iter()
+                .map(|(a, r)| (a.candidate.func_name.clone(), *r))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

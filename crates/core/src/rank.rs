@@ -80,7 +80,8 @@ pub struct Ranked {
     /// The attributed candidate.
     pub item: Attributed,
     /// Familiarity score of the responsible author (lower = less familiar =
-    /// higher priority). `None` when blame failed; such items sort last.
+    /// higher priority). `None` when blame failed or the model produced a
+    /// NaN score (counted as `rank.familiarity_nan`); such items sort last.
     pub familiarity: Option<f64>,
     /// The scored author.
     pub author: Option<AuthorId>,
@@ -116,15 +117,25 @@ pub fn rank(
         .into_iter()
         .map(|item| {
             let author = responsible_author(prog, repo, &item);
-            let familiarity = author.map(|a| {
+            let familiarity = author.and_then(|a| {
                 let file = prog.source.name(item.candidate.span.file);
-                match &config.model {
+                let score = match &config.model {
                     FamiliarityModel::Dok(model) => {
                         let m = Metrics::compute(repo, file, a);
                         model.score_masked(&m, config.mask)
                     }
                     FamiliarityModel::Ea(model) => model.score(repo, file, a),
+                };
+                if score.is_nan() {
+                    // Pathological weights (e.g. a fitted model fed
+                    // degenerate data) can produce NaN; comparing NaN as
+                    // `Equal` would scramble the sort, so treat the score
+                    // as unknown — such items sort last, like blame
+                    // failures.
+                    vc_obs::counter_inc("rank.familiarity_nan");
+                    return None;
                 }
+                Some(score)
             });
             if let Some(f) = familiarity {
                 // Scores are recorded as milli-units so the integer
@@ -141,7 +152,10 @@ pub fn rank(
         .collect();
     if config.enabled {
         out.sort_by(|a, b| match (a.familiarity, b.familiarity) {
-            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+            // Scores are NaN-free by construction (NaN maps to `None`
+            // above), so `total_cmp` only serves as a belt-and-braces
+            // total order here.
+            (Some(x), Some(y)) => x.total_cmp(&y),
             (Some(_), None) => std::cmp::Ordering::Less,
             (None, Some(_)) => std::cmp::Ordering::Greater,
             (None, None) => std::cmp::Ordering::Equal,
@@ -213,6 +227,74 @@ mod tests {
         let f0 = ranked[0].familiarity.unwrap();
         let f1 = ranked[1].familiarity.unwrap();
         assert!(f0 <= f1);
+    }
+
+    #[test]
+    fn nan_scores_sort_last_and_are_counted() {
+        // A pathologically fitted model (NaN intercept) scores every author
+        // as NaN. Those scores must degrade to `None` familiarity (sorting
+        // last, like blame failures), not silently scramble the order.
+        let src_a = "void fa(void) {\nint x = 1;\nx = 2;\nuse(x);\n}\n";
+        let src_b = "void fb(void) {\nint y = 1;\ny = 2;\nuse(y);\n}\n";
+        let prog = Program::build(&[("a.c", src_a), ("b.c", src_b)], &[]).unwrap();
+        let mut repo = Repository::new();
+        let dev = repo.add_author("dev");
+        let other = repo.add_author("other");
+        repo.commit(
+            dev,
+            1,
+            "init",
+            vec![
+                FileWrite {
+                    path: "a.c".into(),
+                    content: src_a.into(),
+                },
+                FileWrite {
+                    path: "b.c".into(),
+                    content: src_b.into(),
+                },
+            ],
+        );
+        // `other` rewrites only a.c's overwriting line, so a.c's finding is
+        // cross-scope and ranked against a real history.
+        repo.commit(
+            other,
+            2,
+            "rework",
+            vec![FileWrite {
+                path: "a.c".into(),
+                content: src_a.replace("x = 2;", "x = 2; ").into(),
+            }],
+        );
+
+        let cands = detect_program(&prog, DetectConfig::default());
+        let attributed = AuthorshipCtx::new(&prog, &repo).attribute_all(&cands);
+        assert_eq!(attributed.len(), 2);
+        let order: Vec<String> = attributed
+            .iter()
+            .map(|a| a.candidate.var_name.clone())
+            .collect();
+
+        let bad = vc_familiarity::DokModel {
+            alpha0: f64::NAN,
+            ..vc_familiarity::DokModel::PAPER
+        };
+        let obs = vc_obs::ObsSession::new();
+        let _g = obs.install();
+        let ranked = rank(&prog, &repo, &RankConfig::dok(bad), attributed);
+        assert_eq!(ranked.len(), 2, "ranking must stay a permutation");
+        assert!(
+            ranked.iter().all(|r| r.familiarity.is_none()),
+            "NaN scores degrade to None"
+        );
+        // All-None comparisons are Equal, so the stable sort keeps
+        // detection order instead of scrambling it.
+        let ranked_order: Vec<String> = ranked
+            .iter()
+            .map(|r| r.item.candidate.var_name.clone())
+            .collect();
+        assert_eq!(order, ranked_order);
+        assert_eq!(obs.registry.counter("rank.familiarity_nan"), 2);
     }
 
     #[test]

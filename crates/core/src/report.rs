@@ -181,7 +181,7 @@ impl Report {
 }
 
 fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -197,6 +197,38 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_escaping_quotes_embedded_newlines() {
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_escape("cr\rhere"), "\"cr\rhere\"");
+        assert_eq!(csv_escape("crlf\r\nend"), "\"crlf\r\nend\"");
+    }
+
+    #[test]
+    fn newline_in_author_stays_one_csv_record() {
+        let r = Report {
+            rows: vec![ReportRow {
+                rank: 1,
+                file: "a.c".into(),
+                line: 3,
+                function: "f".into(),
+                variable: "x".into(),
+                scenario: "overwritten".into(),
+                author: Some("evil\nauthor".into()),
+                familiarity: None,
+                cross_scope: true,
+                low_confidence: false,
+            }],
+            failures: Vec::new(),
+        };
+        let csv = r.to_csv();
+        // Header + one (quoted) record: the embedded newline must not tear
+        // the row, so unquoted record boundaries stay at exactly two.
+        let records = csv.split('\n').filter(|l| !l.is_empty()).count();
+        assert_eq!(records, 3, "newline is inside quotes, not a row break");
+        assert!(csv.contains("\"evil\nauthor\""));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! - [`json`] — a minimal JSON value model, writer and parser shared by the
 //!   metric and trace exporters and by the `history.json` / `truth.json`
 //!   interchange formats;
+//! - [`names`] — well-known metric name constants for metrics recorded in
+//!   one crate and asserted or documented in another;
 //! - [`scope`] — an ambient per-thread [`ObsSession`] so hot paths deep in
 //!   the analysis crates can record metrics without threading a registry
 //!   through every signature;
@@ -27,6 +29,7 @@
 pub mod budget;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod rng;
 pub mod scope;
 pub mod trace;

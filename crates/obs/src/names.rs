@@ -1,0 +1,18 @@
+//! Well-known metric names shared across crates.
+//!
+//! Counters are string-keyed, so a typo silently creates a second metric;
+//! names referenced from more than one crate (recorded in `valuecheck`,
+//! asserted in tests, documented in README) live here instead.
+
+/// Findings present in the new revision but not the old (differential scan).
+pub const DELTA_NEW: &str = "delta.new";
+/// Findings present in the old revision but gone from the new.
+pub const DELTA_FIXED: &str = "delta.fixed";
+/// Findings present in both revisions (matched by fingerprint or by
+/// diff-mapped location).
+pub const DELTA_PERSISTING: &str = "delta.persisting";
+/// Would-be-new findings suppressed by a `--baseline` fingerprint set.
+pub const DELTA_SUPPRESSED: &str = "delta.suppressed";
+/// Persisting findings that needed the edit-script line-map fallback (their
+/// fingerprint changed, but the diff maps the old location onto the new).
+pub const DELTA_LINE_MAPPED: &str = "delta.line_mapped";

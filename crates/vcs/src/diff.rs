@@ -185,6 +185,127 @@ pub fn patch(old: &[String], script: &[Edit]) -> Vec<String> {
     out
 }
 
+/// A bidirectional 1-based line-number mapping across an edit script.
+///
+/// Built once from a [`diff_lines`] script, it answers "where did old line
+/// *n* land in the new file?" (and the inverse) in O(1). Lines inside
+/// `Delete`/`Insert` hunks have no counterpart and map to `None` — only
+/// `Keep` hunks carry a line across revisions. This is what makes warning
+/// identities drift-stable: a finding's line can be followed through a
+/// commit's edit script instead of being compared numerically.
+///
+/// # Examples
+///
+/// ```
+/// use vc_vcs::diff::{diff_lines, LineMap};
+/// let old = ["a", "b", "c"].map(String::from).to_vec();
+/// let new = ["x", "a", "b", "c"].map(String::from).to_vec();
+/// let map = LineMap::new(&diff_lines(&old, &new));
+/// assert_eq!(map.old_to_new(1), Some(2)); // "a" shifted down by the insert
+/// assert_eq!(map.new_to_old(1), None); // "x" is new
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineMap {
+    /// `old_to_new[i]` is the new 1-based line of old line `i + 1`.
+    old_to_new: Vec<Option<u32>>,
+    /// `new_to_old[j]` is the old 1-based line of new line `j + 1`.
+    new_to_old: Vec<Option<u32>>,
+}
+
+impl LineMap {
+    /// Builds the mapping from an edit script.
+    pub fn new(script: &[Edit]) -> LineMap {
+        let mut old_to_new = Vec::new();
+        let mut new_to_old = Vec::new();
+        for edit in script {
+            match edit {
+                Edit::Keep(n) => {
+                    for _ in 0..*n {
+                        let old_line = old_to_new.len() as u32 + 1;
+                        let new_line = new_to_old.len() as u32 + 1;
+                        old_to_new.push(Some(new_line));
+                        new_to_old.push(Some(old_line));
+                    }
+                }
+                Edit::Delete(n) => old_to_new.extend(std::iter::repeat_n(None, *n)),
+                Edit::Insert(lines) => new_to_old.extend(std::iter::repeat_n(None, lines.len())),
+            }
+        }
+        LineMap {
+            old_to_new,
+            new_to_old,
+        }
+    }
+
+    /// Builds the mapping by diffing two file contents directly.
+    pub fn between(old: &[String], new: &[String]) -> LineMap {
+        LineMap::new(&diff_lines(old, new))
+    }
+
+    /// The new-revision line of old-revision line `line` (1-based), if the
+    /// line survived the edit.
+    pub fn old_to_new(&self, line: u32) -> Option<u32> {
+        *self
+            .old_to_new
+            .get((line as usize).checked_sub(1)?)
+            .unwrap_or(&None)
+    }
+
+    /// The old-revision line of new-revision line `line` (1-based), if the
+    /// line existed before the edit.
+    /// Like [`old_to_new`](LineMap::old_to_new), but a rewritten line (no
+    /// exact image) is projected through its nearest *kept* neighbour: the
+    /// closest preceding mapped line anchors the offset, falling back to the
+    /// closest following one. `None` only when the whole file was replaced.
+    ///
+    /// This is the estimate a reviewer makes reading a diff — "that edited
+    /// line is still *here*" — and is what lets a finding whose definition
+    /// line was itself edited match across revisions.
+    pub fn old_to_new_nearby(&self, line: u32) -> Option<u32> {
+        if let Some(mapped) = self.old_to_new(line) {
+            return Some(mapped);
+        }
+        let idx = (line as usize).checked_sub(1)?;
+        if idx >= self.old_to_new.len() {
+            return None;
+        }
+        let before = self.old_to_new[..idx]
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(i, m)| m.map(|mapped| (i, mapped)));
+        if let Some((anchor, mapped)) = before {
+            return Some(mapped + (idx - anchor) as u32);
+        }
+        let after = self.old_to_new[idx + 1..]
+            .iter()
+            .enumerate()
+            .find_map(|(i, m)| m.map(|mapped| (idx + 1 + i, mapped)));
+        if let Some((anchor, mapped)) = after {
+            let back = (anchor - idx) as u32;
+            return mapped.checked_sub(back).filter(|&l| l >= 1);
+        }
+        None
+    }
+
+    pub fn new_to_old(&self, line: u32) -> Option<u32> {
+        *self
+            .new_to_old
+            .get((line as usize).checked_sub(1)?)
+            .unwrap_or(&None)
+    }
+
+    /// Number of lines in the old revision.
+    pub fn old_len(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// Number of lines in the new revision.
+    pub fn new_len(&self) -> usize {
+        self.new_to_old.len()
+    }
+}
+
 /// The number of inserted plus deleted lines in a script (the "churn").
 pub fn churn(script: &[Edit]) -> usize {
     script
@@ -272,6 +393,88 @@ mod tests {
             &["a", "B", "c", "d", "E", "f"],
         );
         assert_eq!(churn(&s), 4);
+    }
+
+    #[test]
+    fn line_map_identity_on_unchanged_file() {
+        let l = lines(&["a", "b", "c"]);
+        let map = LineMap::between(&l, &l);
+        for i in 1..=3 {
+            assert_eq!(map.old_to_new(i), Some(i));
+            assert_eq!(map.new_to_old(i), Some(i));
+        }
+        assert_eq!(map.old_to_new(0), None);
+        assert_eq!(map.old_to_new(4), None);
+    }
+
+    #[test]
+    fn line_map_tracks_insertions_above() {
+        let old = lines(&["f1", "f2", "f3"]);
+        let new = lines(&["pad1", "pad2", "f1", "f2", "f3"]);
+        let map = LineMap::between(&old, &new);
+        assert_eq!(map.old_to_new(1), Some(3));
+        assert_eq!(map.old_to_new(3), Some(5));
+        assert_eq!(map.new_to_old(1), None);
+        assert_eq!(map.new_to_old(2), None);
+        assert_eq!(map.new_to_old(3), Some(1));
+        assert_eq!(map.old_len(), 3);
+        assert_eq!(map.new_len(), 5);
+    }
+
+    #[test]
+    fn line_map_drops_deleted_and_replaced_lines() {
+        let old = lines(&["keep", "gone", "edited", "tail"]);
+        let new = lines(&["keep", "edited differently", "tail"]);
+        let map = LineMap::between(&old, &new);
+        assert_eq!(map.old_to_new(1), Some(1));
+        assert_eq!(map.old_to_new(2), None, "deleted line has no image");
+        assert_eq!(map.old_to_new(3), None, "rewritten line has no image");
+        assert_eq!(map.old_to_new(4), Some(3));
+        assert_eq!(map.new_to_old(2), None);
+    }
+
+    #[test]
+    fn line_map_nearby_projects_rewritten_lines() {
+        let old = lines(&["head", "edited", "tail"]);
+        let new = lines(&["pad", "head", "edited differently", "tail"]);
+        let map = LineMap::between(&old, &new);
+        assert_eq!(map.old_to_new(2), None, "no exact image");
+        assert_eq!(
+            map.old_to_new_nearby(2),
+            Some(3),
+            "anchored one past the kept `head` line"
+        );
+        // Exact mappings pass through unchanged.
+        assert_eq!(map.old_to_new_nearby(1), Some(2));
+        assert_eq!(map.old_to_new_nearby(0), None);
+        assert_eq!(map.old_to_new_nearby(4), None, "past end of file");
+        // A fully replaced file has no anchors at all.
+        let replaced = LineMap::between(&lines(&["a", "b"]), &lines(&["x", "y"]));
+        assert_eq!(replaced.old_to_new_nearby(1), None);
+        assert_eq!(replaced.old_to_new_nearby(2), None);
+    }
+
+    #[test]
+    fn line_map_nearby_anchors_on_following_line_at_file_start() {
+        // The first line is rewritten; the only anchor is below it.
+        let old = lines(&["edited", "kept"]);
+        let new = lines(&["edited differently", "kept", "extra"]);
+        let map = LineMap::between(&old, &new);
+        assert_eq!(map.old_to_new(1), None);
+        assert_eq!(map.old_to_new_nearby(1), Some(1));
+    }
+
+    #[test]
+    fn line_map_roundtrips_kept_lines() {
+        let old = lines(&["a", "b", "c", "d", "e"]);
+        let new = lines(&["x", "a", "c", "y", "e"]);
+        let map = LineMap::between(&old, &new);
+        for i in 1..=old.len() as u32 {
+            if let Some(j) = map.old_to_new(i) {
+                assert_eq!(map.new_to_old(j), Some(i), "kept lines invert");
+                assert_eq!(old[(i - 1) as usize], new[(j - 1) as usize]);
+            }
+        }
     }
 
     #[test]

@@ -14,17 +14,27 @@
 //! - the §3.1 preliminary history: unused definitions present in the 2019
 //!   tree and removed by bug-fix or cleanup commits before 2021.
 //!
+//! [`delta`] generates two-revision workloads with a known new / fixed /
+//! persisting split — the ground truth behind `vcheck delta` and the
+//! `tools/ci.sh delta` step.
+//!
 //! [`faults`] mutates a generated application with seeded pathologies
 //! (truncated files, degenerate CFGs, absurd arity, missing blame, injected
 //! panics) and states the evidence a robust pipeline run must produce for
 //! each — the adversarial workload behind `tools/ci.sh faults`.
 
 pub mod codegen;
+pub mod delta;
 pub mod faults;
 pub mod generate;
 pub mod profile;
 pub mod truth;
 
+pub use delta::{
+    generate_delta,
+    DeltaProfile,
+    DeltaWorkload, //
+};
 pub use faults::{
     inject_faults,
     CrashPoint,

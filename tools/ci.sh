@@ -30,6 +30,13 @@ cargo test -p vc-workload --test crash -q
 echo "==> cargo test -p vc-workload --test sentinel -q"
 cargo test -p vc-workload --test sentinel -q
 
+# delta: differential scans over generated two-commit workloads — the
+# planted new/fixed/persisting split is recovered exactly, pure line drift
+# never misclassifies a finding, and the delta report is byte-identical for
+# --jobs 1 vs --jobs 4 and across a journaled resume.
+echo "==> cargo test -p vc-workload --test delta -q"
+cargo test -p vc-workload --test delta -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
