@@ -1,0 +1,65 @@
+//! `perf` — the deterministic scaled perf run behind the CI observatory.
+//!
+//! ```text
+//! Usage: perf [--scale S] [--runs N] [--out DIR]
+//!
+//!   --scale S   workload scale (default 0.05; 1.0 = paper sizes)
+//!   --runs N    timed runs per case, median reported (default 5)
+//!   --out DIR   where BENCH_scan.json / BENCH_stages.json go (default .)
+//! ```
+//!
+//! Run `perfgate` afterwards to compare the output against the committed
+//! `bench/baseline.json`.
+
+use std::path::PathBuf;
+
+use vc_bench::perf::{run_perf, PerfConfig};
+
+fn main() {
+    let mut config = PerfConfig::default();
+    let mut out = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                config.scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--runs" => {
+                config.runs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--runs needs a number"));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                eprintln!("Usage: perf [--scale S] [--runs N] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let (scan, stages) = run_perf(&config);
+    for report in [&scan, &stages] {
+        let path = out.join(format!("BENCH_{}.json", report.name));
+        report.save(&path).unwrap_or_else(|e| die(&e));
+        eprintln!("perf: wrote {}", path.display());
+        for c in &report.cases {
+            eprintln!(
+                "perf:   {:<28} {:>10.3} ms",
+                c.name,
+                c.median_ns as f64 / 1e6
+            );
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,126 @@
+//! `perfgate` — the CI perf-regression gate.
+//!
+//! ```text
+//! Usage: perfgate [--current-dir DIR] [--baseline FILE]
+//!                 [--ratio R] [--floor-ms N] [--write-baseline]
+//!
+//!   --current-dir DIR   directory holding BENCH_scan.json and
+//!                       BENCH_stages.json from a fresh `perf` run
+//!                       (default .)
+//!   --baseline FILE     the committed baseline (default bench/baseline.json)
+//!   --ratio R           max allowed current/baseline ratio (default 1.6)
+//!   --floor-ms N        minimum absolute slowdown before a case can
+//!                       regress (default 10)
+//!   --write-baseline    refresh the baseline from the current run instead
+//!                       of gating against it
+//! ```
+//!
+//! Exit status: 0 when every case is within thresholds (or the baseline was
+//! refreshed), 1 on regression, 2 on usage/IO errors. An environment
+//! fingerprint mismatch is reported to stderr but never fails the gate —
+//! baselines recorded on other machines still bound order-of-magnitude
+//! regressions.
+
+use std::path::PathBuf;
+
+use vc_bench::perf::{compare, PerfReport, Thresholds};
+
+fn main() {
+    let mut current_dir = PathBuf::from(".");
+    let mut baseline_path = PathBuf::from("bench/baseline.json");
+    let mut thresholds = Thresholds::default();
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--current-dir" => {
+                current_dir = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--current-dir needs a path")),
+                );
+            }
+            "--baseline" => {
+                baseline_path = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--baseline needs a path")),
+                );
+            }
+            "--ratio" => {
+                thresholds.max_ratio = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--ratio needs a number"));
+            }
+            "--floor-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--floor-ms needs a number"));
+                thresholds.floor_ns = ms * 1_000_000;
+            }
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: perfgate [--current-dir DIR] [--baseline FILE] [--ratio R] \
+                     [--floor-ms N] [--write-baseline]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let scan = PerfReport::load(&current_dir.join("BENCH_scan.json")).unwrap_or_else(|e| die(&e));
+    let stages =
+        PerfReport::load(&current_dir.join("BENCH_stages.json")).unwrap_or_else(|e| die(&e));
+    let current = PerfReport::merged("baseline", &[scan, stages]);
+
+    if write_baseline {
+        if let Some(parent) = baseline_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        current.save(&baseline_path).unwrap_or_else(|e| die(&e));
+        eprintln!(
+            "perfgate: baseline refreshed at {}",
+            baseline_path.display()
+        );
+        std::process::exit(0);
+    }
+
+    let baseline = PerfReport::load(&baseline_path).unwrap_or_else(|e| die(&e));
+    if !baseline.env.is_empty() && baseline.env != current.env {
+        eprintln!(
+            "perfgate: note: environment differs from baseline ({} vs {})",
+            current.env, baseline.env
+        );
+    }
+    for case in &baseline.cases {
+        let cur = current.median_ns(&case.name);
+        eprintln!(
+            "perfgate: {:<28} baseline {:>10.3} ms  current {}",
+            case.name,
+            case.median_ns as f64 / 1e6,
+            cur.map(|ns| format!("{:>10.3} ms", ns as f64 / 1e6))
+                .unwrap_or_else(|| "   <missing>".to_string()),
+        );
+    }
+    let regressions = compare(&baseline, &current, &thresholds);
+    if regressions.is_empty() {
+        eprintln!(
+            "perfgate: pass ({} cases within {:.2}x / {} ms)",
+            baseline.cases.len(),
+            thresholds.max_ratio,
+            thresholds.floor_ns / 1_000_000
+        );
+        std::process::exit(0);
+    }
+    for r in &regressions {
+        eprintln!("perfgate: REGRESSION {}: {}", r.case, r.reason);
+    }
+    std::process::exit(1);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perfgate: {msg}");
+    std::process::exit(2);
+}

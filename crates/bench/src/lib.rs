@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod perf;
 pub mod runs;
 
 pub use runs::{

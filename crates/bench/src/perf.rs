@@ -1,0 +1,421 @@
+//! The perf observatory: deterministic scaled benchmark runs and the
+//! regression gate that keeps CI honest about them.
+//!
+//! [`run_perf`] generates a fixed workload (same seed every run), scans it
+//! `runs` times through the paper pipeline, and reduces each measured case
+//! to its **median** — the noise-robust statistic the gate compares. Two
+//! files come out, in the existing `BENCH_*.json` shape plus an environment
+//! fingerprint:
+//!
+//! - `BENCH_scan.json` — end-to-end wall time of the full pipeline run;
+//! - `BENCH_stages.json` — per-stage self-time breakdown (detect,
+//!   authorship, prune, rank) extracted from the span profiler
+//!   ([`vc_obs::profile`]), so a regression names the stage that caused it.
+//!
+//! [`compare`] checks a current report against a committed baseline
+//! (`bench/baseline.json`) with *noise-tolerant* thresholds: a case only
+//! regresses when it is both `ratio`× slower **and** at least `floor_ns`
+//! absolutely slower — tiny cases can double in the noise without tripping
+//! the gate, big cases can't creep. A case that disappears from the current
+//! report also fails (coverage loss reads as a perf win otherwise).
+//!
+//! For testing the gate end-to-end there is a failpoint-style hook,
+//! [`set_injected_slowdown_ms`]: the runner sleeps that long inside every
+//! timed region, so a test can fabricate a real measured regression without
+//! depending on machine speed.
+
+use std::{
+    path::Path,
+    sync::atomic::{AtomicU64, Ordering::Relaxed},
+    time::Instant,
+};
+
+use valuecheck::pipeline::{run_with_obs, Options};
+use vc_ir::Program;
+use vc_obs::{FoldedProfile, Json, ObsSession};
+use vc_workload::{generate, AppProfile};
+
+/// Injected extra latency per timed region, milliseconds. Test-only hook
+/// (failpoint-style): proves the gate trips on a real measured slowdown.
+static SLOWDOWN_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the injected slowdown; 0 disarms.
+pub fn set_injected_slowdown_ms(ms: u64) {
+    SLOWDOWN_MS.store(ms, Relaxed);
+}
+
+fn injected_delay() {
+    let ms = SLOWDOWN_MS.load(Relaxed);
+    if ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// Configuration for one observatory run.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfConfig {
+    /// Workload scale (1.0 = the paper's published sizes).
+    pub scale: f64,
+    /// Timed runs per case; the reported statistic is their median.
+    pub runs: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> PerfConfig {
+        PerfConfig {
+            scale: 1.0,
+            runs: 5,
+        }
+    }
+}
+
+/// One measured case: a name and its median over the configured runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfCase {
+    /// Case label (`scan/total`, `stages/stage.detect`, ...).
+    pub name: String,
+    /// Median wall time across runs, nanoseconds.
+    pub median_ns: u64,
+    /// Number of runs the median was taken over.
+    pub runs: usize,
+}
+
+/// A full report: measured cases plus the environment fingerprint.
+#[derive(Clone, Debug, Default)]
+pub struct PerfReport {
+    /// Report name (`scan`, `stages`, or `baseline` for the merged file).
+    pub name: String,
+    /// Measured cases.
+    pub cases: Vec<PerfCase>,
+    /// Environment fingerprint (`os/arch/ncpu/profile`).
+    pub env: String,
+}
+
+/// The machine/profile fingerprint recorded into every report. Compared
+/// advisorily by the gate: a mismatch is reported but never fails the run.
+pub fn env_fingerprint() -> String {
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!(
+        "{}/{}/cpus={}/{}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        ncpu,
+        profile
+    )
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Runs the deterministic scaled workload `config.runs` times and returns
+/// the `(scan, stages)` reports.
+pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
+    // A fixed workload: every paper profile, same seeds, every invocation —
+    // the measured work is identical across runs and machines.
+    let apps: Vec<_> = AppProfile::all()
+        .into_iter()
+        .map(|p| {
+            let profile = if (config.scale - 1.0).abs() < 1e-9 {
+                p
+            } else {
+                p.scaled(config.scale)
+            };
+            let app = generate(&profile);
+            let prog = Program::build(&app.source_refs(), &app.defines)
+                .unwrap_or_else(|e| panic!("perf workload failed to build: {e}"));
+            (app, prog)
+        })
+        .collect();
+    let opts = Options::paper();
+
+    let stage_names = [
+        "stage.detect",
+        "stage.authorship",
+        "stage.prune",
+        "stage.rank",
+    ];
+    let mut total: Vec<u64> = Vec::with_capacity(config.runs);
+    let mut stages: Vec<Vec<u64>> = vec![Vec::with_capacity(config.runs); stage_names.len()];
+    for _ in 0..config.runs.max(1) {
+        let mut stage_ns = [0u64; 4];
+        let t0 = Instant::now();
+        injected_delay();
+        for (app, prog) in &apps {
+            let obs = ObsSession::new();
+            let analysis = run_with_obs(prog, &app.repo, &opts, obs.clone());
+            std::hint::black_box(&analysis);
+            // Per-stage self time from the folded profile. The sequential
+            // pipeline puts each stage on the main lane with no sub-spans,
+            // so self time here is the stage's full wall time.
+            let folded = FoldedProfile::from_records(&obs.tracer.records());
+            for (i, stage) in stage_names.iter().enumerate() {
+                stage_ns[i] += folded
+                    .top_self(usize::MAX)
+                    .iter()
+                    .filter(|(name, _)| name == stage)
+                    .map(|(_, stat)| stat.self_us * 1_000)
+                    .sum::<u64>();
+            }
+        }
+        total.push(t0.elapsed().as_nanos() as u64);
+        for (i, ns) in stage_ns.into_iter().enumerate() {
+            stages[i].push(ns);
+        }
+    }
+
+    let env = env_fingerprint();
+    let scan = PerfReport {
+        name: "scan".to_string(),
+        cases: vec![PerfCase {
+            name: "scan/total".to_string(),
+            median_ns: median(total),
+            runs: config.runs,
+        }],
+        env: env.clone(),
+    };
+    let stages_report = PerfReport {
+        name: "stages".to_string(),
+        cases: stage_names
+            .iter()
+            .zip(stages)
+            .map(|(name, samples)| PerfCase {
+                name: format!("stages/{name}"),
+                median_ns: median(samples),
+                runs: config.runs,
+            })
+            .collect(),
+        env,
+    };
+    (scan, stages_report)
+}
+
+impl PerfReport {
+    /// The report as JSON (the `BENCH_*.json` shape plus `env`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("env".into(), Json::Str(self.env.clone())),
+            (
+                "benches".into(),
+                Json::Arr(
+                    self.cases
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(c.name.clone())),
+                                ("median_ns".into(), Json::Int(c.median_ns as i64)),
+                                ("samples".into(), Json::Int(c.runs as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report written by [`PerfReport::to_json`]. Also accepts the
+    /// plain `Harness` output shape (no `env` key).
+    pub fn from_json(json: &Json) -> Option<PerfReport> {
+        let name = json.get("name")?.as_str()?.to_string();
+        let env = json
+            .get("env")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let benches = match json.get("benches")? {
+            Json::Arr(items) => items,
+            _ => return None,
+        };
+        let mut cases = Vec::with_capacity(benches.len());
+        for b in benches {
+            cases.push(PerfCase {
+                name: b.get("name")?.as_str()?.to_string(),
+                median_ns: b.get("median_ns")?.as_i64()?.max(0) as u64,
+                runs: b.get("samples").and_then(Json::as_i64).unwrap_or(1).max(0) as usize,
+            });
+        }
+        Some(PerfReport { name, cases, env })
+    }
+
+    /// Loads and parses a report file.
+    pub fn load(path: &Path) -> Result<PerfReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = vc_obs::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        PerfReport::from_json(&json).ok_or_else(|| format!("{}: not a perf report", path.display()))
+    }
+
+    /// Writes the report to `path` (pretty JSON).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json().to_string_pretty())
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Merges several reports into one named `name` (case names must
+    /// already be namespaced `group/case`, so collisions don't occur).
+    pub fn merged(name: &str, parts: &[PerfReport]) -> PerfReport {
+        PerfReport {
+            name: name.to_string(),
+            cases: parts.iter().flat_map(|p| p.cases.clone()).collect(),
+            env: parts
+                .first()
+                .map(|p| p.env.clone())
+                .unwrap_or_else(env_fingerprint),
+        }
+    }
+
+    /// Looks up a case's median by name.
+    pub fn median_ns(&self, case: &str) -> Option<u64> {
+        self.cases
+            .iter()
+            .find(|c| c.name == case)
+            .map(|c| c.median_ns)
+    }
+}
+
+/// Gate thresholds. A case regresses only when it exceeds **both**: the
+/// relative ratio (noise on small cases) and the absolute floor (creep on
+/// large ones is still caught because big absolute deltas clear the floor).
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Maximum allowed `current / baseline` ratio (e.g. 1.6 = +60 %).
+    pub max_ratio: f64,
+    /// Minimum absolute slowdown, nanoseconds, before a case can regress.
+    pub floor_ns: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            max_ratio: 1.6,
+            floor_ns: 10_000_000, // 10 ms
+        }
+    }
+}
+
+/// One gate verdict: a regressed or vanished case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// The case that regressed.
+    pub case: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: u64,
+    /// Current median (0 when the case vanished).
+    pub current_ns: u64,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Compares `current` against `baseline`, returning every regression. An
+/// empty result means the gate passes.
+pub fn compare(baseline: &PerfReport, current: &PerfReport, t: &Thresholds) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for base in &baseline.cases {
+        let Some(cur) = current.median_ns(&base.name) else {
+            out.push(Regression {
+                case: base.name.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: 0,
+                reason: "case missing from current report".to_string(),
+            });
+            continue;
+        };
+        let over_floor = cur.saturating_sub(base.median_ns) >= t.floor_ns;
+        let ratio = if base.median_ns == 0 {
+            // A zero baseline can't support a ratio; the floor decides.
+            f64::INFINITY
+        } else {
+            cur as f64 / base.median_ns as f64
+        };
+        if over_floor && ratio > t.max_ratio {
+            out.push(Regression {
+                case: base.name.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: cur,
+                reason: format!(
+                    "{:.2}x over baseline (+{} ms)",
+                    ratio,
+                    (cur - base.median_ns) / 1_000_000
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cases: &[(&str, u64)]) -> PerfReport {
+        PerfReport {
+            name: "t".into(),
+            cases: cases
+                .iter()
+                .map(|(n, v)| PerfCase {
+                    name: n.to_string(),
+                    median_ns: *v,
+                    runs: 3,
+                })
+                .collect(),
+            env: "test".into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(&[("scan/total", 123), ("stages/stage.detect", 45)]);
+        let back = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.cases, r.cases);
+        assert_eq!(back.env, "test");
+    }
+
+    #[test]
+    fn gate_needs_both_ratio_and_floor() {
+        let t = Thresholds {
+            max_ratio: 1.5,
+            floor_ns: 10_000_000,
+        };
+        let base = report(&[("small", 1_000), ("big", 100_000_000)]);
+        // Small case 100x slower but under the absolute floor: noise.
+        let noisy = report(&[("small", 100_000), ("big", 100_000_000)]);
+        assert!(compare(&base, &noisy, &t).is_empty());
+        // Big case over both thresholds: regression.
+        let slow = report(&[("small", 1_000), ("big", 200_000_000)]);
+        let regs = compare(&base, &slow, &t);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].case, "big");
+        // Big case +50ms but only 1.5x (not > ratio): passes.
+        let creep = report(&[("small", 1_000), ("big", 150_000_000)]);
+        assert!(compare(&base, &creep, &t).is_empty());
+    }
+
+    #[test]
+    fn missing_case_is_a_regression() {
+        let t = Thresholds::default();
+        let base = report(&[("scan/total", 5)]);
+        let cur = report(&[]);
+        let regs = compare(&base, &cur, &t);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].reason.contains("missing"));
+    }
+
+    #[test]
+    fn merged_concatenates_cases() {
+        let m = PerfReport::merged("baseline", &[report(&[("a/x", 1)]), report(&[("b/y", 2)])]);
+        assert_eq!(m.median_ns("a/x"), Some(1));
+        assert_eq!(m.median_ns("b/y"), Some(2));
+        assert_eq!(m.name, "baseline");
+    }
+}

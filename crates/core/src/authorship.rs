@@ -89,7 +89,7 @@ impl<'a> AuthorshipCtx<'a> {
             Scenario::Overwritten => self.overwritten_rule(cand, def_author),
         };
         if authorship_unknown {
-            vc_obs::counter_inc("harden.authorship_unknown");
+            vc_obs::counter_inc(vc_obs::names::HARDEN_AUTHORSHIP_UNKNOWN);
         }
         Attributed {
             candidate: cand.clone(),

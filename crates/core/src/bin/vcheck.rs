@@ -17,6 +17,12 @@
 //!   --metrics-json FILE  write the full metrics snapshot as JSON
 //!   --trace FILE         write a Chrome trace_event file of the pipeline
 //!                        spans (open in chrome://tracing or Perfetto)
+//!   --profile FILE       write a flamegraph-compatible folded-stack profile
+//!                        aggregated from the pipeline spans (span count per
+//!                        stack — deterministic and byte-identical for any
+//!                        --jobs; feed to flamegraph.pl or speedscope).
+//!                        `--stats` additionally prints the top self-time
+//!                        frames.
 //!   --budget-steps N     cap the Andersen and liveness fixpoints at N steps
 //!                        each; exhaustion degrades gracefully instead of
 //!                        hanging (see DESIGN.md "Robustness")
@@ -89,6 +95,12 @@ use vc_vcs::{
     CommitId,
     Repository, //
 };
+
+/// Heap accounting for `mem.*` metrics and trace counter tracks: every
+/// allocation in the process is counted and attributed to the pipeline
+/// stage (or sentinel worker unit) that made it. See `vc_obs::alloc`.
+#[global_allocator]
+static ALLOC: vc_obs::CountingAlloc = vc_obs::CountingAlloc;
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
@@ -300,6 +312,7 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     let mut stats = false;
     let mut metrics_json: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
+    let mut profile: Option<PathBuf> = None;
     let mut fail_fast = false;
     let mut sconf = SentinelConfig::default();
 
@@ -388,11 +401,16 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
                     args.next().unwrap_or_else(|| die("--trace needs a path")),
                 ));
             }
+            "--profile" => {
+                profile = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--profile needs a path")),
+                ));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "Usage: vcheck <project-dir> [--define SYM]... [--all] [--no-rank] \
                      [--no-prune] [--top N] [--json] [--stats] [--metrics-json FILE] \
-                     [--trace FILE] [--budget-steps N] [--budget-ms N] [--jobs N] \
+                     [--trace FILE] [--profile FILE] [--budget-steps N] [--budget-ms N] [--jobs N] \
                      [--retry K] [--unit-deadline-ms N] [--journal FILE] [--resume] \
                      [--fail-fast]\n       vcheck delta <project-dir> --from REV --to REV \
                      [options] (see `vcheck delta --help`)"
@@ -418,6 +436,7 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     if fail_fast {
         opts.harden.isolate = false;
     }
+    let parse_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_PARSE);
     let (prog, parse_errors) = if fail_fast {
         let prog = Program::build(&project.source_refs(), &defines)
             .unwrap_or_else(|e| die(&format!("build failed: {e}")));
@@ -434,8 +453,15 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
         }
         (prog, errors)
     };
-    obs.registry
-        .add("harden.parse_failures", parse_errors.len() as u64);
+    {
+        // The flush needs the session installed to reach its registry.
+        let _g = obs.install();
+        parse_mem.finish();
+    }
+    obs.registry.add(
+        vc_obs::names::HARDEN_PARSE_FAILURES,
+        parse_errors.len() as u64,
+    );
 
     if sconf.resume && sconf.journal.is_none() {
         sconf.journal = Some(dir.join("scan.journal"));
@@ -495,6 +521,8 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     let snapshot = obs.registry.snapshot();
     if stats {
         eprint!("{}", snapshot.render_text());
+        let folded = vc_obs::FoldedProfile::from_records(&obs.tracer.records());
+        eprint!("{}", folded.render_top(10));
     }
     if let Some(path) = metrics_json {
         let text = snapshot.to_json().to_string_pretty();
@@ -503,6 +531,17 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     if let Some(path) = trace {
         let text = obs.tracer.to_chrome_json().to_string_pretty();
         std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+    if let Some(path) = profile {
+        // The canonical ("logical") view: worker lanes spliced under the
+        // pipeline stages, so the stack set is identical for any --jobs N.
+        // Weighted by span count, not wall time — wall-clock weights would
+        // differ between runs, and the folded file is specified to be
+        // byte-identical across --jobs. Self-times live in the --stats
+        // top-frames table.
+        let folded = vc_obs::FoldedProfile::logical(&obs.tracer.records());
+        std::fs::write(&path, folded.render(vc_obs::Weight::Samples))
+            .unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
     }
     std::process::exit(if report.rows.is_empty() { 0 } else { 1 });
 }

@@ -601,6 +601,7 @@ pub fn delta_scan(
 ) -> Result<DeltaOutcome, BuildError> {
     let _guard = obs.install();
     let span = obs.span("delta.scan", "delta");
+    let delta_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_DELTA);
     let from_scan = scan_revision(
         repo,
         from,
@@ -625,6 +626,7 @@ pub fn delta_scan(
         baseline,
     );
     report.record_metrics();
+    delta_mem.finish();
     span.end();
     Ok(DeltaOutcome {
         from: from_scan,

@@ -372,6 +372,7 @@ pub(crate) fn pointer_stage(
     if !config.use_alias_analysis {
         return (None, None);
     }
+    let pointer_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_POINTER);
     let solved = harden::isolated(hconf.isolate, || {
         let pts = PointsTo::solve_with(
             prog,
@@ -388,11 +389,12 @@ pub(crate) fn pointer_stage(
         };
         (pts, uses, exhausted)
     });
+    pointer_mem.finish();
     match solved {
         Ok((pts, uses, exhausted)) => {
             if exhausted {
                 out.pointer_degraded = true;
-                vc_obs::counter_inc("harden.degraded.pointer");
+                vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_POINTER);
                 // The partial points-to relation is discarded: an
                 // under-approximation must not feed may-alias queries
                 // or indirect-call resolution.
@@ -403,8 +405,8 @@ pub(crate) fn pointer_stage(
         }
         Err(message) => {
             out.pointer_degraded = true;
-            vc_obs::counter_inc("harden.degraded.pointer");
-            vc_obs::counter_inc("harden.poisoned.pointer");
+            vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_POINTER);
+            vc_obs::counter_inc(vc_obs::names::HARDEN_POISONED_POINTER);
             out.failures.push(FailureRecord {
                 stage: FailStage::Pointer,
                 file: "<program>".to_string(),
@@ -424,7 +426,7 @@ fn detect_with(
     hconf: HardenConfig,
     mut out: DetectOutcome,
 ) -> DetectOutcome {
-    vc_obs::counter_add("detect.functions", prog.funcs.len() as u64);
+    vc_obs::counter_add(vc_obs::names::DETECT_FUNCTIONS, prog.funcs.len() as u64);
     for fi in 0..prog.funcs.len() {
         let fid = FuncId(fi as u32);
         let f = prog.func(fid);
@@ -442,12 +444,12 @@ fn detect_with(
             Ok((cands, exhausted)) => {
                 if exhausted {
                     out.liveness_degraded += 1;
-                    vc_obs::counter_inc("harden.degraded.liveness");
+                    vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_LIVENESS);
                 }
                 out.candidates.extend(cands);
             }
             Err(message) => {
-                vc_obs::counter_inc("harden.poisoned.detect");
+                vc_obs::counter_inc(vc_obs::names::HARDEN_POISONED_DETECT);
                 out.failures.push(FailureRecord {
                     stage: FailStage::Detect,
                     file: prog.source.name(f.file).to_string(),
@@ -630,7 +632,11 @@ mod tests {
         };
         assert_eq!(out.liveness_degraded, 1);
         assert!(out.candidates.iter().all(|c| c.low_confidence));
-        assert_eq!(obs.registry.counter("harden.degraded.liveness"), 1);
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::HARDEN_DEGRADED_LIVENESS),
+            1
+        );
         assert!(out.failures.is_empty());
     }
 
@@ -661,7 +667,10 @@ mod tests {
             )
         };
         assert!(degraded.pointer_degraded);
-        assert_eq!(obs.registry.counter("harden.degraded.pointer"), 1);
+        assert_eq!(
+            obs.registry.counter(vc_obs::names::HARDEN_DEGRADED_POINTER),
+            1
+        );
         let names = |o: &DetectOutcome| {
             o.candidates
                 .iter()

@@ -116,10 +116,10 @@ impl SnapshotCache {
         sources.sort_by_key(|(p, _)| p.to_string());
         let key = snapshot_key(&sources, defines);
         if let Some(prog) = self.programs.get(&key) {
-            vc_obs::counter_inc("incremental.cache.hits");
+            vc_obs::counter_inc(vc_obs::names::INCREMENTAL_CACHE_HITS);
             return Ok(prog.clone());
         }
-        vc_obs::counter_inc("incremental.cache.misses");
+        vc_obs::counter_inc(vc_obs::names::INCREMENTAL_CACHE_MISSES);
         let prog = Arc::new(Program::build(&sources, defines)?);
         self.programs.insert(key, prog.clone());
         Ok(prog)
@@ -187,17 +187,17 @@ impl SnapshotStore {
         };
         let Some((body, sum)) = Self::split_checksum(&text) else {
             // No checksum line: a pre-v2 file or one truncated mid-write.
-            vc_obs::counter_inc("harden.snapshot_recovered");
+            vc_obs::counter_inc(vc_obs::names::HARDEN_SNAPSHOT_RECOVERED);
             return SnapshotStore::default();
         };
         if content_hash(body) != sum {
-            vc_obs::counter_inc("harden.snapshot_corrupt");
+            vc_obs::counter_inc(vc_obs::names::HARDEN_SNAPSHOT_CORRUPT);
             return SnapshotStore::default();
         }
         match Self::parse(body) {
             Some(store) => store,
             None => {
-                vc_obs::counter_inc("harden.snapshot_recovered");
+                vc_obs::counter_inc(vc_obs::names::HARDEN_SNAPSHOT_RECOVERED);
                 SnapshotStore::default()
             }
         }
@@ -487,8 +487,11 @@ pub fn analyze_commit_in(
         ));
     }
 
-    vc_obs::counter_inc("incremental.commits");
-    vc_obs::counter_add("incremental.functions_analysed", analysed as u64);
+    vc_obs::counter_inc(vc_obs::names::INCREMENTAL_COMMITS);
+    vc_obs::counter_add(
+        vc_obs::names::INCREMENTAL_FUNCTIONS_ANALYSED,
+        analysed as u64,
+    );
 
     let ctx = AuthorshipCtx::new(prog, repo);
     let attributed: Vec<_> = ctx
@@ -622,9 +625,16 @@ mod tests {
         }
         // c3's tree is identical to c1's: two builds, one hit.
         assert_eq!(cache.len(), 2);
-        assert_eq!(obs.registry.counter("incremental.cache.misses"), 2);
-        assert_eq!(obs.registry.counter("incremental.cache.hits"), 1);
-        assert_eq!(obs.registry.counter("incremental.commits"), 3);
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::INCREMENTAL_CACHE_MISSES),
+            2
+        );
+        assert_eq!(
+            obs.registry.counter(vc_obs::names::INCREMENTAL_CACHE_HITS),
+            1
+        );
+        assert_eq!(obs.registry.counter(vc_obs::names::INCREMENTAL_COMMITS), 3);
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -662,8 +672,15 @@ mod tests {
             SnapshotStore::load(&path)
         };
         assert_eq!(loaded, SnapshotStore::default());
-        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 1);
-        assert_eq!(obs.registry.counter("harden.snapshot_corrupt"), 0);
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::HARDEN_SNAPSHOT_RECOVERED),
+            1
+        );
+        assert_eq!(
+            obs.registry.counter(vc_obs::names::HARDEN_SNAPSHOT_CORRUPT),
+            0
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -690,8 +707,15 @@ mod tests {
             SnapshotStore::load(&path)
         };
         assert_eq!(loaded, SnapshotStore::default());
-        assert_eq!(obs.registry.counter("harden.snapshot_corrupt"), 1);
-        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 0);
+        assert_eq!(
+            obs.registry.counter(vc_obs::names::HARDEN_SNAPSHOT_CORRUPT),
+            1
+        );
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::HARDEN_SNAPSHOT_RECOVERED),
+            0
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -728,7 +752,11 @@ mod tests {
             SnapshotStore::load(&path)
         };
         assert_eq!(loaded, SnapshotStore::default());
-        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 1);
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::HARDEN_SNAPSHOT_RECOVERED),
+            1
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -741,7 +769,11 @@ mod tests {
             SnapshotStore::load(&path)
         };
         assert_eq!(loaded, SnapshotStore::default());
-        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 0);
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::HARDEN_SNAPSHOT_RECOVERED),
+            0
+        );
     }
 
     #[test]
@@ -825,8 +857,15 @@ mod tests {
             SnapshotStore::load(&path)
         };
         assert_eq!(loaded, SnapshotStore::default());
-        assert_eq!(obs.registry.counter("harden.snapshot_recovered"), 1);
-        assert_eq!(obs.registry.counter("harden.snapshot_corrupt"), 0);
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::HARDEN_SNAPSHOT_RECOVERED),
+            1
+        );
+        assert_eq!(
+            obs.registry.counter(vc_obs::names::HARDEN_SNAPSHOT_CORRUPT),
+            0
+        );
         std::fs::remove_file(&path).ok();
     }
 

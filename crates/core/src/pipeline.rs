@@ -154,7 +154,9 @@ pub fn run_with_obs(
     let run_span = obs.span("pipeline.run", "pipeline");
 
     let detect_span = obs.span("stage.detect", "pipeline");
+    let detect_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_DETECT);
     let outcome = detect_program_hardened(prog, opts.detect, opts.harden);
+    detect_mem.finish();
     let detect_time = detect_span.end();
 
     run_stages(prog, repo, opts, obs, outcome, detect_time, run_span)
@@ -175,7 +177,9 @@ pub fn run_sentinel(
     let run_span = obs.span("pipeline.run", "pipeline");
 
     let detect_span = obs.span("stage.detect", "pipeline");
+    let detect_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_DETECT);
     let outcome = detect_program_sentinel(prog, opts.detect, opts.harden, sconf);
+    detect_mem.finish();
     let detect_time = detect_span.end();
 
     run_stages(prog, repo, opts, obs, outcome, detect_time, run_span)
@@ -239,6 +243,7 @@ fn run_stages(
     let raw_candidates = candidates.len();
 
     let authorship_span = obs.span("stage.authorship", "pipeline");
+    let authorship_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_AUTHORSHIP);
     let ctx = AuthorshipCtx::new(prog, repo);
     // Authorship is isolated per candidate: one poisoned blame lookup costs
     // that candidate (recorded under `funnel.failed`), not the run.
@@ -253,7 +258,7 @@ fn run_stages(
             Ok(a) => attributed.push(a),
             Err(message) => {
                 failed_candidates += 1;
-                vc_obs::counter_inc("harden.poisoned.authorship");
+                vc_obs::counter_inc(vc_obs::names::HARDEN_POISONED_AUTHORSHIP);
                 failures.push(FailureRecord {
                     stage: FailStage::Authorship,
                     file: prog.source.name(cand.span.file).to_string(),
@@ -269,9 +274,11 @@ fn run_stages(
         attributed
     };
     let cross_scope_candidates = filtered.len();
+    authorship_mem.finish();
     let authorship_time = authorship_span.end();
 
     let prune_span = obs.span("stage.prune", "pipeline");
+    let prune_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_PRUNE);
     let peers = PeerStats::compute(prog);
     // Pruning degrades whole-stage: a panic keeps every candidate (reports
     // may contain extra false positives, but nothing is lost).
@@ -285,7 +292,7 @@ fn run_stages(
     }) {
         Ok(outcome) => outcome,
         Err(message) => {
-            vc_obs::counter_inc("harden.degraded.prune");
+            vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_PRUNE);
             failures.push(FailureRecord {
                 stage: FailStage::Prune,
                 file: "<program>".to_string(),
@@ -298,9 +305,11 @@ fn run_stages(
             }
         }
     };
+    prune_mem.finish();
     let prune_time = prune_span.end();
 
     let rank_span = obs.span("stage.rank", "pipeline");
+    let rank_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_RANK);
     // Ranking degrades whole-stage: a panic falls back to the unranked
     // (detection) order with no familiarity scores.
     let ranked = match harden::isolated(opts.harden.isolate, {
@@ -312,7 +321,7 @@ fn run_stages(
     }) {
         Ok(ranked) => ranked,
         Err(message) => {
-            vc_obs::counter_inc("harden.degraded.rank");
+            vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_RANK);
             failures.push(FailureRecord {
                 stage: FailStage::Rank,
                 file: "<program>".to_string(),
@@ -332,23 +341,29 @@ fn run_stages(
     };
     let mut report = Report::from_ranked(prog, repo, &ranked);
     report.failures = failures;
+    rank_mem.finish();
     let rank_time = rank_span.end();
 
     // Candidate funnel (Table 4). Recorded here — not inside prune()/rank()
     // — so direct calls to those stages (incremental mode, ablations) don't
     // double-count. Balance invariant (checked by the fault harness):
     // raw = (raw - cross_scope - failed) + failed + pruned + reported.
-    obs.registry.add("funnel.raw", raw_candidates as u64);
     obs.registry
-        .add("funnel.cross_scope", cross_scope_candidates as u64);
-    obs.registry.add("funnel.failed", failed_candidates as u64);
+        .add(vc_obs::names::FUNNEL_RAW, raw_candidates as u64);
+    obs.registry.add(
+        vc_obs::names::FUNNEL_CROSS_SCOPE,
+        cross_scope_candidates as u64,
+    );
+    obs.registry
+        .add(vc_obs::names::FUNNEL_FAILED, failed_candidates as u64);
     for reason in PruneReason::ALL {
         obs.registry.add(
-            &format!("funnel.pruned.{}", reason.label()),
+            &vc_obs::names::funnel_pruned(reason.label()),
             prune_outcome.count(reason) as u64,
         );
     }
-    obs.registry.add("funnel.reported", ranked.len() as u64);
+    obs.registry
+        .add(vc_obs::names::FUNNEL_REPORTED, ranked.len() as u64);
 
     run_span.end();
     Analysis {
@@ -496,8 +511,14 @@ mod tests {
             assert!(names.contains(&stage.to_string()), "missing span {stage}");
         }
         let reg = &analysis.obs.registry;
-        assert_eq!(reg.counter("funnel.raw"), analysis.raw_candidates as u64);
-        assert_eq!(reg.counter("funnel.reported"), analysis.detected() as u64);
+        assert_eq!(
+            reg.counter(vc_obs::names::FUNNEL_RAW),
+            analysis.raw_candidates as u64
+        );
+        assert_eq!(
+            reg.counter(vc_obs::names::FUNNEL_REPORTED),
+            analysis.detected() as u64
+        );
     }
 
     #[test]
@@ -514,7 +535,10 @@ mod tests {
         assert_eq!(fail.stage, FailStage::Authorship);
         assert_eq!(fail.function.as_deref(), Some("acl"));
         assert!(fail.message.contains("injected fault"));
-        assert_eq!(analysis.obs.registry.counter("funnel.failed"), 1);
+        assert_eq!(
+            analysis.obs.registry.counter(vc_obs::names::FUNNEL_FAILED),
+            1
+        );
     }
 
     #[test]
@@ -579,14 +603,14 @@ mod tests {
         let _g = harden::arm_failpoint(FailStage::Authorship, "conv");
         let analysis = run(&prog, &repo, &Options::paper());
         let reg = &analysis.obs.registry;
-        let raw = reg.counter("funnel.raw");
-        let cross = reg.counter("funnel.cross_scope");
-        let failed = reg.counter("funnel.failed");
+        let raw = reg.counter(vc_obs::names::FUNNEL_RAW);
+        let cross = reg.counter(vc_obs::names::FUNNEL_CROSS_SCOPE);
+        let failed = reg.counter(vc_obs::names::FUNNEL_FAILED);
         let pruned: u64 = PruneReason::ALL
             .iter()
-            .map(|r| reg.counter(&format!("funnel.pruned.{}", r.label())))
+            .map(|r| reg.counter(&vc_obs::names::funnel_pruned(r.label())))
             .sum();
-        let reported = reg.counter("funnel.reported");
+        let reported = reg.counter(vc_obs::names::FUNNEL_REPORTED);
         assert!(failed > 0);
         // filtered-out = (raw - failed) - cross; everything must add up.
         assert_eq!(raw, (raw - failed - cross) + failed + cross);

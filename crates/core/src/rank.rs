@@ -132,7 +132,7 @@ pub fn rank(
                     // `Equal` would scramble the sort, so treat the score
                     // as unknown — such items sort last, like blame
                     // failures.
-                    vc_obs::counter_inc("rank.familiarity_nan");
+                    vc_obs::counter_inc(vc_obs::names::RANK_FAMILIARITY_NAN);
                     return None;
                 }
                 Some(score)
@@ -141,7 +141,10 @@ pub fn rank(
                 // Scores are recorded as milli-units so the integer
                 // histogram keeps three decimal places; negative scores
                 // (possible under ablated factor masks) floor at zero.
-                vc_obs::observe("rank.dok_score_milli", (f.max(0.0) * 1000.0).round() as u64);
+                vc_obs::observe(
+                    vc_obs::names::RANK_DOK_SCORE_MILLI,
+                    (f.max(0.0) * 1000.0).round() as u64,
+                );
             }
             Ranked {
                 item,
@@ -294,7 +297,7 @@ mod tests {
             .map(|r| r.item.candidate.var_name.clone())
             .collect();
         assert_eq!(order, ranked_order);
-        assert_eq!(obs.registry.counter("rank.familiarity_nan"), 2);
+        assert_eq!(obs.registry.counter(vc_obs::names::RANK_FAMILIARITY_NAN), 2);
     }
 
     #[test]

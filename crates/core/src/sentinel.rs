@@ -872,7 +872,7 @@ impl Shared<'_> {
     fn retry_or_fail(&self, state: &mut ExecState, unit: usize, attempt: u32, message: String) {
         let attempts_done = attempt + 1;
         if attempts_done < self.sconf.retry.max(1) {
-            vc_obs::counter_inc("sentinel.retries");
+            vc_obs::counter_inc(vc_obs::names::SENTINEL_RETRIES);
             let at = Instant::now() + self.sconf.backoff(attempts_done);
             state.delayed.push((
                 at,
@@ -882,8 +882,8 @@ impl Shared<'_> {
                 },
             ));
         } else {
-            vc_obs::counter_inc("sentinel.failed_permanent");
-            vc_obs::counter_inc("harden.poisoned.detect");
+            vc_obs::counter_inc(vc_obs::names::SENTINEL_FAILED_PERMANENT);
+            vc_obs::counter_inc(vc_obs::names::HARDEN_POISONED_DETECT);
             let f = self.prog.func(FuncId(unit as u32));
             self.resolve(
                 state,
@@ -909,7 +909,7 @@ impl Shared<'_> {
             .collect();
         for (unit, attempt) in stuck {
             state.in_flight.remove(&unit);
-            vc_obs::counter_inc("sentinel.requeues");
+            vc_obs::counter_inc(vc_obs::names::SENTINEL_REQUEUES);
             self.retry_or_fail(&mut state, unit, attempt, format!("worker died: {message}"));
         }
         self.cv.notify_all();
@@ -964,11 +964,17 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
         // The worker-stage failpoint fires *outside* the per-unit isolation
         // boundary: it simulates a poisoned worker, not a poisoned unit.
         harden::failpoint(FailStage::Worker, &f.name);
-        let _unit_span = shared
-            .obs
-            .tracer
-            .span_on(&format!("unit.{}", f.name), "sentinel", tid);
         let result = harden::isolated(shared.hconf.isolate, || {
+            // The unit span and allocation scope live *inside* the isolation
+            // boundary: a panicking unit unwinds through their drop glue, so
+            // the span still flushes (tagged `panicked`) and the allocation
+            // window still closes instead of silently vanishing.
+            let _unit_span =
+                shared
+                    .obs
+                    .tracer
+                    .span_on(&format!("unit.{}", f.name), "sentinel", tid);
+            let _unit_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_WORKER);
             harden::failpoint(FailStage::Detect, &f.name);
             detect_function_budgeted(
                 shared.prog,
@@ -984,13 +990,13 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
         if current != Some(task.attempt) || state.outcomes.contains_key(&task.unit) {
             // The supervisor abandoned this attempt (deadline) while we were
             // computing it; the unit lives in a newer epoch now.
-            vc_obs::counter_inc("sentinel.stale_results");
+            vc_obs::counter_inc(vc_obs::names::SENTINEL_STALE_RESULTS);
             continue;
         }
         state.in_flight.remove(&task.unit);
         match result {
             Ok((candidates, exhausted)) => {
-                vc_obs::counter_inc("sentinel.units_completed");
+                vc_obs::counter_inc(vc_obs::names::SENTINEL_UNITS_COMPLETED);
                 shared.resolve(
                     &mut state,
                     task.unit,
@@ -1050,8 +1056,8 @@ fn supervise(shared: &Shared<'_>) {
                     // Abandon the attempt: the stale worker's result will be
                     // discarded by the epoch check when it eventually lands.
                     state.in_flight.remove(&unit);
-                    vc_obs::counter_inc("sentinel.requeues");
-                    vc_obs::counter_inc("sentinel.deadline_timeouts");
+                    vc_obs::counter_inc(vc_obs::names::SENTINEL_REQUEUES);
+                    vc_obs::counter_inc(vc_obs::names::SENTINEL_DEADLINE_TIMEOUTS);
                     self_retry(shared, &mut state, unit, attempt, deadline);
                 }
             }
@@ -1092,9 +1098,9 @@ pub fn detect_program_sentinel(
     sconf: &SentinelConfig,
 ) -> DetectOutcome {
     let mut out = DetectOutcome::default();
-    vc_obs::counter_add("detect.functions", prog.funcs.len() as u64);
+    vc_obs::counter_add(vc_obs::names::DETECT_FUNCTIONS, prog.funcs.len() as u64);
     let total = prog.funcs.len();
-    vc_obs::counter_add("sentinel.units", total as u64);
+    vc_obs::counter_add(vc_obs::names::SENTINEL_UNITS, total as u64);
 
     // Pointer/alias stage: once, single-threaded, before any unit.
     let (pts, alias) = pointer_stage(prog, config, hconf, &mut out);
@@ -1107,15 +1113,24 @@ pub fn detect_program_sentinel(
         Some(path) => {
             let writer = if sconf.resume {
                 let replay = Replay::load(path, fingerprint);
-                vc_obs::counter_add("sentinel.journal_replays", u64::from(!replay.discarded));
-                vc_obs::counter_add("sentinel.torn_record_skips", replay.torn_records as u64);
-                vc_obs::counter_add("sentinel.corrupt_records", replay.corrupt_records as u64);
                 vc_obs::counter_add(
-                    "sentinel.duplicate_records",
+                    vc_obs::names::SENTINEL_JOURNAL_REPLAYS,
+                    u64::from(!replay.discarded),
+                );
+                vc_obs::counter_add(
+                    vc_obs::names::SENTINEL_TORN_RECORD_SKIPS,
+                    replay.torn_records as u64,
+                );
+                vc_obs::counter_add(
+                    vc_obs::names::SENTINEL_CORRUPT_RECORDS,
+                    replay.corrupt_records as u64,
+                );
+                vc_obs::counter_add(
+                    vc_obs::names::SENTINEL_DUPLICATE_RECORDS,
                     replay.duplicate_records as u64,
                 );
                 if replay.discarded {
-                    vc_obs::counter_inc("sentinel.journal_discarded");
+                    vc_obs::counter_inc(vc_obs::names::SENTINEL_JOURNAL_DISCARDED);
                     JournalWriter::create(path, fingerprint)
                 } else {
                     // Ignore replayed units beyond the current unit range
@@ -1134,14 +1149,20 @@ pub fn detect_program_sentinel(
             match writer {
                 Ok(w) => Some(Mutex::new(w.with_fsync_every(sconf.fsync_every))),
                 Err(_) => {
-                    vc_obs::counter_inc("sentinel.journal_open_failures");
+                    vc_obs::counter_inc(vc_obs::names::SENTINEL_JOURNAL_OPEN_FAILURES);
                     None
                 }
             }
         }
     };
-    vc_obs::counter_add("sentinel.units_replayed", replayed.len() as u64);
-    vc_obs::counter_add("sentinel.units_scanned", (total - replayed.len()) as u64);
+    vc_obs::counter_add(
+        vc_obs::names::SENTINEL_UNITS_REPLAYED,
+        replayed.len() as u64,
+    );
+    vc_obs::counter_add(
+        vc_obs::names::SENTINEL_UNITS_SCANNED,
+        (total - replayed.len()) as u64,
+    );
 
     // Queue every unit not already checkpointed, in unit order.
     let mut state = ExecState::default();
@@ -1183,7 +1204,7 @@ pub fn detect_program_sentinel(
                                 if !shared.hconf.isolate {
                                     std::panic::resume_unwind(payload);
                                 }
-                                vc_obs::counter_inc("sentinel.worker_replaced");
+                                vc_obs::counter_inc(vc_obs::names::SENTINEL_WORKER_REPLACED);
                                 let msg = harden::panic_message(payload);
                                 shared.reap_worker(worker, &msg);
                             }
@@ -1223,7 +1244,7 @@ pub fn detect_program_sentinel(
             } => {
                 if exhausted {
                     out.liveness_degraded += 1;
-                    vc_obs::counter_inc("harden.degraded.liveness");
+                    vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_LIVENESS);
                 }
                 out.candidates.extend(candidates);
             }
@@ -1450,10 +1471,10 @@ mod tests {
         assert_eq!(sorted_debug(&resumed), sorted_debug(&fresh));
         let snap = session.registry.snapshot();
         assert_eq!(
-            snap.counter("sentinel.units_replayed"),
+            snap.counter(vc_obs::names::SENTINEL_UNITS_REPLAYED),
             p.funcs.len() as u64
         );
-        assert_eq!(snap.counter("sentinel.units_scanned"), 0);
+        assert_eq!(snap.counter(vc_obs::names::SENTINEL_UNITS_SCANNED), 0);
 
         // And resuming *again* is idempotent.
         let resumed2 = detect_program_sentinel(&p, conf, hconf, &resume_conf);
@@ -1526,9 +1547,9 @@ mod tests {
         // The other units still produced their candidates.
         assert!(out.candidates.iter().any(|c| c.func_name == "f"));
         let snap = session.registry.snapshot();
-        assert_eq!(snap.counter("sentinel.retries"), 2);
-        assert_eq!(snap.counter("sentinel.failed_permanent"), 1);
-        assert_eq!(snap.counter("harden.poisoned.detect"), 1);
+        assert_eq!(snap.counter(vc_obs::names::SENTINEL_RETRIES), 2);
+        assert_eq!(snap.counter(vc_obs::names::SENTINEL_FAILED_PERMANENT), 1);
+        assert_eq!(snap.counter(vc_obs::names::HARDEN_POISONED_DETECT), 1);
     }
 
     #[test]
@@ -1570,8 +1591,8 @@ mod tests {
         let out = handle.join().unwrap().expect("scan must survive");
         assert_eq!(sorted_debug(&out), sorted_debug(&seq));
         let snap = session.registry.snapshot();
-        assert!(snap.counter("sentinel.worker_replaced") >= 1);
-        assert!(snap.counter("sentinel.requeues") >= 1);
+        assert!(snap.counter(vc_obs::names::SENTINEL_WORKER_REPLACED) >= 1);
+        assert!(snap.counter(vc_obs::names::SENTINEL_REQUEUES) >= 1);
     }
 
     #[test]
@@ -1590,10 +1611,13 @@ mod tests {
         // A 30s deadline never fires for this tiny program: clean run.
         assert!(out.failures.is_empty());
         let snap = session.registry.snapshot();
-        assert_eq!(snap.counter("sentinel.deadline_timeouts"), 0);
-        assert_eq!(snap.counter("sentinel.units"), p.funcs.len() as u64);
+        assert_eq!(snap.counter(vc_obs::names::SENTINEL_DEADLINE_TIMEOUTS), 0);
         assert_eq!(
-            snap.counter("sentinel.units_completed"),
+            snap.counter(vc_obs::names::SENTINEL_UNITS),
+            p.funcs.len() as u64
+        );
+        assert_eq!(
+            snap.counter(vc_obs::names::SENTINEL_UNITS_COMPLETED),
             p.funcs.len() as u64
         );
     }

@@ -123,7 +123,7 @@ pub fn solve_budgeted<A: DataflowAnalysis>(
 
     while let Some(b) = queue.pop_front() {
         if !meter.tick() {
-            vc_obs::counter_inc("dataflow.budget_exhausted");
+            vc_obs::counter_inc(vc_obs::names::DATAFLOW_BUDGET_EXHAUSTED);
             break;
         }
         queued[b.0 as usize] = false;
@@ -185,10 +185,13 @@ pub fn solve_budgeted<A: DataflowAnalysis>(
         }
     }
 
-    vc_obs::counter_inc("dataflow.solves");
-    vc_obs::counter_add("dataflow.fixpoint_iterations", iterations as u64);
-    vc_obs::counter_add("dataflow.worklist_pushes", pushes as u64);
-    vc_obs::observe("dataflow.block_count", n as u64);
+    vc_obs::counter_inc(vc_obs::names::DATAFLOW_SOLVES);
+    vc_obs::counter_add(
+        vc_obs::names::DATAFLOW_FIXPOINT_ITERATIONS,
+        iterations as u64,
+    );
+    vc_obs::counter_add(vc_obs::names::DATAFLOW_WORKLIST_PUSHES, pushes as u64);
+    vc_obs::observe(vc_obs::names::DATAFLOW_BLOCK_COUNT, n as u64);
 
     BlockFacts {
         entry,
@@ -264,13 +267,23 @@ mod tests {
             let _g = obs.install();
             solve(f, &cfg, &MinDepth)
         };
-        assert_eq!(obs.registry.counter("dataflow.solves"), 1);
+        assert_eq!(obs.registry.counter(vc_obs::names::DATAFLOW_SOLVES), 1);
         assert_eq!(
-            obs.registry.counter("dataflow.fixpoint_iterations"),
+            obs.registry
+                .counter(vc_obs::names::DATAFLOW_FIXPOINT_ITERATIONS),
             facts.iterations as u64
         );
-        assert!(obs.registry.counter("dataflow.worklist_pushes") >= f.blocks.len() as u64);
-        assert_eq!(obs.registry.histogram("dataflow.block_count").count, 1);
+        assert!(
+            obs.registry
+                .counter(vc_obs::names::DATAFLOW_WORKLIST_PUSHES)
+                >= f.blocks.len() as u64
+        );
+        assert_eq!(
+            obs.registry
+                .histogram(vc_obs::names::DATAFLOW_BLOCK_COUNT)
+                .count,
+            1
+        );
     }
 
     #[test]
@@ -293,7 +306,11 @@ mod tests {
         };
         assert!(facts.exhausted);
         assert!(facts.iterations <= 1);
-        assert_eq!(obs.registry.counter("dataflow.budget_exhausted"), 1);
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::DATAFLOW_BUDGET_EXHAUSTED),
+            1
+        );
         // An unlimited budget converges and is not flagged.
         let full = solve(f, &cfg, &MinDepth);
         assert!(!full.exhausted);

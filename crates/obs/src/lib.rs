@@ -14,6 +14,11 @@
 //!   interchange formats;
 //! - [`names`] — well-known metric name constants for metrics recorded in
 //!   one crate and asserted or documented in another;
+//! - [`profile`] — folded-stack (flamegraph) aggregation over completed
+//!   span records, with exact self-time accounting and a canonical
+//!   "logical" view that is identical regardless of worker count;
+//! - [`alloc`] — a counting `#[global_allocator]` wrapper with per-thread
+//!   scope attribution feeding `mem.*` histograms and trace counters;
 //! - [`scope`] — an ambient per-thread [`ObsSession`] so hot paths deep in
 //!   the analysis crates can record metrics without threading a registry
 //!   through every signature;
@@ -26,13 +31,24 @@
 //! All instrumentation is cheap when no session is installed: a thread-local
 //! lookup and an immediate return.
 
+pub mod alloc;
 pub mod budget;
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod profile;
 pub mod rng;
 pub mod scope;
 pub mod trace;
+
+pub use alloc::{
+    CountingAlloc,
+    MemScope, //
+};
+pub use profile::{
+    FoldedProfile,
+    Weight, //
+};
 
 pub use budget::{
     Budget,

@@ -404,6 +404,98 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_collapse_to_the_sample() {
+        let mut h = Histogram::default();
+        h.record(777);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (777, 777));
+        // Every quantile of a one-point distribution is that point: the
+        // bucket floor (768) must be clamped up into [min, max].
+        assert_eq!(s.p50, 777);
+        assert_eq!(s.p95, 777);
+        assert_eq!(h.quantile(0.0), 777);
+        assert_eq!(h.quantile(1.0), 777);
+    }
+
+    #[test]
+    fn samples_on_log_linear_bucket_boundaries_map_to_their_own_bucket() {
+        // Exact boundaries: sub-bucket floors of a few octaves plus the
+        // small-value exact buckets. A boundary value must land in the
+        // bucket whose floor it is — never the one below.
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            6,
+            7,
+            8,
+            10,
+            12,
+            14,
+            16,
+            1 << 10,
+            (1 << 10) + (1 << 8),
+        ] {
+            let b = bucket_index(v);
+            if v < SUB_BUCKETS {
+                assert_eq!(bucket_floor(b), v, "exact bucket for small {v}");
+            } else {
+                assert!(
+                    bucket_floor(b) <= v && v < bucket_floor(b + 1),
+                    "{v} not in [{}, {})",
+                    bucket_floor(b),
+                    bucket_floor(b + 1)
+                );
+            }
+        }
+        // A boundary sample's quantile is exact (floor == sample == min == max).
+        let mut h = Histogram::default();
+        h.record(16);
+        assert_eq!(h.quantile(0.5), 16);
+    }
+
+    #[test]
+    fn u64_max_is_recorded_without_overflow() {
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.min, u64::MAX);
+        // Sum saturates rather than wrapping.
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.p50, u64::MAX);
+        assert_eq!(s.p95, u64::MAX);
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn empty_histogram_summary_has_no_nan_or_garbage() {
+        let s = Histogram::default().summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.mean(), 0.0);
+        assert!(!s.mean().is_nan());
+        // The exporters must render count=0 rows as zeros, not NaN.
+        let r = Registry::new();
+        {
+            // Force an empty histogram entry into the registry without
+            // recording a sample: snapshot a cloned-empty default.
+            let mut g = r.inner.lock().unwrap();
+            g.histograms.insert("empty".into(), Histogram::default());
+        }
+        let snap = r.snapshot();
+        let json = snap.to_json().to_string();
+        assert!(!json.contains("NaN"), "json must not contain NaN: {json}");
+        let text = snap.render_text();
+        assert!(text.contains("n=0 mean=0.0 p50=0 p95=0 max=0"), "{text}");
+    }
+
+    #[test]
     fn registry_is_shareable_across_threads() {
         let r = std::sync::Arc::new(Registry::new());
         let handles: Vec<_> = (0..4)

@@ -1,0 +1,472 @@
+//! Folded-stack profiles from completed span recordings.
+//!
+//! A [`crate::trace::Tracer`] records flat [`SpanRecord`]s; this module
+//! rebuilds the span trees (per Chrome-trace lane, by timestamp
+//! containment) and aggregates them into flamegraph-compatible *folded
+//! stacks*: one line per distinct call path, `a;b;c <weight>`, loadable by
+//! `flamegraph.pl`, speedscope, and every folded-stack viewer.
+//!
+//! Two weights are exported:
+//!
+//! - **self-time** (microseconds): the span's duration minus its direct
+//!   children's — wall-clock attributed to exactly one frame, so within a
+//!   lane the self-times of a root's subtree sum to the root's duration
+//!   *exactly* (the tracer truncates child timestamps monotonically, so a
+//!   child never pokes out of its parent);
+//! - **samples**: how many spans folded into the stack — independent of
+//!   wall clock, and therefore byte-identical across runs and `--jobs`
+//!   values for a deterministic scan.
+//!
+//! [`FoldedProfile::logical`] additionally canonicalizes the executor
+//! topology: `sentinel.worker.N` frames (one per worker lane, covering idle
+//! wait as well as work) are dropped, and the per-unit spans beneath them
+//! are grafted under the main lane's `pipeline.run;stage.detect` path. The
+//! logical view therefore names *pipeline structure*, not scheduling: it is
+//! identical for `--jobs 1` and `--jobs 4`. Note that under parallelism the
+//! logical view sums CPU time across workers, so its total can legitimately
+//! exceed the root span's wall time; the per-lane (raw) view is the one
+//! whose per-root sums match root durations.
+//!
+//! Spans flushed during a panic unwind ([`SpanRecord::panicked`]) are kept
+//! as partial frames with a `_[panicked]` name suffix (the flamegraph
+//! annotation convention), so time spent in poisoned units stays visible.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::{
+    SpanRecord,
+    MAIN_TID, //
+};
+
+/// Name suffix marking a frame whose span was flushed during a panic
+/// unwind (flamegraph `_[annotation]` convention).
+pub const PANICKED_SUFFIX: &str = "_[panicked]";
+
+/// Aggregated weight of one folded stack.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameStat {
+    /// Self time: duration minus direct children's durations, microseconds.
+    pub self_us: u64,
+    /// Number of spans that folded into this stack.
+    pub samples: u64,
+}
+
+/// One root span occurrence with its subtree's aggregate self time — the
+/// profiler's conservation check: `self_sum_us == dur_us` per root (up to
+/// the tracer's 1 µs truncation per span boundary).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootStat {
+    /// Root frame name (e.g. `pipeline.run`).
+    pub name: String,
+    /// The root span's recorded duration.
+    pub dur_us: u64,
+    /// Sum of self-times over the root's whole subtree.
+    pub self_sum_us: u64,
+}
+
+/// Which weight column [`FoldedProfile::render`] emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Weight {
+    /// Self time in microseconds (the flamegraph default).
+    SelfMicros,
+    /// Folded span count (deterministic for a deterministic scan).
+    Samples,
+}
+
+/// An aggregated folded-stack profile.
+#[derive(Clone, Debug, Default)]
+pub struct FoldedProfile {
+    stacks: BTreeMap<String, FrameStat>,
+    roots: Vec<RootStat>,
+}
+
+/// A frame being folded: its identity plus accounting for children seen so
+/// far.
+struct OpenFrame {
+    path: String,
+    dur_us: u64,
+    end_us: u64,
+    start_us: u64,
+    child_dur_us: u64,
+}
+
+impl FoldedProfile {
+    /// Folds records lane by lane, keeping every frame (the raw scheduling
+    /// view: worker lanes appear under their `sentinel.worker.N` roots).
+    pub fn from_records(records: &[SpanRecord]) -> FoldedProfile {
+        let mut p = FoldedProfile::default();
+        for (_, lane) in lanes(records) {
+            p.fold_lane(&lane, None, |r| Some(frame_name(r)));
+        }
+        p
+    }
+
+    /// Folds records into the canonical *logical* pipeline view:
+    /// `sentinel.worker.N` frames are dropped and worker-lane stacks are
+    /// grafted under `pipeline.run;stage.detect` (when the main lane
+    /// recorded those spans), so the profile is identical for any worker
+    /// count.
+    pub fn logical(records: &[SpanRecord]) -> FoldedProfile {
+        let mut p = FoldedProfile::default();
+        let lanes = lanes(records);
+        let graft = lanes
+            .get(&MAIN_TID)
+            .map(|main| {
+                let has = |n: &str| main.iter().any(|r| r.name == n);
+                let mut prefix = Vec::new();
+                if has("pipeline.run") {
+                    prefix.push("pipeline.run");
+                }
+                if has("stage.detect") {
+                    prefix.push("stage.detect");
+                }
+                prefix.join(";")
+            })
+            .filter(|s| !s.is_empty());
+        for (tid, lane) in &lanes {
+            let prefix = if *tid == MAIN_TID {
+                None
+            } else {
+                graft.as_deref()
+            };
+            p.fold_lane(lane, prefix, |r| {
+                if r.name.starts_with("sentinel.worker.") {
+                    None
+                } else {
+                    Some(frame_name(r))
+                }
+            });
+        }
+        p
+    }
+
+    /// Folds one lane's records (already filtered to a single tid).
+    /// `graft_prefix` is prepended to every stack; `name_of` returns `None`
+    /// to splice a frame out (its children reattach to its parent).
+    fn fold_lane(
+        &mut self,
+        lane: &[SpanRecord],
+        graft_prefix: Option<&str>,
+        name_of: impl Fn(&SpanRecord) -> Option<String>,
+    ) {
+        let mut sorted: Vec<&SpanRecord> = lane.iter().collect();
+        // Parents first: earlier start, then longer duration, then the
+        // tracer's open-depth for exact ties.
+        sorted.sort_by_key(|r| (r.start_us, std::cmp::Reverse(r.dur_us), r.depth));
+        let mut open: Vec<OpenFrame> = Vec::new();
+        let mut root_self_sum = 0u64;
+        for r in sorted {
+            let end = r.start_us + r.dur_us;
+            while let Some(top) = open.last() {
+                if top.start_us <= r.start_us && end <= top.end_us {
+                    break;
+                }
+                let closed = open.pop().expect("non-empty");
+                root_self_sum = self.close(closed, &mut open, root_self_sum);
+            }
+            let name = match name_of(r) {
+                Some(n) => n,
+                None => continue, // spliced out; children join the parent
+            };
+            let path = match (open.last(), graft_prefix) {
+                (Some(parent), _) => format!("{};{name}", parent.path),
+                (None, Some(prefix)) => format!("{prefix};{name}"),
+                (None, None) => name,
+            };
+            open.push(OpenFrame {
+                path,
+                dur_us: r.dur_us,
+                end_us: end,
+                start_us: r.start_us,
+                child_dur_us: 0,
+            });
+        }
+        while let Some(closed) = open.pop() {
+            root_self_sum = self.close(closed, &mut open, root_self_sum);
+        }
+    }
+
+    /// Finalizes one frame: accounts its self time, rolls its duration into
+    /// its parent, and closes out the root accumulator when it was a root.
+    fn close(&mut self, f: OpenFrame, open: &mut [OpenFrame], root_self_sum: u64) -> u64 {
+        let self_us = f.dur_us.saturating_sub(f.child_dur_us);
+        let stat = self.stacks.entry(f.path.clone()).or_default();
+        stat.self_us += self_us;
+        stat.samples += 1;
+        let sum = root_self_sum + self_us;
+        match open.last_mut() {
+            Some(parent) => {
+                parent.child_dur_us += f.dur_us;
+                sum
+            }
+            None => {
+                let name = f.path.rsplit(';').next().unwrap_or(&f.path).to_string();
+                self.roots.push(RootStat {
+                    name,
+                    dur_us: f.dur_us,
+                    self_sum_us: sum,
+                });
+                0
+            }
+        }
+    }
+
+    /// The folded stacks, keyed by `;`-joined frame path.
+    pub fn stacks(&self) -> &BTreeMap<String, FrameStat> {
+        &self.stacks
+    }
+
+    /// Every root span occurrence, in fold order.
+    pub fn roots(&self) -> &[RootStat] {
+        &self.roots
+    }
+
+    /// Total self time across all stacks.
+    pub fn total_self_us(&self) -> u64 {
+        self.stacks.values().map(|s| s.self_us).sum()
+    }
+
+    /// The profile in folded-stack text form, one `stack weight` line per
+    /// stack, sorted by stack path (a canonical order: two profiles over
+    /// the same tree render byte-identically).
+    pub fn render(&self, weight: Weight) -> String {
+        let mut out = String::new();
+        for (path, stat) in &self.stacks {
+            let w = match weight {
+                Weight::SelfMicros => stat.self_us,
+                Weight::Samples => stat.samples,
+            };
+            let _ = writeln!(out, "{path} {w}");
+        }
+        out
+    }
+
+    /// The `n` frames (aggregated by *leaf* frame name across all stacks)
+    /// with the highest total self time, descending; name ties break
+    /// alphabetically.
+    pub fn top_self(&self, n: usize) -> Vec<(String, FrameStat)> {
+        let mut by_frame: BTreeMap<&str, FrameStat> = BTreeMap::new();
+        for (path, stat) in &self.stacks {
+            let leaf = path.rsplit(';').next().unwrap_or(path);
+            let e = by_frame.entry(leaf).or_default();
+            e.self_us += stat.self_us;
+            e.samples += stat.samples;
+        }
+        let mut v: Vec<(String, FrameStat)> = by_frame
+            .into_iter()
+            .map(|(k, s)| (k.to_string(), s))
+            .collect();
+        v.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// A human-readable top-N self-time table (the `--stats` profile
+    /// section).
+    pub fn render_top(&self, n: usize) -> String {
+        let total = self.total_self_us().max(1);
+        let mut out = String::from("profile (top self-time frames):\n");
+        for (name, stat) in self.top_self(n) {
+            let _ = writeln!(
+                out,
+                "  {name:<42} self={:<10} n={:<6} {:>5.1}%",
+                format_us(stat.self_us),
+                stat.samples,
+                stat.self_us as f64 * 100.0 / total as f64,
+            );
+        }
+        out
+    }
+}
+
+/// Groups records by Chrome-trace lane.
+fn lanes(records: &[SpanRecord]) -> BTreeMap<u32, Vec<SpanRecord>> {
+    let mut out: BTreeMap<u32, Vec<SpanRecord>> = BTreeMap::new();
+    for r in records {
+        out.entry(r.tid).or_default().push(r.clone());
+    }
+    out
+}
+
+/// The frame name of a record: its span name, suffixed when the span was
+/// flushed mid-unwind.
+fn frame_name(r: &SpanRecord) -> String {
+    if r.panicked {
+        format!("{}{PANICKED_SUFFIX}", r.name)
+    } else {
+        r.name.clone()
+    }
+}
+
+/// `1234567` → `"1.235s"`-style rendering of microseconds.
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, start: u64, dur: u64, depth: u32, tid: u32) -> SpanRecord {
+        SpanRecord {
+            name: name.into(),
+            cat: "test".into(),
+            start_us: start,
+            dur_us: dur,
+            depth,
+            tid,
+            panicked: false,
+        }
+    }
+
+    #[test]
+    fn self_times_sum_to_root_duration_exactly() {
+        // root [0,100) with children a [10,40) and b [50,90); a has child
+        // a1 [20,30).
+        let records = vec![
+            rec("root", 0, 100, 0, 1),
+            rec("a", 10, 30, 1, 1),
+            rec("a1", 20, 10, 2, 1),
+            rec("b", 50, 40, 1, 1),
+        ];
+        let p = FoldedProfile::from_records(&records);
+        let s = p.stacks();
+        assert_eq!(s["root"].self_us, 100 - 30 - 40);
+        assert_eq!(s["root;a"].self_us, 30 - 10);
+        assert_eq!(s["root;a;a1"].self_us, 10);
+        assert_eq!(s["root;b"].self_us, 40);
+        assert_eq!(p.total_self_us(), 100);
+        assert_eq!(p.roots().len(), 1);
+        assert_eq!(p.roots()[0].dur_us, 100);
+        assert_eq!(p.roots()[0].self_sum_us, 100);
+    }
+
+    #[test]
+    fn repeated_stacks_aggregate_samples() {
+        let records = vec![
+            rec("root", 0, 100, 0, 1),
+            rec("u", 0, 20, 1, 1),
+            rec("u", 30, 20, 1, 1),
+            rec("u", 60, 20, 1, 1),
+        ];
+        let p = FoldedProfile::from_records(&records);
+        assert_eq!(p.stacks()["root;u"].samples, 3);
+        assert_eq!(p.stacks()["root;u"].self_us, 60);
+        assert_eq!(p.stacks()["root"].self_us, 40);
+    }
+
+    #[test]
+    fn equal_interval_parent_child_resolved_by_depth() {
+        // Parent and child share [5,15): depth orders the parent first.
+        let records = vec![rec("child", 5, 10, 1, 1), rec("parent", 5, 10, 0, 1)];
+        let p = FoldedProfile::from_records(&records);
+        assert_eq!(p.stacks()["parent;child"].self_us, 10);
+        assert_eq!(p.stacks()["parent"].self_us, 0);
+        assert_eq!(p.roots().len(), 1);
+        assert_eq!(p.roots()[0].name, "parent");
+    }
+
+    #[test]
+    fn lanes_fold_independently_and_multiple_roots_work() {
+        let records = vec![
+            rec("main", 0, 50, 0, 1),
+            rec("w", 0, 80, 0, 2),
+            rec("second_root", 60, 10, 0, 1),
+        ];
+        let p = FoldedProfile::from_records(&records);
+        assert_eq!(p.roots().len(), 3);
+        assert_eq!(p.stacks().len(), 3);
+        assert_eq!(p.stacks()["w"].self_us, 80);
+    }
+
+    #[test]
+    fn panicked_spans_become_partial_suffixed_frames() {
+        let mut bad = rec("unit.f", 10, 5, 1, 1);
+        bad.panicked = true;
+        let records = vec![rec("root", 0, 100, 0, 1), bad];
+        let p = FoldedProfile::from_records(&records);
+        assert_eq!(
+            p.stacks()[&format!("root;unit.f{PANICKED_SUFFIX}")].self_us,
+            5
+        );
+        assert_eq!(p.stacks()["root"].self_us, 95);
+        assert_eq!(p.roots()[0].self_sum_us, 100);
+    }
+
+    #[test]
+    fn logical_view_grafts_worker_units_under_detect() {
+        let records = vec![
+            rec("pipeline.run", 0, 100, 0, 1),
+            rec("stage.detect", 5, 50, 1, 1),
+            rec("sentinel.worker.0", 6, 40, 0, 2),
+            rec("unit.f", 8, 10, 1, 2),
+            rec("sentinel.worker.1", 6, 40, 0, 3),
+            rec("unit.g", 9, 12, 1, 3),
+        ];
+        let p = FoldedProfile::logical(&records);
+        let keys: Vec<&String> = p.stacks().keys().collect();
+        assert!(
+            p.stacks().contains_key("pipeline.run;stage.detect;unit.f"),
+            "{keys:?}"
+        );
+        assert!(p.stacks().contains_key("pipeline.run;stage.detect;unit.g"));
+        assert!(
+            !keys.iter().any(|k| k.contains("sentinel.worker")),
+            "worker frames must be spliced out: {keys:?}"
+        );
+        // Worker-count invariance: the same units on ONE worker lane fold
+        // to byte-identical stacks (in samples weight).
+        let one_lane = vec![
+            rec("pipeline.run", 0, 100, 0, 1),
+            rec("stage.detect", 5, 50, 1, 1),
+            rec("sentinel.worker.0", 6, 90, 0, 2),
+            rec("unit.f", 8, 10, 1, 2),
+            rec("unit.g", 20, 12, 1, 2),
+        ];
+        let q = FoldedProfile::logical(&one_lane);
+        assert_eq!(p.render(Weight::Samples), q.render(Weight::Samples));
+    }
+
+    #[test]
+    fn render_is_sorted_and_parseable() {
+        let records = vec![
+            rec("root", 0, 100, 0, 1),
+            rec("b", 10, 10, 1, 1),
+            rec("a", 30, 10, 1, 1),
+        ];
+        let p = FoldedProfile::from_records(&records);
+        let text = p.render(Weight::SelfMicros);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["root 80", "root;a 10", "root;b 10"]);
+        for line in lines {
+            let (stack, w) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            w.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn top_self_aggregates_by_leaf_frame() {
+        let records = vec![
+            rec("root", 0, 100, 0, 1),
+            rec("u", 0, 30, 1, 1),
+            rec("v", 40, 10, 1, 1),
+            rec("u", 60, 30, 1, 1),
+        ];
+        let p = FoldedProfile::from_records(&records);
+        let top = p.top_self(2);
+        assert_eq!(top[0].0, "u");
+        assert_eq!(top[0].1.self_us, 60);
+        assert_eq!(top[1].0, "root");
+        let table = p.render_top(3);
+        assert!(table.contains("profile (top self-time frames)"));
+        assert!(table.contains('u'));
+    }
+}

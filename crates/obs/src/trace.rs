@@ -33,6 +33,12 @@ pub struct SpanRecord {
     /// Chrome-trace thread lane ([`MAIN_TID`] for the pipeline thread; one
     /// lane per executor worker).
     pub tid: u32,
+    /// Whether the span was flushed while its thread was unwinding from a
+    /// panic (i.e. it closed via drop glue inside a `catch_unwind`
+    /// isolation boundary). Panicked spans are partial frames: the work
+    /// they cover was cut short, but their time is real and must not be
+    /// silently dropped from traces or profiles.
+    pub panicked: bool,
 }
 
 impl SpanRecord {
@@ -43,10 +49,31 @@ impl SpanRecord {
     }
 }
 
+/// One sampled counter value (a Chrome `"ph": "C"` counter event), e.g. the
+/// process-wide live heap bytes sampled at a stage boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Counter track name, e.g. `mem.live_bytes`.
+    pub name: String,
+    /// Microseconds from the tracer's epoch.
+    pub ts_us: u64,
+    /// Sampled value.
+    pub value: i64,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     records: Vec<SpanRecord>,
+    counters: Vec<CounterSample>,
     depth: u32,
+}
+
+/// Locks a tracer mutex even when a panicking thread poisoned it: span
+/// flushing happens in drop glue during unwinding, and a poisoned-lock
+/// panic inside a drop would abort the process instead of letting the
+/// harden boundary catch the original fault.
+fn lock(m: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Records nested timed spans relative to a fixed epoch.
@@ -82,7 +109,7 @@ impl Tracer {
     /// side by side in `chrome://tracing` / Perfetto.
     pub fn span_on(self: &Arc<Tracer>, name: &str, cat: &str, tid: u32) -> Span {
         let depth = {
-            let mut g = self.inner.lock().unwrap();
+            let mut g = lock(&self.inner);
             let d = g.depth;
             g.depth += 1;
             d
@@ -110,7 +137,7 @@ impl Tracer {
         // time, so a child's recorded interval can never poke out of its
         // parent's by a sub-microsecond rounding artefact.
         let end_us = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        let mut g = self.inner.lock().unwrap();
+        let mut g = lock(&self.inner);
         g.depth = g.depth.saturating_sub(1);
         g.records.push(SpanRecord {
             name: std::mem::take(&mut span.name),
@@ -119,13 +146,30 @@ impl Tracer {
             dur_us: end_us.saturating_sub(start_us),
             depth: span.depth,
             tid: span.tid,
+            panicked: std::thread::panicking(),
         });
         elapsed
     }
 
     /// All finished spans, in completion order.
     pub fn records(&self) -> Vec<SpanRecord> {
-        self.inner.lock().unwrap().records.clone()
+        lock(&self.inner).records.clone()
+    }
+
+    /// Records a counter sample (exported as a Chrome `"ph": "C"` counter
+    /// event), timestamped "now" against the tracer's epoch.
+    pub fn counter(&self, name: &str, value: i64) {
+        let ts_us = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        lock(&self.inner).counters.push(CounterSample {
+            name: name.to_string(),
+            ts_us,
+            value,
+        });
+    }
+
+    /// All recorded counter samples, in recording order.
+    pub fn counters(&self) -> Vec<CounterSample> {
+        lock(&self.inner).counters.clone()
     }
 
     /// The recording as a Chrome `trace_event` document.
@@ -135,10 +179,10 @@ impl Tracer {
         // child share the same microsecond start and duration — the parent
         // must still precede.
         records.sort_by_key(|r| (r.tid, r.start_us, std::cmp::Reverse(r.dur_us), r.depth));
-        let events = records
+        let mut events: Vec<Json> = records
             .into_iter()
             .map(|r| {
-                Json::Obj(vec![
+                let mut fields = vec![
                     ("name".into(), Json::Str(r.name)),
                     ("cat".into(), Json::Str(r.cat)),
                     ("ph".into(), Json::Str("X".into())),
@@ -146,9 +190,30 @@ impl Tracer {
                     ("dur".into(), Json::Int(r.dur_us as i64)),
                     ("pid".into(), Json::Int(1)),
                     ("tid".into(), Json::Int(r.tid as i64)),
-                ])
+                ];
+                if r.panicked {
+                    fields.push((
+                        "args".into(),
+                        Json::Obj(vec![("panicked".into(), Json::Bool(true))]),
+                    ));
+                }
+                Json::Obj(fields)
             })
             .collect();
+        // Counter tracks render under the span lanes in chrome://tracing /
+        // Perfetto; samples stay in recording (time) order per track.
+        let mut counters = self.counters();
+        counters.sort_by(|a, b| (&a.name, a.ts_us).cmp(&(&b.name, b.ts_us)));
+        events.extend(counters.into_iter().map(|c| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(c.name.clone())),
+                ("cat".into(), Json::Str("counter".into())),
+                ("ph".into(), Json::Str("C".into())),
+                ("ts".into(), Json::Int(c.ts_us as i64)),
+                ("pid".into(), Json::Int(1)),
+                ("args".into(), Json::Obj(vec![(c.name, Json::Int(c.value))])),
+            ])
+        }));
         Json::Obj(vec![
             ("traceEvents".into(), Json::Arr(events)),
             ("displayTimeUnit".into(), Json::Str("ms".into())),
@@ -279,6 +344,85 @@ mod tests {
         assert_eq!(events[0].get("name").and_then(Json::as_str), Some("main"));
         assert_eq!(events[0].get("tid").and_then(Json::as_i64), Some(1));
         assert_eq!(events[1].get("tid").and_then(Json::as_i64), Some(4));
+    }
+
+    #[test]
+    fn span_dropped_during_unwind_is_flushed_with_panicked_tag() {
+        let t = Arc::new(Tracer::new());
+        let tc = t.clone();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _open = tc.span("doomed", "test");
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        let recs = t.records();
+        assert_eq!(recs.len(), 1, "open span must be flushed, not dropped");
+        assert_eq!(recs[0].name, "doomed");
+        assert!(recs[0].panicked, "unwound span must carry panicked: true");
+        // A clean span on the same (recovered) thread is not tagged.
+        t.span("fine", "test").end();
+        assert!(!t.records()[1].panicked);
+        // The tag round-trips into the Chrome export as args.panicked.
+        let doc = t.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let doomed = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("doomed"))
+            .unwrap();
+        assert_eq!(
+            doomed
+                .get("args")
+                .and_then(|a| a.get("panicked"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let fine = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("fine"))
+            .unwrap();
+        assert!(fine.get("args").is_none());
+    }
+
+    #[test]
+    fn tracer_survives_lock_poisoning_by_a_panicked_holder() {
+        // A thread that panics between span open and close must not poison
+        // the tracer for everyone else (flushing happens in drop glue where
+        // a second panic would abort the process).
+        let t = Arc::new(Tracer::new());
+        let tc = t.clone();
+        let _ = std::thread::spawn(move || {
+            let _open = tc.span("worker", "test");
+            panic!("worker died");
+        })
+        .join();
+        t.span("after", "test").end();
+        let names: Vec<_> = t.records().into_iter().map(|r| r.name).collect();
+        assert!(names.contains(&"worker".to_string()));
+        assert!(names.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn counter_samples_export_as_chrome_counter_events() {
+        let t = Arc::new(Tracer::new());
+        t.counter("mem.live_bytes", 1024);
+        t.counter("mem.live_bytes", 2048);
+        t.span("work", "test").end();
+        assert_eq!(t.counters().len(), 2);
+        let doc = t.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let cs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(
+            cs[0]
+                .get("args")
+                .and_then(|a| a.get("mem.live_bytes"))
+                .and_then(Json::as_i64),
+            Some(1024)
+        );
+        assert!(crate::json::parse(&doc.to_string_pretty()).is_ok());
     }
 
     #[test]

@@ -145,13 +145,16 @@ impl PointsTo {
             exhausted,
         };
         if exhausted {
-            vc_obs::counter_inc("pointer.budget_exhausted");
+            vc_obs::counter_inc(vc_obs::names::POINTER_BUDGET_EXHAUSTED);
         }
-        vc_obs::counter_inc("pointer.solves");
-        vc_obs::counter_add("pointer.propagations", solver.propagations);
-        vc_obs::counter_add("pointer.nodes", out.pts.len() as u64);
-        vc_obs::counter_add("pointer.copy_edges", solver.copy_seen.len() as u64);
-        vc_obs::counter_add("pointer.facts", out.fact_count() as u64);
+        vc_obs::counter_inc(vc_obs::names::POINTER_SOLVES);
+        vc_obs::counter_add(vc_obs::names::POINTER_PROPAGATIONS, solver.propagations);
+        vc_obs::counter_add(vc_obs::names::POINTER_NODES, out.pts.len() as u64);
+        vc_obs::counter_add(
+            vc_obs::names::POINTER_COPY_EDGES,
+            solver.copy_seen.len() as u64,
+        );
+        vc_obs::counter_add(vc_obs::names::POINTER_FACTS, out.fact_count() as u64);
         out
     }
 
@@ -764,10 +767,13 @@ mod tests {
             PointsTo::solve(&p)
         };
         let reg = &obs.registry;
-        assert_eq!(reg.counter("pointer.solves"), 1);
-        assert!(reg.counter("pointer.propagations") > 0);
-        assert!(reg.counter("pointer.nodes") > 0);
-        assert_eq!(reg.counter("pointer.facts"), pts.fact_count() as u64);
+        assert_eq!(reg.counter(vc_obs::names::POINTER_SOLVES), 1);
+        assert!(reg.counter(vc_obs::names::POINTER_PROPAGATIONS) > 0);
+        assert!(reg.counter(vc_obs::names::POINTER_NODES) > 0);
+        assert_eq!(
+            reg.counter(vc_obs::names::POINTER_FACTS),
+            pts.fact_count() as u64
+        );
         let spans = obs.tracer.records();
         assert!(spans.iter().any(|s| s.name == "pointer.solve"));
     }

@@ -37,6 +37,16 @@ cargo test -p vc-workload --test sentinel -q
 echo "==> cargo test -p vc-workload --test delta -q"
 cargo test -p vc-workload --test delta -q
 
+# bench: the perf observatory (crates/bench/src/perf.rs) — a deterministic
+# scaled scan measured median-of-N, written as BENCH_scan.json /
+# BENCH_stages.json and gated against the committed bench/baseline.json
+# with noise-tolerant thresholds (both 1.6x slower AND 10ms absolutely
+# slower before a case regresses). Refresh with `tools/perfgate
+# --write-baseline` when a slowdown is intentional.
+echo "==> perf observatory (scaled bench + perfgate)"
+cargo run --quiet --release -p vc-bench --bin perf -- --out .
+tools/perfgate
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
