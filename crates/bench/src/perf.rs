@@ -7,7 +7,9 @@
 //! files come out, in the existing `BENCH_*.json` shape plus an environment
 //! fingerprint:
 //!
-//! - `BENCH_scan.json` — end-to-end wall time of the full pipeline run;
+//! - `BENCH_scan.json` — end-to-end wall time of the full pipeline run,
+//!   plus the whole-history lifecycle replay (`scan/history_replay`, the
+//!   `vcheck history` path over a generated multi-commit workload);
 //! - `BENCH_stages.json` — per-stage self-time breakdown (detect,
 //!   authorship, prune, rank) extracted from the span profiler
 //!   ([`vc_obs::profile`]), so a regression names the stage that caused it.
@@ -30,10 +32,15 @@ use std::{
     time::Instant,
 };
 
-use valuecheck::pipeline::{run_with_obs, Options};
+use valuecheck::{
+    history::history_scan,
+    pipeline::{run_with_obs, Options},
+    sentinel::SentinelConfig,
+    suppress::SuppressStore,
+};
 use vc_ir::Program;
 use vc_obs::{FoldedProfile, Json, ObsSession};
-use vc_workload::{generate, AppProfile};
+use vc_workload::{generate, generate_life, AppProfile, LifeProfile};
 
 /// Injected extra latency per timed region, milliseconds. Test-only hook
 /// (failpoint-style): proves the gate trips on a real measured slowdown.
@@ -93,22 +100,10 @@ pub struct PerfReport {
 
 /// The machine/profile fingerprint recorded into every report. Compared
 /// advisorily by the gate: a mismatch is reported but never fails the run.
+/// The same string [`vc_obs::env_fingerprint`] stamps into the
+/// `--metrics-json` export, so bench reports and metric dumps join on it.
 pub fn env_fingerprint() -> String {
-    let ncpu = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let profile = if cfg!(debug_assertions) {
-        "debug"
-    } else {
-        "release"
-    };
-    format!(
-        "{}/{}/cpus={}/{}",
-        std::env::consts::OS,
-        std::env::consts::ARCH,
-        ncpu,
-        profile
-    )
+    vc_obs::env_fingerprint()
 }
 
 fn median(mut samples: Vec<u64>) -> u64 {
@@ -140,6 +135,21 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
         .collect();
     let opts = Options::paper();
 
+    // The lifecycle workload behind `scan/history_replay`: a scripted
+    // multi-commit history (live / fixed / suppressed / churned fates),
+    // replayed end to end through `history_scan` each run.
+    let scale_n = |n: usize| ((n as f64 * config.scale).round() as usize).max(1);
+    let life = generate_life(&LifeProfile {
+        seed: 5,
+        commits: scale_n(8),
+        live: scale_n(20),
+        fixed: scale_n(12),
+        suppressed: scale_n(8),
+        churned: scale_n(4),
+        files: scale_n(4),
+        drift_lines: 6,
+    });
+
     let stage_names = [
         "stage.detect",
         "stage.authorship",
@@ -147,6 +157,7 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
         "stage.rank",
     ];
     let mut total: Vec<u64> = Vec::with_capacity(config.runs);
+    let mut history: Vec<u64> = Vec::with_capacity(config.runs);
     let mut stages: Vec<Vec<u64>> = vec![Vec::with_capacity(config.runs); stage_names.len()];
     for _ in 0..config.runs.max(1) {
         let mut stage_ns = [0u64; 4];
@@ -173,16 +184,37 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
         for (i, ns) in stage_ns.into_iter().enumerate() {
             stages[i].push(ns);
         }
+
+        let t1 = Instant::now();
+        injected_delay();
+        let outcome = history_scan(
+            &life.repo,
+            &[],
+            &opts,
+            &SentinelConfig::default(),
+            SuppressStore::default(),
+            ObsSession::new(),
+        )
+        .unwrap_or_else(|e| panic!("perf history workload failed to build: {e}"));
+        std::hint::black_box(&outcome);
+        history.push(t1.elapsed().as_nanos() as u64);
     }
 
     let env = env_fingerprint();
     let scan = PerfReport {
         name: "scan".to_string(),
-        cases: vec![PerfCase {
-            name: "scan/total".to_string(),
-            median_ns: median(total),
-            runs: config.runs,
-        }],
+        cases: vec![
+            PerfCase {
+                name: "scan/total".to_string(),
+                median_ns: median(total),
+                runs: config.runs,
+            },
+            PerfCase {
+                name: "scan/history_replay".to_string(),
+                median_ns: median(history),
+                runs: config.runs,
+            },
+        ],
         env: env.clone(),
     };
     let stages_report = PerfReport {

@@ -3,6 +3,7 @@
 //! ```text
 //! Usage: vcheck <project-dir> [options]
 //!        vcheck delta <project-dir> --from REV --to REV [options]
+//!        vcheck history <project-dir> [options]
 //!
 //!   <project-dir>        directory with *.c sources and, ideally, a
 //!                        history.json (see vc_vcs::HistorySpec)
@@ -67,6 +68,29 @@
 //! per side; `--resume` defaults it to `<project-dir>/delta.journal`).
 //! Exit status: 0 when no *new* findings, 1 when new findings are present
 //! (the CI gate), 2 on usage/load errors.
+//!
+//! The `history` subcommand replays **every** commit and drives each
+//! finding through the born → persisting → churned → fixed | suppressed
+//! lifecycle (see DESIGN.md §12), printing one CSV row per track and
+//! persisting the event stream as a findings database:
+//!
+//! ```text
+//!   --db FILE            findings database path (default:
+//!                        <project-dir>/findings.lifedb)
+//!   --suppress FILE      load the suppression store, and save it back
+//!                        with advanced lines / healed fingerprints
+//!   --lifecycle-json FILE  write the versioned lifecycle export (funnel,
+//!                        per-scenario fix/churn rates, full event stream)
+//!   --stats              additionally print the lifecycle funnel table
+//! ```
+//!
+//! plus the shared scan/sentinel options (each replayed commit journals
+//! under a `.c<N>` suffix; `--resume` defaults the journal to
+//! `<project-dir>/history.journal`). Inline `// vcheck:allow(<scenario>)`
+//! annotations suppress the finding on the next line (standalone) or
+//! their own line (trailing). Exit status: 0 when nothing is live and
+//! unsuppressed at head, 1 otherwise, 2 on usage/load errors. All outputs
+//! are byte-identical for any `--jobs` value and across `--resume`.
 
 use std::path::PathBuf;
 
@@ -74,6 +98,10 @@ use valuecheck::{
     delta::{
         delta_scan,
         DeltaStatus, //
+    },
+    history::{
+        history_scan,
+        tracks_to_csv, //
     },
     incremental::SnapshotStore,
     pipeline::{
@@ -88,6 +116,7 @@ use valuecheck::{
         salt_strings,
         SentinelConfig, //
     },
+    suppress::SuppressStore,
 };
 use vc_ir::Program;
 use vc_obs::ObsSession;
@@ -104,11 +133,17 @@ static ALLOC: vc_obs::CountingAlloc = vc_obs::CountingAlloc;
 
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
-    if args.peek().map(String::as_str) == Some("delta") {
-        args.next();
-        delta_main(args);
+    match args.peek().map(String::as_str) {
+        Some("delta") => {
+            args.next();
+            delta_main(args);
+        }
+        Some("history") => {
+            args.next();
+            history_main(args);
+        }
+        _ => scan_main(args),
     }
-    scan_main(args);
 }
 
 /// Resolves a revision argument: `HEAD`, `HEAD~N`, or a numeric commit id.
@@ -278,10 +313,12 @@ fn delta_main(mut args: impl Iterator<Item = String>) -> ! {
 
     let report = &outcome.report;
     eprintln!(
-        "vcheck delta: {} new, {} fixed, {} persisting, {} suppressed (commit {} -> {})",
+        "vcheck delta: {} new, {} fixed, {} persisting, {} churned, {} suppressed (commit {} -> \
+         {})",
         report.count(DeltaStatus::New),
         report.count(DeltaStatus::Fixed),
         report.count(DeltaStatus::Persisting),
+        report.count(DeltaStatus::Churned),
         report.count(DeltaStatus::Suppressed),
         from.0,
         to.0,
@@ -297,10 +334,179 @@ fn delta_main(mut args: impl Iterator<Item = String>) -> ! {
         eprint!("{}", snapshot.render_text());
     }
     if let Some(path) = metrics_json {
-        let text = snapshot.to_json().to_string_pretty();
+        let text = snapshot.to_json_export().to_string_pretty();
         std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
     }
     std::process::exit(if report.has_new() { 1 } else { 0 });
+}
+
+fn history_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut dir: Option<PathBuf> = None;
+    let mut defines: Vec<String> = Vec::new();
+    let mut opts = Options::paper();
+    let mut db_path: Option<PathBuf> = None;
+    let mut suppress_path: Option<PathBuf> = None;
+    let mut lifecycle_json: Option<PathBuf> = None;
+    let mut stats = false;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut sconf = SentinelConfig::default();
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--db" => {
+                db_path = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--db needs a path")),
+                ));
+            }
+            "--suppress" => {
+                suppress_path = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--suppress needs a path")),
+                ));
+            }
+            "--lifecycle-json" => {
+                lifecycle_json = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--lifecycle-json needs a path")),
+                ));
+            }
+            "--define" => {
+                defines.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--define needs a symbol")),
+                );
+            }
+            "--all" => opts.cross_scope_only = false,
+            "--no-rank" => {
+                opts.rank = RankConfig {
+                    enabled: false,
+                    ..RankConfig::default()
+                };
+            }
+            "--no-prune" => {
+                opts.prune = PruneConfig {
+                    config_dependency: false,
+                    cursor: false,
+                    unused_hints: false,
+                    peer_definitions: false,
+                    ..PruneConfig::default()
+                };
+            }
+            "--stats" => stats = true,
+            "--metrics-json" => {
+                metrics_json = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics-json needs a path")),
+                ));
+            }
+            "--jobs" => {
+                sconf.jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+            }
+            "--retry" => {
+                let k: u32 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--retry needs a number"));
+                sconf.retry = k.max(1);
+            }
+            "--unit-deadline-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--unit-deadline-ms needs a number"));
+                sconf.unit_deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--journal" => {
+                sconf.journal = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--journal needs a path")),
+                ));
+            }
+            "--resume" => sconf.resume = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: vcheck history <project-dir> [--db FILE] [--suppress FILE] \
+                     [--lifecycle-json FILE] [--define SYM]... [--all] [--no-rank] [--no-prune] \
+                     [--stats] [--metrics-json FILE] [--jobs N] [--retry K] \
+                     [--unit-deadline-ms N] [--journal FILE] [--resume]"
+                );
+                std::process::exit(0);
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| die("missing <project-dir>"));
+
+    let project = load_dir(&dir).unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
+    if !project.has_history {
+        die("history needs a history.json (commits to replay)");
+    }
+
+    if sconf.resume && sconf.journal.is_none() {
+        sconf.journal = Some(dir.join("history.journal"));
+    }
+    sconf.fingerprint_salt = salt_strings(&defines);
+
+    let suppress = match &suppress_path {
+        Some(path) => SuppressStore::load(path),
+        None => SuppressStore::default(),
+    };
+
+    let obs = ObsSession::new();
+    let outcome = history_scan(
+        &project.repo,
+        &defines,
+        &opts,
+        &sconf,
+        suppress,
+        obs.clone(),
+    )
+    .unwrap_or_else(|e| die(&format!("build failed: {e}")));
+
+    let db_path = db_path.unwrap_or_else(|| dir.join("findings.lifedb"));
+    outcome
+        .db
+        .save(&db_path)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", db_path.display())));
+    if let Some(path) = &suppress_path {
+        // Persist the maintenance: advanced lines, healed fingerprints.
+        outcome
+            .suppress
+            .save(path)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+
+    let funnel = outcome.db.funnel();
+    eprintln!(
+        "vcheck history: {} commits, {} born, {} fixed, {} suppressed, {} live (head {})",
+        outcome.commits,
+        funnel.born,
+        funnel.fixed,
+        funnel.suppressed,
+        funnel.live,
+        outcome.head.map(|c| c.0 as i64).unwrap_or(-1),
+    );
+    print!("{}", tracks_to_csv(&outcome.db));
+
+    let snapshot = obs.registry.snapshot();
+    if stats {
+        eprint!("{}", outcome.db.render_funnel());
+        eprint!("{}", snapshot.render_text());
+    }
+    if let Some(path) = lifecycle_json {
+        let text = outcome.db.to_json_export().to_string_pretty();
+        std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+    if let Some(path) = metrics_json {
+        let text = snapshot.to_json_export().to_string_pretty();
+        std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+    }
+    std::process::exit(if funnel.live > 0 { 1 } else { 0 });
 }
 
 fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
@@ -413,7 +619,8 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
                      [--trace FILE] [--profile FILE] [--budget-steps N] [--budget-ms N] [--jobs N] \
                      [--retry K] [--unit-deadline-ms N] [--journal FILE] [--resume] \
                      [--fail-fast]\n       vcheck delta <project-dir> --from REV --to REV \
-                     [options] (see `vcheck delta --help`)"
+                     [options] (see `vcheck delta --help`)\n       vcheck history <project-dir> \
+                     [options] (see `vcheck history --help`)"
                 );
                 std::process::exit(0);
             }
@@ -525,7 +732,7 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
         eprint!("{}", folded.render_top(10));
     }
     if let Some(path) = metrics_json {
-        let text = snapshot.to_json().to_string_pretty();
+        let text = snapshot.to_json_export().to_string_pretty();
         std::fs::write(&path, text).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
     }
     if let Some(path) = trace {

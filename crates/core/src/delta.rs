@@ -21,6 +21,13 @@
 //!    finding with the same file/function/variable/scenario, it still
 //!    counts as persisting (under `delta.line_mapped`).
 //!
+//! A fingerprint match is further split by *location*: when the matched
+//! definition sits further than [`CHURN_NEARBY_LINES`] from where the edit
+//! script projects its old position (the code was reorganised around it,
+//! not merely drifted), the row classifies as `churned` rather than
+//! `persisting` — the lifecycle scanner treats churn as a proxy
+//! false-positive signal, and folding it into `persisting` would hide it.
+//!
 //! What remains on the new side is `new` (or `suppressed` when its
 //! fingerprint appears in a `--baseline` set); what remains on the old side
 //! is `fixed`. The classified rows render as CSV and JSON ([`DeltaReport`])
@@ -217,6 +224,11 @@ pub fn fingerprint_ranked(prog: &Program, ranked: &[Ranked]) -> Vec<Finding> {
         .collect()
 }
 
+/// A matched finding counts as `persisting` only while its new location is
+/// within this many lines of where the old revision's edit script projects
+/// it; further away it is `churned` — same finding, relocated code.
+pub const CHURN_NEARBY_LINES: u32 = 3;
+
 /// Lifecycle of one finding across the scanned pair of revisions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum DeltaStatus {
@@ -224,8 +236,12 @@ pub enum DeltaStatus {
     New,
     /// Present in the old revision only.
     Fixed,
-    /// Present in both (fingerprint match or line-map match).
+    /// Present in both (fingerprint match or line-map match), at (or near)
+    /// the location the edit script predicts.
     Persisting,
+    /// Present in both, but relocated beyond [`CHURN_NEARBY_LINES`] of its
+    /// projected position (the surrounding code was reorganised).
+    Churned,
     /// Would be `New`, but its fingerprint is in the baseline set.
     Suppressed,
 }
@@ -237,6 +253,7 @@ impl DeltaStatus {
             DeltaStatus::New => "new",
             DeltaStatus::Fixed => "fixed",
             DeltaStatus::Persisting => "persisting",
+            DeltaStatus::Churned => "churned",
             DeltaStatus::Suppressed => "suppressed",
         }
     }
@@ -254,6 +271,12 @@ pub struct DeltaRow {
     pub old_line: Option<u32>,
     /// Line in the new revision (`None` for `fixed`).
     pub new_line: Option<u32>,
+    /// The old-side fingerprint of a matched finding (`Some` for
+    /// `persisting`/`churned`/`fixed`). Differs from `finding.fingerprint`
+    /// exactly when the pair was made by the line-map fallback — this is
+    /// what lets the lifecycle scanner follow one finding's identity across
+    /// an edit to its own definition line.
+    pub old_fingerprint: Option<Fingerprint>,
 }
 
 /// The classified differential report.
@@ -283,6 +306,10 @@ impl DeltaReport {
         vc_obs::counter_add(
             names::DELTA_PERSISTING,
             self.count(DeltaStatus::Persisting) as u64,
+        );
+        vc_obs::counter_add(
+            names::DELTA_CHURNED,
+            self.count(DeltaStatus::Churned) as u64,
         );
         vc_obs::counter_add(
             names::DELTA_SUPPRESSED,
@@ -321,6 +348,10 @@ impl DeltaReport {
             (
                 "persisting".into(),
                 Json::Int(self.count(DeltaStatus::Persisting) as i64),
+            ),
+            (
+                "churned".into(),
+                Json::Int(self.count(DeltaStatus::Churned) as i64),
             ),
             (
                 "suppressed".into(),
@@ -416,6 +447,27 @@ pub fn classify(
         }
     }
 
+    // Lazily built per-file line maps, shared by the pass-2 fallback and
+    // the pass-3 churn split. `None` caches "no map" for files missing from
+    // either side's sources.
+    fn map_for<'m, 's>(
+        maps: &'m mut HashMap<&'s str, Option<LineMap>>,
+        file: &'s str,
+        old_sources: &HashMap<String, String>,
+        new_sources: &HashMap<String, String>,
+    ) -> Option<&'m LineMap> {
+        maps.entry(file)
+            .or_insert_with(|| {
+                let old_text = old_sources.get(file)?;
+                let new_text = new_sources.get(file)?;
+                let old_lines: Vec<String> = old_text.lines().map(str::to_string).collect();
+                let new_lines: Vec<String> = new_text.lines().map(str::to_string).collect();
+                Some(LineMap::between(&old_lines, &new_lines))
+            })
+            .as_ref()
+    }
+    let mut line_maps: HashMap<&str, Option<LineMap>> = HashMap::new();
+
     // Pass 2: line-map fallback for findings whose fingerprint changed.
     // Index the still-unmatched new findings by mapped coordinates.
     let mut loose_new: HashMap<(&str, &str, &str, &str, u32), Vec<usize>> = HashMap::new();
@@ -434,21 +486,16 @@ pub fn classify(
                 .push(j);
         }
     }
-    let mut line_maps: HashMap<&str, Option<LineMap>> = HashMap::new();
+    let mut line_mapped_pair = vec![false; new.len()];
     let mut line_mapped = 0u64;
     for &i in &old_order {
         if old_matched[i] {
             continue;
         }
         let f = &old[i];
-        let map = line_maps.entry(f.file.as_str()).or_insert_with(|| {
-            let old_text = old_sources.get(&f.file)?;
-            let new_text = new_sources.get(&f.file)?;
-            let old_lines: Vec<String> = old_text.lines().map(str::to_string).collect();
-            let new_lines: Vec<String> = new_text.lines().map(str::to_string).collect();
-            Some(LineMap::between(&old_lines, &new_lines))
-        });
-        let Some(map) = map else { continue };
+        let Some(map) = map_for(&mut line_maps, f.file.as_str(), old_sources, new_sources) else {
+            continue;
+        };
         // `nearby`: an edited definition line has no exact image in the
         // new revision, but its projected position (anchored on the
         // nearest kept line) is exactly where the re-detected finding sits.
@@ -467,22 +514,53 @@ pub fn classify(
                 let j = js.remove(0);
                 pair_of_new[j] = Some(i);
                 old_matched[i] = true;
+                line_mapped_pair[j] = true;
                 line_mapped += 1;
             }
         }
     }
     vc_obs::counter_add(names::DELTA_LINE_MAPPED, line_mapped);
 
-    // Assemble rows.
+    // Assemble rows. Pass 3 splits each matched pair into persisting vs
+    // churned: a pair whose new location strays beyond CHURN_NEARBY_LINES
+    // of the edit script's projection sits in reorganised code.
     let mut rows: Vec<DeltaRow> = Vec::new();
     for (j, f) in new.iter().enumerate() {
         match pair_of_new[j] {
-            Some(i) => rows.push(DeltaRow {
-                status: DeltaStatus::Persisting,
-                finding: f.clone(),
-                old_line: Some(old[i].line),
-                new_line: Some(f.line),
-            }),
+            Some(i) => {
+                let old_f = &old[i];
+                let status = if line_mapped_pair[j] {
+                    // A line-map pair lands exactly on the projection.
+                    DeltaStatus::Persisting
+                } else {
+                    let projected = map_for(
+                        &mut line_maps,
+                        old_f.file.as_str(),
+                        old_sources,
+                        new_sources,
+                    )
+                    .map(|m| m.old_to_new_nearby(old_f.line));
+                    match projected {
+                        // No sources for this file: can't tell, keep the
+                        // benign classification.
+                        None => DeltaStatus::Persisting,
+                        // The finding survived but its old neighbourhood
+                        // has no plausible image — relocated wholesale.
+                        Some(None) => DeltaStatus::Churned,
+                        Some(Some(p)) if p.abs_diff(f.line) > CHURN_NEARBY_LINES => {
+                            DeltaStatus::Churned
+                        }
+                        Some(Some(_)) => DeltaStatus::Persisting,
+                    }
+                };
+                rows.push(DeltaRow {
+                    status,
+                    finding: f.clone(),
+                    old_line: Some(old_f.line),
+                    new_line: Some(f.line),
+                    old_fingerprint: Some(old_f.fingerprint),
+                });
+            }
             None => {
                 let status = if baseline.contains(&f.fingerprint.0) {
                     DeltaStatus::Suppressed
@@ -494,6 +572,7 @@ pub fn classify(
                     finding: f.clone(),
                     old_line: None,
                     new_line: Some(f.line),
+                    old_fingerprint: None,
                 });
             }
         }
@@ -505,6 +584,7 @@ pub fn classify(
                 finding: f.clone(),
                 old_line: Some(f.line),
                 new_line: None,
+                old_fingerprint: Some(f.fingerprint),
             });
         }
     }
@@ -837,6 +917,85 @@ mod tests {
         assert_eq!(report.count(DeltaStatus::New), 0);
         assert_eq!(report.count(DeltaStatus::Fixed), 0);
         assert_eq!(obs.registry.counter(names::DELTA_LINE_MAPPED), 1);
+    }
+
+    #[test]
+    fn relocated_function_classifies_as_churned() {
+        // `alpha` moves from the top of the file to the bottom, past two
+        // stable functions — same fingerprint, but its projected position
+        // (through the edit script) is nowhere near where it resurfaces.
+        let v1 = format!("{}{}{}", bug_fn("alpha"), bug_fn("s1"), bug_fn("s2"));
+        let v2 = format!("{}{}{}", bug_fn("s1"), bug_fn("s2"), bug_fn("alpha"));
+        let mut repo = Repository::new();
+        let dev = repo.add_author("dev");
+        let c1 = repo.commit(dev, 1, "v1", vec![write("a.c", &v1)]);
+        let c2 = repo.commit(dev, 2, "move alpha last", vec![write("a.c", &v2)]);
+        let s1 = scan(&repo, c1);
+        let s2 = scan(&repo, c2);
+        let obs = ObsSession::new();
+        let report = {
+            let _g = obs.install();
+            classify(
+                &s1.findings,
+                &s2.findings,
+                &s1.sources,
+                &s2.sources,
+                &HashSet::new(),
+            )
+        };
+        assert_eq!(report.count(DeltaStatus::Churned), 1, "{:#?}", report.rows);
+        assert_eq!(report.count(DeltaStatus::Persisting), 2);
+        assert_eq!(report.count(DeltaStatus::New), 0);
+        assert_eq!(report.count(DeltaStatus::Fixed), 0);
+        let churned = report
+            .rows
+            .iter()
+            .find(|r| r.status == DeltaStatus::Churned)
+            .unwrap();
+        assert_eq!(churned.finding.function, "alpha");
+        assert_eq!(
+            churned.old_fingerprint,
+            Some(churned.finding.fingerprint),
+            "a fingerprint-matched pair carries its own fingerprint over"
+        );
+        {
+            let _g = obs.install();
+            report.record_metrics();
+        }
+        assert_eq!(obs.registry.counter(names::DELTA_CHURNED), 1);
+        assert!(
+            !report.has_new(),
+            "churn is telemetry, not a CI gate condition"
+        );
+        assert!(report.to_csv().contains("churned,"));
+        assert!(report.to_json().contains("\"churned\": 1"));
+    }
+
+    #[test]
+    fn pure_drift_is_persisting_not_churned() {
+        // Ten pad lines above everything: the projection tracks the drift
+        // exactly, so nothing may be reported as churned.
+        let body = format!("{}{}", bug_fn("alpha"), bug_fn("beta"));
+        let mut repo = Repository::new();
+        let dev = repo.add_author("dev");
+        let c1 = repo.commit(dev, 1, "v1", vec![write("a.c", &body)]);
+        let mut padded = String::new();
+        for i in 0..10 {
+            padded.push_str(&format!("int pad_{i}(void);\n"));
+        }
+        padded.push_str(&body);
+        let c2 = repo.commit(dev, 2, "pad", vec![write("a.c", &padded)]);
+        let s1 = scan(&repo, c1);
+        let s2 = scan(&repo, c2);
+        let report = classify(
+            &s1.findings,
+            &s2.findings,
+            &s1.sources,
+            &s2.sources,
+            &HashSet::new(),
+        );
+        assert_eq!(report.count(DeltaStatus::Churned), 0, "{:#?}", report.rows);
+        assert_eq!(report.count(DeltaStatus::Persisting), 2);
     }
 
     #[test]

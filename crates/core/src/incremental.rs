@@ -365,8 +365,9 @@ pub fn analyze_commit_stored(
     Ok((findings, previous))
 }
 
-/// FNV-1a over a text blob — the store file's content checksum.
-fn content_hash(text: &str) -> u64 {
+/// FNV-1a over a text blob — the content checksum shared by the on-disk
+/// stores (snapshot, suppression, lifecycle DB).
+pub(crate) fn content_hash(text: &str) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in text.as_bytes() {
         h ^= b as u64;

@@ -19,8 +19,12 @@
 //! supervised parallel executor with crash-safe journaled checkpoints
 //! ([`pipeline::run_sentinel`], `vcheck --jobs/--journal/--resume`);
 //! [`delta`] scans two revisions and classifies every finding as
-//! new/fixed/persisting using drift-stable fingerprints
-//! (`vcheck delta --from REV --to REV`).
+//! new/fixed/persisting/churned using drift-stable fingerprints
+//! (`vcheck delta --from REV --to REV`); [`history`] replays every commit
+//! and drives each fingerprint through the born → persisting → churned →
+//! fixed | suppressed lifecycle, persisting the event stream in a
+//! [`lifedb::LifeDb`] with suppression from [`suppress`]
+//! (`vcheck history`).
 //!
 //! # Examples
 //!
@@ -48,13 +52,16 @@ pub mod candidate;
 pub mod delta;
 pub mod detect;
 pub mod harden;
+pub mod history;
 pub mod incremental;
+pub mod lifedb;
 pub mod pipeline;
 pub mod project;
 pub mod prune;
 pub mod rank;
 pub mod report;
 pub mod sentinel;
+pub mod suppress;
 
 pub use authorship::{
     Attributed,
@@ -79,6 +86,16 @@ pub use harden::{
     FailureRecord,
     HardenConfig, //
 };
+pub use history::{
+    history_scan,
+    HistoryOutcome, //
+};
+pub use lifedb::{
+    Funnel,
+    LifeDb,
+    LifeEvent,
+    LifeEventKind, //
+};
 pub use pipeline::{
     run,
     run_sentinel,
@@ -97,4 +114,8 @@ pub use report::Report;
 pub use sentinel::{
     CrashPlan,
     SentinelConfig, //
+};
+pub use suppress::{
+    InlineSuppressions,
+    SuppressStore, //
 };

@@ -61,8 +61,10 @@ pub const SCOPE_RANK: usize = 6;
 pub const SCOPE_WORKER: usize = 7;
 /// Differential (delta) scan orchestration.
 pub const SCOPE_DELTA: usize = 8;
+/// Lifecycle (history) replay orchestration.
+pub const SCOPE_HISTORY: usize = 9;
 /// Number of scopes (array sizes below).
-pub const N_SCOPES: usize = 9;
+pub const N_SCOPES: usize = 10;
 
 /// Stable lowercase label for a scope, used in `mem.<label>.*` metric
 /// names.
@@ -76,6 +78,7 @@ pub fn scope_label(scope: usize) -> &'static str {
         SCOPE_RANK => "rank",
         SCOPE_WORKER => "worker",
         SCOPE_DELTA => "delta",
+        SCOPE_HISTORY => "history",
         _ => "other",
     }
 }

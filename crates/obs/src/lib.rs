@@ -56,9 +56,11 @@ pub use budget::{
 };
 pub use json::Json;
 pub use metrics::{
+    env_fingerprint,
     HistogramSummary,
     MetricsSnapshot,
-    Registry, //
+    Registry,
+    METRICS_SCHEMA_VERSION, //
 };
 pub use rng::SplitMix64;
 pub use scope::{

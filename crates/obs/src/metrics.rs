@@ -9,6 +9,35 @@ use std::{collections::BTreeMap, fmt::Write as _, sync::Mutex};
 
 use crate::json::Json;
 
+/// Version of the [`MetricsSnapshot::to_json_export`] shape. v1 was the
+/// bare `{counters, gauges, histograms}` object (no version field); v2
+/// added the top-level `schema_version` and `env` keys. Bumps are additive
+/// only — consumers of the v1 shape keep working against every later
+/// version.
+pub const METRICS_SCHEMA_VERSION: i64 = 2;
+
+/// The machine/profile fingerprint stamped into exports (`os/arch/ncpu/
+/// profile`, e.g. `linux/x86_64/cpus=8/release`). Shared by the metrics
+/// export and the perf observatory's `BENCH_*.json` reports so lifecycle
+/// dashboards can join runs across machines.
+pub fn env_fingerprint() -> String {
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!(
+        "{}/{}/cpus={}/{}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        ncpu,
+        profile
+    )
+}
+
 /// Log-linear histogram: 64 octaves × 4 sub-buckets covers the full `u64`
 /// range with ≤ ~19% relative bucket width, plus an exact zero bucket.
 const SUB_BUCKETS: u64 = 4;
@@ -274,6 +303,22 @@ impl MetricsSnapshot {
         ])
     }
 
+    /// The versioned export shape behind `vcheck --metrics-json`: the
+    /// [`to_json`](MetricsSnapshot::to_json) object with a top-level
+    /// `schema_version` and the environment fingerprint prepended. Strictly
+    /// additive over the unversioned shape — old consumers keep reading
+    /// `counters`/`gauges`/`histograms` untouched.
+    pub fn to_json_export(&self) -> Json {
+        let mut fields = vec![
+            ("schema_version".into(), Json::Int(METRICS_SCHEMA_VERSION)),
+            ("env".into(), Json::Str(env_fingerprint())),
+        ];
+        if let Json::Obj(inner) = self.to_json() {
+            fields.extend(inner);
+        }
+        Json::Obj(fields)
+    }
+
     /// A human-readable multi-line summary (the `vcheck --stats` output).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -401,6 +446,38 @@ mod tests {
             Some(1)
         );
         assert!(snap.render_text().contains("a.first"));
+    }
+
+    #[test]
+    fn versioned_export_is_additive_over_the_plain_shape() {
+        let r = Registry::new();
+        r.inc("a.first");
+        r.observe("h", 7);
+        let snap = r.snapshot();
+        let export = crate::json::parse(&snap.to_json_export().to_string()).unwrap();
+        assert_eq!(
+            export.get("schema_version").and_then(Json::as_i64),
+            Some(METRICS_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            export.get("env").and_then(Json::as_str),
+            Some(env_fingerprint().as_str())
+        );
+        // Every key of the unversioned shape survives unchanged, so a v1
+        // consumer parses the v2 export without noticing.
+        let plain = crate::json::parse(&snap.to_json().to_string()).unwrap();
+        for key in ["counters", "gauges", "histograms"] {
+            assert_eq!(export.get(key), plain.get(key), "{key} must not drift");
+        }
+    }
+
+    #[test]
+    fn env_fingerprint_has_the_bench_report_shape() {
+        let env = env_fingerprint();
+        let parts: Vec<&str> = env.split('/').collect();
+        assert_eq!(parts.len(), 4, "os/arch/cpus=N/profile: {env}");
+        assert!(parts[2].starts_with("cpus="));
+        assert!(parts[3] == "debug" || parts[3] == "release");
     }
 
     #[test]

@@ -22,6 +22,45 @@ pub const DELTA_SUPPRESSED: &str = "delta.suppressed";
 /// Persisting findings that needed the edit-script line-map fallback (their
 /// fingerprint changed, but the diff maps the old location onto the new).
 pub const DELTA_LINE_MAPPED: &str = "delta.line_mapped";
+/// Findings present in both revisions whose location moved further than the
+/// nearby-line threshold (same fingerprint, relocated definition).
+pub const DELTA_CHURNED: &str = "delta.churned";
+
+// ---------------------------------------------------------------------------
+// Warning lifecycle (full-history replay, `vcheck history`).
+
+/// Commits replayed by the lifecycle scanner.
+pub const LIFE_COMMITS: &str = "life.commits";
+/// Lifecycle `born` events (first sighting of a fingerprint).
+pub const LIFE_BORN: &str = "life.born";
+/// Lifecycle `persisting` events (finding survived a commit in place).
+pub const LIFE_PERSISTING: &str = "life.persisting";
+/// Lifecycle `churned` events (finding survived but relocated beyond the
+/// nearby-line threshold).
+pub const LIFE_CHURNED: &str = "life.churned";
+/// Findings fixed during the replayed history (disappeared from the code).
+pub const LIFE_FIXED: &str = "life.fixed";
+/// Findings suppressed at the head revision (annotation or store entry).
+pub const LIFE_SUPPRESSED: &str = "life.suppressed";
+/// Findings still live (and unsuppressed) at the head revision.
+pub const LIFE_LIVE: &str = "life.live";
+/// Event records appended to the findings database.
+pub const LIFE_DB_EVENTS: &str = "life.db.events";
+
+// ---------------------------------------------------------------------------
+// Suppression (inline `// vcheck:allow` annotations + the on-disk store).
+
+/// Findings suppressed by an inline `// vcheck:allow(<scenario>)` annotation.
+pub const SUPPRESS_INLINE: &str = "suppress.inline";
+/// Findings suppressed by a store entry matched on its fingerprint.
+pub const SUPPRESS_STORE: &str = "suppress.store";
+/// Store matches that needed the nearby-line fallback (the suppressed
+/// definition line was itself edited, moving its fingerprint).
+pub const SUPPRESS_LINE_MAPPED: &str = "suppress.line_mapped";
+/// Suppression stores recovered as cold (truncated/malformed/version skew).
+pub const SUPPRESS_STORE_RECOVERED: &str = "suppress.store_recovered";
+/// Suppression stores rejected by their content checksum.
+pub const SUPPRESS_STORE_CORRUPT: &str = "suppress.store_corrupt";
 
 // ---------------------------------------------------------------------------
 // Detection funnel (paper Table 4 shape).
@@ -179,6 +218,20 @@ pub const ALL: &[&str] = &[
     DELTA_PERSISTING,
     DELTA_SUPPRESSED,
     DELTA_LINE_MAPPED,
+    DELTA_CHURNED,
+    LIFE_COMMITS,
+    LIFE_BORN,
+    LIFE_PERSISTING,
+    LIFE_CHURNED,
+    LIFE_FIXED,
+    LIFE_SUPPRESSED,
+    LIFE_LIVE,
+    LIFE_DB_EVENTS,
+    SUPPRESS_INLINE,
+    SUPPRESS_STORE,
+    SUPPRESS_LINE_MAPPED,
+    SUPPRESS_STORE_RECOVERED,
+    SUPPRESS_STORE_CORRUPT,
     FUNNEL_RAW,
     FUNNEL_CROSS_SCOPE,
     FUNNEL_FAILED,

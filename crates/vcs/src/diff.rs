@@ -256,7 +256,10 @@ impl LineMap {
     /// Like [`old_to_new`](LineMap::old_to_new), but a rewritten line (no
     /// exact image) is projected through its nearest *kept* neighbour: the
     /// closest preceding mapped line anchors the offset, falling back to the
-    /// closest following one. `None` only when the whole file was replaced.
+    /// closest following one. `None` when the whole file was replaced — or
+    /// when the projection falls outside the new file entirely (a deleted
+    /// tail has no plausible image; inventing a line number past EOF would
+    /// make downstream matchers chase lines that do not exist).
     ///
     /// This is the estimate a reviewer makes reading a diff — "that edited
     /// line is still *here*" — and is what lets a finding whose definition
@@ -275,7 +278,13 @@ impl LineMap {
             .rev()
             .find_map(|(i, m)| m.map(|mapped| (i, mapped)));
         if let Some((anchor, mapped)) = before {
-            return Some(mapped + (idx - anchor) as u32);
+            let projected = mapped + (idx - anchor) as u32;
+            if projected as usize <= self.new_len() {
+                return Some(projected);
+            }
+            // Projected past the new EOF: fall through to the following
+            // anchor, if one exists (it never does for a pure tail
+            // deletion, which is the point).
         }
         let after = self.old_to_new[idx + 1..]
             .iter()
@@ -462,6 +471,61 @@ mod tests {
         let map = LineMap::between(&old, &new);
         assert_eq!(map.old_to_new(1), None);
         assert_eq!(map.old_to_new_nearby(1), Some(1));
+    }
+
+    #[test]
+    fn line_map_nearby_deletion_at_end_of_file() {
+        // The tail of the file is deleted: the deleted lines project past
+        // the new EOF and must report no image, not a phantom line number.
+        let old = lines(&["a", "b", "c", "d", "e"]);
+        let new = lines(&["a", "b"]);
+        let map = LineMap::between(&old, &new);
+        assert_eq!(map.old_to_new_nearby(2), Some(2), "kept line still maps");
+        for gone in 3..=5 {
+            assert_eq!(
+                map.old_to_new_nearby(gone),
+                None,
+                "deleted tail line {gone} has no plausible image in a 2-line file"
+            );
+        }
+        // A tail line *replaced* in place (projection still in range) keeps
+        // its nearby image.
+        let replaced = LineMap::between(&lines(&["a", "b", "c"]), &lines(&["a", "b", "x"]));
+        assert_eq!(replaced.old_to_new_nearby(3), Some(3));
+    }
+
+    #[test]
+    fn line_map_nearby_adjacent_hunks_project_through_their_own_anchor() {
+        // Two edit hunks separated by a single kept line: each rewritten
+        // line must anchor on its own side, not bleed into the other hunk.
+        let old = lines(&["k1", "e1", "e2", "k2", "e3", "k3"]);
+        let new = lines(&["k1", "n1", "n2", "n3", "k2", "n4", "k3"]);
+        let map = LineMap::between(&old, &new);
+        assert_eq!(map.old_to_new_nearby(2), Some(2), "first hunk, first line");
+        assert_eq!(map.old_to_new_nearby(3), Some(3), "first hunk, second line");
+        assert_eq!(
+            map.old_to_new_nearby(5),
+            Some(6),
+            "second hunk anchors on k2, not on the first hunk's lines"
+        );
+        assert_eq!(map.old_to_new(4), Some(5), "the separator line is kept");
+    }
+
+    #[test]
+    fn line_map_nearby_zero_length_new_file() {
+        // Everything deleted: no anchors exist in either direction.
+        let old = lines(&["a", "b", "c"]);
+        let map = LineMap::between(&old, &lines(&[]));
+        assert_eq!(map.new_len(), 0);
+        for line in 1..=3 {
+            assert_eq!(map.old_to_new(line), None);
+            assert_eq!(map.old_to_new_nearby(line), None);
+        }
+        // And the mirror degenerate case: an empty old file has no lines to
+        // project at all.
+        let grown = LineMap::between(&lines(&[]), &lines(&["x"]));
+        assert_eq!(grown.old_to_new_nearby(1), None);
+        assert_eq!(grown.old_len(), 0);
     }
 
     #[test]

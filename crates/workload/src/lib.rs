@@ -18,6 +18,10 @@
 //! persisting split — the ground truth behind `vcheck delta` and the
 //! `tools/ci.sh delta` step.
 //!
+//! [`life`] generates N-commit workloads where every planted bug has a
+//! scripted fate (live / fixed / suppressed / churned) — the ground truth
+//! behind `vcheck history` and the `tools/ci.sh history` step.
+//!
 //! [`faults`] mutates a generated application with seeded pathologies
 //! (truncated files, degenerate CFGs, absurd arity, missing blame, injected
 //! panics) and states the evidence a robust pipeline run must produce for
@@ -27,6 +31,7 @@ pub mod codegen;
 pub mod delta;
 pub mod faults;
 pub mod generate;
+pub mod life;
 pub mod profile;
 pub mod truth;
 
@@ -45,6 +50,11 @@ pub use faults::{
 pub use generate::{
     generate,
     GeneratedApp, //
+};
+pub use life::{
+    generate_life,
+    LifeProfile,
+    LifeWorkload, //
 };
 pub use profile::AppProfile;
 pub use truth::{

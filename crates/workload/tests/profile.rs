@@ -15,12 +15,14 @@ use valuecheck::{
         arm_failpoint,
         FailStage, //
     },
+    history::history_scan,
     pipeline::{
         run_sentinel,
         run_with_obs,
         Options, //
     },
     sentinel::SentinelConfig,
+    suppress::SuppressStore,
 };
 use vc_ir::Program;
 use vc_obs::{
@@ -33,9 +35,11 @@ use vc_workload::{
     faults::PANIC_NEEDLE,
     generate,
     generate_delta,
+    generate_life,
     inject_faults,
     AppProfile,
-    DeltaProfile, //
+    DeltaProfile,
+    LifeProfile, //
 };
 
 /// The same wrapper `vcheck` installs: every allocation in this test binary
@@ -168,6 +172,17 @@ fn every_emitted_metric_name_is_registered() {
         obs.clone(),
     )
     .expect("delta workload must build");
+    // ...plus a lifecycle replay, covering `life.*` and `suppress.*`.
+    let life = generate_life(&LifeProfile::default());
+    history_scan(
+        &life.repo,
+        &[],
+        &Options::paper(),
+        &SentinelConfig::default(),
+        SuppressStore::default(),
+        obs.clone(),
+    )
+    .expect("life workload must build at every commit");
 
     let snap = obs.registry.snapshot();
     let names: Vec<&String> = snap

@@ -37,6 +37,16 @@ cargo test -p vc-workload --test sentinel -q
 echo "==> cargo test -p vc-workload --test delta -q"
 cargo test -p vc-workload --test delta -q
 
+# history: lifecycle replays over generated multi-commit workloads
+# (crates/workload/tests/history.rs) — every planted bug's scripted fate
+# (live / fixed / suppressed / churned) is classified correctly, the
+# lifecycle funnel balances (born = fixed + suppressed + live), a seeded
+# suppression-store entry keeps covering its finding under drift, and the
+# findings database is byte-identical for --jobs 1 vs --jobs 4 and across
+# a journaled resume.
+echo "==> cargo test -p vc-workload --test history -q"
+cargo test -p vc-workload --test history -q
+
 # bench: the perf observatory (crates/bench/src/perf.rs) — a deterministic
 # scaled scan measured median-of-N, written as BENCH_scan.json /
 # BENCH_stages.json and gated against the committed bench/baseline.json
