@@ -160,7 +160,7 @@ fn collect_stmt(s: &Stmt, vars: &mut HashMap<String, VarStats>) {
             collect_block(body, vars);
         }
         StmtKind::Block(b) => collect_block(b, vars),
-        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue | StmtKind::Error => {}
     }
 }
 

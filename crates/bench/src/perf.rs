@@ -158,6 +158,7 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
     ];
     let mut total: Vec<u64> = Vec::with_capacity(config.runs);
     let mut history: Vec<u64> = Vec::with_capacity(config.runs);
+    let mut recovery: Vec<u64> = Vec::with_capacity(config.runs);
     let mut stages: Vec<Vec<u64>> = vec![Vec::with_capacity(config.runs); stage_names.len()];
     for _ in 0..config.runs.max(1) {
         let mut stage_ns = [0u64; 4];
@@ -198,6 +199,21 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
         .unwrap_or_else(|e| panic!("perf history workload failed to build: {e}"));
         std::hint::black_box(&outcome);
         history.push(t1.elapsed().as_nanos() as u64);
+
+        // The error-recovering front end over the same (clean) sources:
+        // gates the overhead recovery bookkeeping adds to the common case
+        // where nothing is corrupted.
+        let t2 = Instant::now();
+        injected_delay();
+        for (app, _) in &apps {
+            let (prog, errors, stats) = Program::build_recovering(&app.source_refs(), &app.defines);
+            assert!(
+                errors.is_empty() && stats == vc_ir::program::RecoverStats::default(),
+                "recovery must be a no-op on the clean perf workload"
+            );
+            std::hint::black_box(&prog);
+        }
+        recovery.push(t2.elapsed().as_nanos() as u64);
     }
 
     let env = env_fingerprint();
@@ -212,6 +228,11 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
             PerfCase {
                 name: "scan/history_replay".to_string(),
                 median_ns: median(history),
+                runs: config.runs,
+            },
+            PerfCase {
+                name: "scan/parse_recovery".to_string(),
+                median_ns: median(recovery),
                 runs: config.runs,
             },
         ],

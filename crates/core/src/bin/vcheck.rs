@@ -644,21 +644,26 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
         opts.harden.isolate = false;
     }
     let parse_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_PARSE);
-    let (prog, parse_errors) = if fail_fast {
+    let (prog, parse_errors, recover_stats) = if fail_fast {
         let prog = Program::build(&project.source_refs(), &defines)
             .unwrap_or_else(|e| die(&format!("build failed: {e}")));
-        (prog, Vec::new())
+        (prog, Vec::new(), vc_ir::program::RecoverStats::default())
     } else {
-        // Lenient build: report malformed files with their spans, keep
-        // analysing the rest.
-        let (prog, errors) = Program::build_lenient(&project.source_refs(), &defines);
+        // Recovering build: corrupted regions cost only themselves. Each
+        // error is function-granular when recovery could isolate it, so say
+        // which function was dropped/degraded rather than implying the
+        // whole file was skipped.
+        let (prog, errors, stats) = Program::build_recovering(&project.source_refs(), &defines);
         for e in &errors {
-            eprintln!("vcheck: skipping file: {e}");
+            match e.function() {
+                Some(func) => eprintln!("vcheck: skipping function {func}: {e}"),
+                None => eprintln!("vcheck: skipping file: {e}"),
+            }
         }
         if prog.funcs.is_empty() && !errors.is_empty() {
             die("every source file failed to parse");
         }
-        (prog, errors)
+        (prog, errors, stats)
     };
     {
         // The flush needs the session installed to reach its registry.
@@ -668,6 +673,24 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     obs.registry.add(
         vc_obs::names::HARDEN_PARSE_FAILURES,
         parse_errors.len() as u64,
+    );
+    obs.registry
+        .add(vc_obs::names::RECOVER_LEX_ERRORS, recover_stats.lex_errors);
+    obs.registry.add(
+        vc_obs::names::RECOVER_PARSE_ERRORS,
+        recover_stats.parse_errors,
+    );
+    obs.registry.add(
+        vc_obs::names::RECOVER_POISONED_STMTS,
+        recover_stats.poisoned_stmts,
+    );
+    obs.registry.add(
+        vc_obs::names::RECOVER_FUNCTIONS_DROPPED,
+        recover_stats.functions_dropped,
+    );
+    obs.registry.add(
+        vc_obs::names::RECOVER_FILES_DROPPED,
+        recover_stats.files_dropped,
     );
 
     if sconf.resume && sconf.journal.is_none() {
@@ -683,21 +706,21 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     } else {
         run_sentinel(&prog, &project.repo, &opts, &sconf, obs.clone())
     };
-    for e in &parse_errors {
-        let file = match e {
-            vc_ir::program::BuildError::Parse { file, .. }
-            | vc_ir::program::BuildError::Lower { file, .. } => file.clone(),
-        };
-        analysis.report.failures.insert(
-            0,
-            valuecheck::harden::FailureRecord {
-                stage: valuecheck::harden::FailStage::Parse,
-                file,
-                function: None,
-                message: e.to_string(),
-            },
-        );
-    }
+    // Front-end failures go ahead of the analysis-stage ones, in input
+    // order: one splice instead of repeated `insert(0, ..)` (which is both
+    // quadratic and order-reversing).
+    let front_end_failures = parse_errors
+        .iter()
+        .map(|e| valuecheck::harden::FailureRecord {
+            stage: valuecheck::harden::FailStage::Parse,
+            file: e.file().to_string(),
+            function: e.function().map(str::to_string),
+            message: e.to_string(),
+        });
+    analysis
+        .report
+        .failures
+        .splice(0..0, front_end_failures.collect::<Vec<_>>());
     eprintln!(
         "vcheck: {} unused definitions, {} cross-scope, {} pruned, {} reported",
         analysis.raw_candidates,

@@ -263,7 +263,10 @@ pub fn detect_function_budgeted(
                             info: info.clone(),
                             synthetic: local.kind == LocalKind::Synthetic,
                             unused_attr: local.unused_attr,
-                            low_confidence: facts.exhausted,
+                            // Degraded facts (budget exhaustion) and degraded
+                            // source (parse recovery) both keep the candidate
+                            // at reduced confidence rather than dropping it.
+                            low_confidence: facts.exhausted || f.recovered,
                         });
                     }
                 }

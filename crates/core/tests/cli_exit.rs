@@ -1,0 +1,130 @@
+//! Exit-code contract of the `vcheck` binary under parse recovery.
+//!
+//! `vcheck` exits 0 with no findings, 1 with findings, 2 on usage/load
+//! errors. The error-recovering front end must leave that contract intact:
+//! a corrupted function is skipped (function-granular diagnostic, exit
+//! decided by the surviving code), while a project where *nothing* parses
+//! is still a hard load error.
+
+use std::{
+    fs,
+    path::PathBuf,
+    process::{Command, Output},
+};
+
+/// One planted cross-scope finding: the library retval is overwritten
+/// before use, which the retval rule reports under any history.
+const BUGGY_FN: &str = "int lib_a(void);\n\
+                        int has_bug(void) {\n\
+                        int got = lib_a();\n\
+                        got = 2;\n\
+                        return got;\n\
+                        }\n";
+
+/// A clean function that produces no findings.
+const CLEAN_FN: &str = "int clean_fn(void) { return 1; }\n";
+
+/// A function whose signature does not parse: recovery drops it alone.
+const MANGLED_FN: &str = "vc_mangled_t broken_fn(void) {\n\
+                          int x = 1;\n\
+                          return x;\n\
+                          }\n";
+
+fn project(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vc-cli-exit-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    for (file, text) in files {
+        fs::write(dir.join(file), text).unwrap();
+    }
+    dir
+}
+
+fn vcheck(dir: &PathBuf) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vcheck"))
+        .arg(dir)
+        .output()
+        .expect("vcheck runs")
+}
+
+#[test]
+fn all_files_failing_to_parse_is_a_load_error() {
+    let dir = project(
+        "allbad",
+        &[
+            ("junk1.c", "@@ $$ ?? nothing lexes here ~~\n"),
+            ("junk2.c", "%% ## also garbage $$\n"),
+        ],
+    );
+    let out = vcheck(&dir);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("every source file failed to parse"),
+        "stderr: {stderr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn surviving_findings_still_exit_one_and_name_the_skipped_function() {
+    let dir = project("mixed", &[("a.c", &format!("{BUGGY_FN}{MANGLED_FN}"))]);
+    let out = vcheck(&dir);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "the surviving planted bug decides the exit code; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("skipping function broken_fn"),
+        "function-granular skip diagnostic; stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("skipping file"),
+        "a one-function corruption must not read as a skipped file; stderr: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("has_bug"), "stdout: {stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn surviving_clean_code_still_exits_zero() {
+    let dir = project("cleanish", &[("a.c", &format!("{CLEAN_FN}{MANGLED_FN}"))]);
+    let out = vcheck(&dir);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "no findings in the surviving code; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn whole_file_loss_uses_the_file_level_diagnostic() {
+    let dir = project(
+        "onegood",
+        &[("good.c", BUGGY_FN), ("junk.c", "@@ $$ ?? garbage ~~\n")],
+    );
+    let out = vcheck(&dir);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("skipping file") && stderr.contains("junk.c"),
+        "stderr: {stderr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -233,6 +233,40 @@ pub enum StmtKind {
     Continue,
     /// A nested block.
     Block(Block),
+    /// A poisoned region: source the parser discarded during error recovery
+    /// (`parse_recovering`). Lowering treats it as a no-op, but its presence
+    /// marks the enclosing function as recovered, so downstream candidates
+    /// degrade to `low_confidence`.
+    Error,
+}
+
+impl Block {
+    /// Number of poisoned [`StmtKind::Error`] nodes in this block, nested
+    /// blocks included. Nonzero exactly when the enclosing function was
+    /// rebuilt by parse recovery.
+    pub fn poisoned_count(&self) -> usize {
+        fn in_stmt(s: &Stmt) -> usize {
+            match &s.kind {
+                StmtKind::Error => 1,
+                StmtKind::If { then, els, .. } => {
+                    then.poisoned_count() + els.as_ref().map_or(0, Block::poisoned_count)
+                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                    body.poisoned_count()
+                }
+                StmtKind::For { init, body, .. } => {
+                    init.as_deref().map_or(0, in_stmt) + body.poisoned_count()
+                }
+                StmtKind::Switch { cases, default, .. } => {
+                    cases.iter().map(|c| c.body.poisoned_count()).sum::<usize>()
+                        + default.as_ref().map_or(0, Block::poisoned_count)
+                }
+                StmtKind::Block(b) => b.poisoned_count(),
+                _ => 0,
+            }
+        }
+        self.stmts.iter().map(in_stmt).sum()
+    }
 }
 
 /// An expression with its span.

@@ -402,6 +402,11 @@ pub struct Function {
     /// in the source of this function, whether or not those statements were
     /// compiled under the active configuration (paper §5.1).
     pub guarded_mentions: std::collections::BTreeSet<String>,
+    /// True when the body came out of parse recovery with poisoned
+    /// ([`crate::ast::StmtKind::Error`]) regions: part of the source was
+    /// discarded, so the detector marks this function's candidates
+    /// `low_confidence`.
+    pub recovered: bool,
 }
 
 impl Function {

@@ -72,6 +72,64 @@ pub fn lex(file: FileId, src: &str) -> Result<Vec<Token>, LexError> {
     }
 }
 
+/// Lexes `src` like [`lex`], but never gives up: every region that fails to
+/// tokenise is surfaced as a [`TokenKind::Error`] token and its diagnostic is
+/// collected, so the parser can recover past bad bytes instead of losing the
+/// whole file.
+///
+/// A string literal broken by a raw newline errors *at* the newline without
+/// consuming it, so recovery resumes on the next source line.
+///
+/// # Examples
+///
+/// ```
+/// use vc_ir::{lexer::lex_recovering, span::FileId, token::TokenKind};
+/// let (toks, errs) = lex_recovering(FileId(0), "int x = \"oops\nint y;");
+/// assert_eq!(errs.len(), 1);
+/// assert!(toks.iter().any(|t| matches!(t.kind, TokenKind::Error)));
+/// // Lexing resumed on the next line:
+/// assert!(toks.iter().any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "y")));
+/// ```
+pub fn lex_recovering(file: FileId, src: &str) -> (Vec<Token>, Vec<LexError>) {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        file,
+    };
+    let mut out = Vec::new();
+    let mut errors = Vec::new();
+    loop {
+        let before = lx.pos;
+        match lx.next_token() {
+            Ok(tok) => {
+                let done = matches!(tok.kind, TokenKind::Eof);
+                out.push(tok);
+                if done {
+                    return (out, errors);
+                }
+            }
+            Err(e) => {
+                let start = e.span.start;
+                errors.push(e);
+                // Guarantee progress even for a zero-consumption error.
+                if lx.pos == before {
+                    lx.bump();
+                }
+                out.push(Token {
+                    kind: TokenKind::Error,
+                    span: Span {
+                        file,
+                        start,
+                        end: lx.here(),
+                    },
+                });
+            }
+        }
+    }
+}
+
 impl<'a> Lexer<'a> {
     fn here(&self) -> LineCol {
         LineCol::new(self.line, self.col)
@@ -209,16 +267,25 @@ impl<'a> Lexer<'a> {
         self.bump(); // Opening quote.
         let mut s = String::new();
         loop {
-            match self.bump() {
-                None => return Err(self.error(start, "unterminated string literal")),
-                Some(b'"') => break,
+            match self.peek() {
+                // A raw newline cannot appear in a MiniC string; leaving it
+                // unconsumed lets `lex_recovering` resume on the next line.
+                None | Some(b'\n') => return Err(self.error(start, "unterminated string literal")),
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
                 Some(b'\\') => {
+                    self.bump();
                     let esc = self
                         .bump()
                         .ok_or_else(|| self.error(start, "unterminated escape"))?;
                     s.push(unescape(esc) as char);
                 }
-                Some(c) => s.push(c as char),
+                Some(c) => {
+                    self.bump();
+                    s.push(c as char);
+                }
             }
         }
         Ok(self.token(start, TokenKind::Str(s)))
@@ -503,6 +570,49 @@ mod tests {
     #[test]
     fn rejects_unknown_directive() {
         assert!(lex(FileId(0), "#include <stdio.h>").is_err());
+    }
+
+    #[test]
+    fn recovering_collects_every_error_and_keeps_lexing() {
+        let (toks, errs) = lex_recovering(FileId(0), "int a;\n@@ $$\n#include <x>\nint b;\n");
+        // `@`, `$` twice each plus the unsupported directive.
+        assert_eq!(errs.len(), 5);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokenKind::Error))
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn recovering_unterminated_string_resumes_next_line() {
+        let (toks, errs) = lex_recovering(FileId(0), "log(\"oops;\nint keep = 1;\n");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unterminated string"));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "keep")));
+    }
+
+    #[test]
+    fn recovering_matches_strict_lex_on_clean_input() {
+        let src = "int f(void) { return 0x10; } /* c */ #ifdef A\n#endif";
+        let strict = lex(FileId(0), src).unwrap();
+        let (toks, errs) = lex_recovering(FileId(0), src);
+        assert!(errs.is_empty());
+        assert_eq!(strict.len(), toks.len());
+        for (a, b) in strict.iter().zip(&toks) {
+            assert_eq!(a.kind, b.kind);
+        }
     }
 
     #[test]

@@ -156,6 +156,7 @@ pub fn lower_function(ctx: &LowerCtx<'_>, def: &FuncDef) -> Result<Function, Low
         span: def.span,
         return_spans: lw.return_spans,
         guarded_mentions: collect_guarded_mentions(&def.body),
+        recovered: def.body.poisoned_count() > 0,
     })
 }
 
@@ -583,6 +584,9 @@ impl<'a, 'b> FuncLowerer<'a, 'b> {
                 Ok(())
             }
             StmtKind::Block(b) => self.lower_block(b),
+            // A poisoned recovery region lowers to nothing; the surviving
+            // function is flagged `recovered` instead.
+            StmtKind::Error => Ok(()),
         }
     }
 

@@ -4,6 +4,14 @@
 //! paper discusses: struct field writes, pointer/cursor idioms (`*o++ = c`),
 //! ignored return values, `(void)` casts, `unused` attributes, and
 //! preprocessor-guarded statements.
+//!
+//! Two entry points share the grammar: [`parse`] fails on the first error,
+//! while [`parse_recovering`] performs panic-mode recovery with two
+//! synchronization sets. Inside a function body an error discards to the
+//! next `;` or `}` at the current brace depth and leaves a poisoned
+//! [`StmtKind::Error`] node; at top level an error discards to the next
+//! item-start keyword (or past a balanced `{...}`), so one mangled function
+//! or struct drops only itself.
 
 use crate::{
     ast::{
@@ -25,7 +33,11 @@ use crate::{
         SwitchCase,
         UnOp, //
     },
-    lexer::lex,
+    lexer::{
+        lex,
+        lex_recovering,
+        LexError, //
+    },
     span::{
         FileId,
         Span, //
@@ -78,14 +90,91 @@ pub fn parse(file: FileId, src: &str) -> Result<Module, ParseError> {
         tokens,
         pos: 0,
         guards: Vec::new(),
+        recovery: None,
     };
     p.module()
+}
+
+/// One diagnostic collected during error recovery.
+#[derive(Clone, Debug)]
+pub struct RecoveredDiag {
+    /// The underlying parse error.
+    pub error: ParseError,
+    /// The function the error was attributed to: the enclosing function for
+    /// a statement-level recovery, or a best-effort guess (the first
+    /// `ident (` in the discarded region) for a dropped top-level item.
+    pub function: Option<String>,
+    /// True when the whole enclosing top-level item was discarded; false
+    /// when recovery kept the item and poisoned only a statement region.
+    pub dropped_item: bool,
+}
+
+/// Result of [`parse_with_recovery`]: whatever could be salvaged, plus every
+/// diagnostic encountered along the way.
+#[derive(Clone, Debug)]
+pub struct Recovered {
+    /// The surviving items. Function bodies may contain poisoned
+    /// [`StmtKind::Error`] statements (see [`crate::ast::Block::poisoned_count`]).
+    pub module: Module,
+    /// Every lexical diagnostic, in source order.
+    pub lex_errors: Vec<LexError>,
+    /// Every parse diagnostic with its recovery fate.
+    pub diags: Vec<RecoveredDiag>,
+}
+
+/// Parses with panic-mode error recovery, never failing outright: lexing
+/// uses [`lex_recovering`], statement errors poison only the region up to
+/// the next `;`/`}` at the current brace depth, and top-level errors drop
+/// only the offending item.
+///
+/// # Examples
+///
+/// ```
+/// use vc_ir::{parser::parse_recovering, span::FileId};
+/// let src = "int ok(void) { return 1; }\nint broken(void) { int x = $$; use(x); }";
+/// let (m, errs) = parse_recovering(FileId(0), src);
+/// assert_eq!(m.items.len(), 2); // both functions survive
+/// assert!(!errs.is_empty());
+/// ```
+pub fn parse_recovering(file: FileId, src: &str) -> (Module, Vec<ParseError>) {
+    let r = parse_with_recovery(file, src);
+    let mut errors: Vec<ParseError> = r.lex_errors.into_iter().map(ParseError::from).collect();
+    errors.extend(r.diags.into_iter().map(|d| d.error));
+    (r.module, errors)
+}
+
+/// Like [`parse_recovering`], but keeps lex and parse diagnostics separate
+/// and records each parse error's recovery fate (function attribution,
+/// dropped vs. poisoned) for per-function failure reporting.
+pub fn parse_with_recovery(file: FileId, src: &str) -> Recovered {
+    let (tokens, lex_errors) = lex_recovering(file, src);
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        guards: Vec::new(),
+        recovery: Some(RecoveryState::default()),
+    };
+    let module = p
+        .module()
+        .expect("recovery-mode module() never fails outright");
+    Recovered {
+        module,
+        lex_errors,
+        diags: p.recovery.expect("recovery state intact").diags,
+    }
+}
+
+#[derive(Default)]
+struct RecoveryState {
+    diags: Vec<RecoveredDiag>,
+    current_func: Option<String>,
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     guards: Vec<Guard>,
+    recovery: Option<RecoveryState>,
 }
 
 impl Parser {
@@ -153,8 +242,155 @@ impl Parser {
         }
     }
 
+    // ----- Error recovery -----------------------------------------------
+
+    fn recovering(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    fn current_func(&self) -> Option<String> {
+        self.recovery.as_ref().and_then(|r| r.current_func.clone())
+    }
+
+    fn record(&mut self, error: ParseError, function: Option<String>, dropped_item: bool) {
+        if let Some(r) = &mut self.recovery {
+            r.diags.push(RecoveredDiag {
+                error,
+                function,
+                dropped_item,
+            });
+        }
+    }
+
+    /// Applies one preprocessor-directive token to the guard stack without
+    /// ever failing; used while skipping a discarded region so guard
+    /// bookkeeping stays balanced across the recovery.
+    fn apply_directive_tolerant(&mut self, kind: &TokenKind) {
+        match kind {
+            TokenKind::HashIf(s) => self.guards.push(Guard::Defined(s.clone())),
+            TokenKind::HashIfNot(s) => self.guards.push(Guard::NotDefined(s.clone())),
+            TokenKind::HashElse => {
+                if let Some(top) = self.guards.pop() {
+                    self.guards.push(top.negate());
+                }
+            }
+            TokenKind::HashEndif => {
+                self.guards.pop();
+            }
+            _ => {}
+        }
+    }
+
+    /// Statement-level synchronization: skips to the next `;` (consumed) or
+    /// the `}` closing the current brace depth (left in place), counting
+    /// braces opened inside the discarded region. Fails only at end of
+    /// input, in which case the enclosing item is beyond saving.
+    fn sync_stmt(&mut self) -> Result<(), ParseError> {
+        let mut depth = 0usize;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => {
+                    return Err(self.error("unexpected end of input inside block"));
+                }
+                TokenKind::Semi if depth == 0 => {
+                    self.bump();
+                    return Ok(());
+                }
+                TokenKind::RBrace if depth == 0 => return Ok(()),
+                TokenKind::RBrace => {
+                    depth -= 1;
+                    self.bump();
+                }
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                dir @ (TokenKind::HashIf(_)
+                | TokenKind::HashIfNot(_)
+                | TokenKind::HashElse
+                | TokenKind::HashEndif) => {
+                    self.apply_directive_tolerant(&dir);
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Top-level synchronization: skips to the next item-start keyword at
+    /// zero brace/paren depth, past the `}` closing the broken item's body,
+    /// or past a stray top-level `;`. Parens are tracked so a mangled
+    /// signature does not resynchronize inside its own parameter list.
+    fn sync_top_level(&mut self, failed_at: usize) {
+        if self.pos == failed_at && !matches!(self.peek(), TokenKind::Eof) {
+            self.bump();
+        }
+        let mut braces = 0usize;
+        let mut parens = 0usize;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => return,
+                TokenKind::LBrace => {
+                    braces += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace => {
+                    self.bump();
+                    if braces <= 1 {
+                        return;
+                    }
+                    braces -= 1;
+                }
+                TokenKind::LParen => {
+                    parens += 1;
+                    self.bump();
+                }
+                TokenKind::RParen => {
+                    parens = parens.saturating_sub(1);
+                    self.bump();
+                }
+                TokenKind::Semi if braces == 0 && parens == 0 => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::KwStatic if braces == 0 && parens == 0 => return,
+                _ if braces == 0 && parens == 0 && self.at_type_start() => return,
+                dir @ (TokenKind::HashIf(_)
+                | TokenKind::HashIfNot(_)
+                | TokenKind::HashElse
+                | TokenKind::HashEndif) => {
+                    self.apply_directive_tolerant(&dir);
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Best-effort name for a dropped item: the first identifier directly
+    /// followed by `(` in the discarded token range.
+    fn guess_func_name(&self, from: usize) -> Option<String> {
+        let to = self.pos.min(self.tokens.len());
+        for i in from..to {
+            if let TokenKind::Ident(name) = &self.tokens[i].kind {
+                if matches!(
+                    self.tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::LParen)
+                ) {
+                    return Some(name.clone());
+                }
+            }
+        }
+        None
+    }
+
     /// Consumes any preprocessor directives at the current position,
-    /// updating the guard stack. Returns an error on unbalanced `#endif`.
+    /// updating the guard stack. Returns an error on unbalanced `#endif`
+    /// (recorded as a diagnostic instead when recovering).
     fn drain_directives(&mut self) -> Result<(), ParseError> {
         loop {
             match self.peek().clone() {
@@ -168,17 +404,27 @@ impl Parser {
                 }
                 TokenKind::HashElse => {
                     self.bump();
-                    let top = self
-                        .guards
-                        .pop()
-                        .ok_or_else(|| self.error("#else without matching #if"))?;
-                    self.guards.push(top.negate());
+                    match self.guards.pop() {
+                        Some(top) => self.guards.push(top.negate()),
+                        None if self.recovering() => {
+                            let e = self.error("#else without matching #if");
+                            let f = self.current_func();
+                            self.record(e, f, false);
+                        }
+                        None => return Err(self.error("#else without matching #if")),
+                    }
                 }
                 TokenKind::HashEndif => {
                     self.bump();
-                    self.guards
-                        .pop()
-                        .ok_or_else(|| self.error("#endif without matching #if"))?;
+                    if self.guards.pop().is_none() {
+                        if self.recovering() {
+                            let e = self.error("#endif without matching #if");
+                            let f = self.current_func();
+                            self.record(e, f, false);
+                        } else {
+                            return Err(self.error("#endif without matching #if"));
+                        }
+                    }
                 }
                 _ => return Ok(()),
             }
@@ -193,11 +439,29 @@ impl Parser {
             self.drain_directives()?;
             if matches!(self.peek(), TokenKind::Eof) {
                 if !self.guards.is_empty() {
-                    return Err(self.error("unterminated #if at end of file"));
+                    if self.recovering() {
+                        let e = self.error("unterminated #if at end of file");
+                        self.record(e, None, false);
+                        self.guards.clear();
+                    } else {
+                        return Err(self.error("unterminated #if at end of file"));
+                    }
                 }
                 return Ok(Module { items });
             }
-            items.push(self.item()?);
+            if self.recovering() {
+                let item_start = self.pos;
+                match self.item() {
+                    Ok(item) => items.push(item),
+                    Err(e) => {
+                        self.sync_top_level(item_start);
+                        let function = self.guess_func_name(item_start);
+                        self.record(e, function, true);
+                    }
+                }
+            } else {
+                items.push(self.item()?);
+            }
         }
     }
 
@@ -289,7 +553,14 @@ impl Parser {
                 span,
             }));
         }
-        let body = self.block()?;
+        if let Some(r) = &mut self.recovery {
+            r.current_func = Some(name.clone());
+        }
+        let body = self.block();
+        if let Some(r) = &mut self.recovery {
+            r.current_func = None;
+        }
+        let body = body?;
         Ok(Item::Func(FuncDef {
             name,
             ret,
@@ -406,19 +677,53 @@ impl Parser {
     fn block(&mut self) -> Result<Block, ParseError> {
         self.expect(TokenKind::LBrace)?;
         let depth = self.guards.len();
+        let saved_guards = self.recovering().then(|| self.guards.clone());
         let mut stmts = Vec::new();
         loop {
             self.drain_directives()?;
             if self.eat(&TokenKind::RBrace) {
                 if self.guards.len() != depth {
-                    return Err(self.error("#if not terminated before end of block"));
+                    match &saved_guards {
+                        Some(saved) => {
+                            let e = self.error("#if not terminated before end of block");
+                            let f = self.current_func();
+                            self.record(e, f, false);
+                            self.guards = saved.clone();
+                        }
+                        None => {
+                            return Err(self.error("#if not terminated before end of block"));
+                        }
+                    }
                 }
                 return Ok(Block { stmts });
             }
             if matches!(self.peek(), TokenKind::Eof) {
                 return Err(self.error("unexpected end of input inside block"));
             }
-            stmts.push(self.stmt()?);
+            if self.recovering() {
+                let start = self.span();
+                match self.stmt() {
+                    Ok(s) => stmts.push(s),
+                    Err(e) => {
+                        // Panic-mode recovery: discard to the sync point and
+                        // poison the region. An Eof during the sync means the
+                        // whole item is beyond saving — bubble the original
+                        // error so the item is dropped instead.
+                        if self.sync_stmt().is_err() {
+                            return Err(e);
+                        }
+                        let f = self.current_func();
+                        self.record(e, f, false);
+                        stmts.push(Stmt {
+                            kind: StmtKind::Error,
+                            span: start.to(self.prev_span()),
+                            guards: self.guards.clone(),
+                        });
+                    }
+                }
+            } else {
+                stmts.push(self.stmt()?);
+            }
         }
     }
 
@@ -1224,6 +1529,124 @@ mod tests {
         let m = parse_ok("void f(int n) { do { n = n - 1; } while (n > 0); }");
         let f = only_func(&m);
         assert!(matches!(f.body.stmts[0].kind, StmtKind::DoWhile { .. }));
+    }
+
+    // ----- Error recovery ------------------------------------------------
+
+    fn func_names(m: &Module) -> Vec<&str> {
+        m.items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Func(f) => Some(f.name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_on_clean_input_matches_strict_parse() {
+        let src = "struct p { int x; };\nint g = 1;\nint f(int a) { if (a) { return g; } \
+                   return a; }\n";
+        let strict = parse(FileId(0), src).unwrap();
+        let r = parse_with_recovery(FileId(0), src);
+        assert!(r.lex_errors.is_empty());
+        assert!(r.diags.is_empty());
+        assert_eq!(strict.items.len(), r.module.items.len());
+    }
+
+    #[test]
+    fn recovery_poisons_one_statement_and_keeps_the_rest() {
+        let src = "int f(void) {\n int a = 1;\n int b = $$;\n use(a);\n return a;\n}\n";
+        let r = parse_with_recovery(FileId(0), src);
+        assert_eq!(func_names(&r.module), vec!["f"]);
+        let Item::Func(f) = &r.module.items[0] else {
+            panic!("expected a function");
+        };
+        // a-decl, poisoned region, use(a), return — the bad decl is replaced.
+        assert_eq!(f.body.poisoned_count(), 1);
+        assert_eq!(f.body.stmts.len(), 4);
+        assert!(matches!(f.body.stmts[1].kind, StmtKind::Error));
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].function.as_deref(), Some("f"));
+        assert!(!r.diags[0].dropped_item);
+    }
+
+    #[test]
+    fn recovery_drops_only_the_mangled_item() {
+        let src = "int ok_before(void) { return 1; }\n\
+                   garbled mangled_fn(int a, int b) { return a + b; }\n\
+                   int ok_after(void) { return 2; }\n";
+        let r = parse_with_recovery(FileId(0), src);
+        assert_eq!(func_names(&r.module), vec!["ok_before", "ok_after"]);
+        assert_eq!(r.diags.len(), 1);
+        assert!(r.diags[0].dropped_item);
+        assert_eq!(r.diags[0].function.as_deref(), Some("mangled_fn"));
+    }
+
+    #[test]
+    fn recovery_truncated_file_drops_only_the_last_function() {
+        let src = "int ok(void) { return 1; }\nint broken(void) { int x = 1;\n";
+        let r = parse_with_recovery(FileId(0), src);
+        assert_eq!(func_names(&r.module), vec!["ok"]);
+        assert_eq!(r.diags.len(), 1);
+        assert!(r.diags[0].dropped_item);
+        assert_eq!(r.diags[0].function.as_deref(), Some("broken"));
+    }
+
+    #[test]
+    fn recovery_survives_unterminated_string() {
+        let src = "void f(void) {\n log(\"oops;\n int keep = 1;\n use(keep);\n}\n";
+        let r = parse_with_recovery(FileId(0), src);
+        assert_eq!(func_names(&r.module), vec!["f"]);
+        assert_eq!(r.lex_errors.len(), 1);
+        let Item::Func(f) = &r.module.items[0] else {
+            panic!("expected a function");
+        };
+        assert!(f.body.poisoned_count() >= 1);
+        // Recovery synchronizes at the first `;` after the bad string, so
+        // the statement following that survives.
+        assert!(f
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(&s.kind, StmtKind::Expr(Expr {
+            kind: ExprKind::Call { callee, .. },
+            ..
+        }) if callee == "use")));
+    }
+
+    #[test]
+    fn recovery_keeps_guard_attribution_after_poisoned_region() {
+        let src = "void f(void) {\n int a = $$;\n#ifdef A\n use(a);\n#endif\n}\n";
+        let r = parse_with_recovery(FileId(0), src);
+        let Item::Func(f) = &r.module.items[0] else {
+            panic!("expected a function");
+        };
+        let guarded = f
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::Expr(_)))
+            .expect("use(a) survives");
+        assert_eq!(guarded.guards, vec![Guard::Defined("A".into())]);
+    }
+
+    #[test]
+    fn recovery_collects_multiple_errors_in_one_file() {
+        let src = "int f(void) { int a = $$; return a; }\n\
+                   garbled g_fn(void) { return 1; }\n\
+                   int h(void) { int b = $$; return b; }\n";
+        let r = parse_with_recovery(FileId(0), src);
+        assert_eq!(func_names(&r.module), vec!["f", "h"]);
+        assert_eq!(r.diags.len(), 3);
+        assert_eq!(r.diags.iter().filter(|d| d.dropped_item).count(), 1);
+    }
+
+    #[test]
+    fn recovery_of_whole_garbage_file_yields_empty_module() {
+        let r = parse_with_recovery(FileId(0), "@@ %% ?? garbage ## $$\n");
+        assert!(r.module.items.is_empty());
+        assert!(!r.lex_errors.is_empty() || !r.diags.is_empty());
     }
 
     #[test]

@@ -285,6 +285,10 @@ fn stmt_to_source(s: &Stmt, depth: usize, out: &mut String) {
             indent(depth, out);
             out.push_str("}\n");
         }
+        StmtKind::Error => {
+            indent(depth, out);
+            out.push_str("/* poisoned by parse recovery */;\n");
+        }
     }
 }
 

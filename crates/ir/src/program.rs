@@ -27,6 +27,7 @@ use crate::{
     },
     parser::{
         parse,
+        parse_with_recovery,
         ParseError, //
     },
     span::{
@@ -96,10 +97,15 @@ impl SourceMap {
 /// An error raised while building a program.
 #[derive(Debug)]
 pub enum BuildError {
-    /// A file failed to parse.
+    /// A parse failure. With recovery enabled this is function-granular:
+    /// `function: Some(..)` means only that item was dropped (or survived
+    /// with poisoned statements); `None` means the whole file was lost.
     Parse {
         /// The offending file.
         file: String,
+        /// The function the failure was attributed to, when recovery could
+        /// isolate it to one item.
+        function: Option<String>,
         /// The underlying error.
         error: ParseError,
     },
@@ -107,21 +113,57 @@ pub enum BuildError {
     Lower {
         /// The offending file.
         file: String,
+        /// The offending function.
+        function: String,
         /// The underlying error.
         error: LowerError,
     },
 }
 
+impl BuildError {
+    /// The file the error names.
+    pub fn file(&self) -> &str {
+        match self {
+            BuildError::Parse { file, .. } | BuildError::Lower { file, .. } => file,
+        }
+    }
+
+    /// The function the error is scoped to, if it is function-granular.
+    pub fn function(&self) -> Option<&str> {
+        match self {
+            BuildError::Parse { function, .. } => function.as_deref(),
+            BuildError::Lower { function, .. } => Some(function),
+        }
+    }
+}
+
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildError::Parse { file, error } => write!(f, "{file}: {error}"),
-            BuildError::Lower { file, error } => write!(f, "{file}: {error}"),
+            BuildError::Parse { file, error, .. } => write!(f, "{file}: {error}"),
+            BuildError::Lower { file, error, .. } => write!(f, "{file}: {error}"),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+/// Aggregate statistics from one [`Program::build_recovering`] run; mirrored
+/// into the `recover.*` counters by `vcheck`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoverStats {
+    /// Lexical diagnostics collected across all files.
+    pub lex_errors: u64,
+    /// Parse diagnostics collected across all files.
+    pub parse_errors: u64,
+    /// Poisoned [`crate::ast::StmtKind::Error`] regions in surviving
+    /// functions.
+    pub poisoned_stmts: u64,
+    /// Top-level items dropped from files that otherwise survived.
+    pub functions_dropped: u64,
+    /// Files whose recovery salvaged nothing.
+    pub files_dropped: u64,
+}
 
 /// A compiled program: all lowered functions plus program-wide tables.
 #[derive(Clone, Debug, Default)]
@@ -169,6 +211,7 @@ impl Program {
             let id = map.add((*name).to_string(), (*src).to_string());
             let module = parse(id, src).map_err(|error| BuildError::Parse {
                 file: (*name).to_string(),
+                function: None,
                 error,
             })?;
             modules.push(((*name).to_string(), module));
@@ -176,34 +219,119 @@ impl Program {
         Self::assemble(map, modules, defines, None)
     }
 
-    /// Fault-tolerant [`build`](Self::build): a file that fails to parse or
-    /// a function that fails to lower is skipped and its error collected,
-    /// instead of aborting the whole build. Every source file is still
-    /// registered in the [`SourceMap`] (so file ids and report paths stay
-    /// stable); only the malformed file's items are dropped.
+    /// Fault-tolerant [`build`](Self::build): parsing recovers at statement
+    /// and item granularity ([`parse_with_recovery`]), and a function that
+    /// fails to lower is skipped with its error collected, instead of
+    /// aborting the whole build. Every source file is still registered in
+    /// the [`SourceMap`] (so file ids and report paths stay stable); one
+    /// mangled function costs only itself.
     ///
-    /// Returns the partial program plus one [`BuildError`] per skipped file
-    /// or function, in input order.
+    /// Returns the partial program plus one [`BuildError`] per corrupted
+    /// function (or per file when nothing in it was salvageable), in input
+    /// order.
     pub fn build_lenient(
         sources: &[(&str, &str)],
         defines: &[String],
     ) -> (Program, Vec<BuildError>) {
+        let (prog, errors, _) = Self::build_recovering(sources, defines);
+        (prog, errors)
+    }
+
+    /// [`build_lenient`](Self::build_lenient) plus the [`RecoverStats`]
+    /// funnel describing what recovery had to do.
+    ///
+    /// Error granularity per file:
+    /// - recovery salvaged nothing → one file-level `Parse` error
+    ///   (`function: None`);
+    /// - a top-level item was dropped → one `Parse` error naming the item's
+    ///   function when it could be guessed;
+    /// - a function survived with poisoned statement regions → one `Parse`
+    ///   error naming it (it still lowers, marked
+    ///   [`recovered`](crate::ir::Function::recovered));
+    /// - a surviving function fails to lower → one `Lower` error naming it.
+    pub fn build_recovering(
+        sources: &[(&str, &str)],
+        defines: &[String],
+    ) -> (Program, Vec<BuildError>, RecoverStats) {
         let mut map = SourceMap::default();
         let mut modules = Vec::new();
         let mut errors = Vec::new();
+        let mut stats = RecoverStats::default();
         for (name, src) in sources {
             let id = map.add((*name).to_string(), (*src).to_string());
-            match parse(id, src) {
-                Ok(module) => modules.push(((*name).to_string(), module)),
-                Err(error) => errors.push(BuildError::Parse {
+            let rec = parse_with_recovery(id, src);
+            stats.lex_errors += rec.lex_errors.len() as u64;
+            stats.parse_errors += rec.diags.len() as u64;
+
+            if rec.module.items.is_empty() && !(rec.diags.is_empty() && rec.lex_errors.is_empty()) {
+                // Nothing salvaged: collapse every diagnostic into one
+                // file-level failure, as before recovery existed.
+                stats.files_dropped += 1;
+                let error = rec
+                    .diags
+                    .into_iter()
+                    .next()
+                    .map(|d| d.error)
+                    .unwrap_or_else(|| {
+                        ParseError::from(
+                            rec.lex_errors
+                                .into_iter()
+                                .next()
+                                .expect("either a lex or a parse diagnostic exists"),
+                        )
+                    });
+                errors.push(BuildError::Parse {
                     file: (*name).to_string(),
+                    function: None,
                     error,
-                }),
+                });
+                continue;
             }
+
+            // One error per dropped item; for functions that survived with
+            // poisoned regions, remember the first diagnostic per function.
+            let mut poisoned_first: HashMap<String, ParseError> = HashMap::new();
+            for d in rec.diags {
+                if d.dropped_item {
+                    stats.functions_dropped += 1;
+                    errors.push(BuildError::Parse {
+                        file: (*name).to_string(),
+                        function: d.function,
+                        error: d.error,
+                    });
+                } else {
+                    match d.function {
+                        Some(f) => {
+                            poisoned_first.entry(f).or_insert(d.error);
+                        }
+                        None => errors.push(BuildError::Parse {
+                            file: (*name).to_string(),
+                            function: None,
+                            error: d.error,
+                        }),
+                    }
+                }
+            }
+            for item in &rec.module.items {
+                if let Item::Func(f) = item {
+                    stats.poisoned_stmts += f.body.poisoned_count() as u64;
+                    if let Some(error) = poisoned_first.remove(&f.name) {
+                        errors.push(BuildError::Parse {
+                            file: (*name).to_string(),
+                            function: Some(f.name.clone()),
+                            error,
+                        });
+                    }
+                }
+            }
+            // Diagnostics attributed to a function whose item was dropped
+            // afterwards stay covered by that item's single dropped error.
+
+            modules.push(((*name).to_string(), rec.module));
         }
         let prog = Self::assemble(map, modules, defines, Some(&mut errors))
             .expect("lenient assembly collects errors instead of failing");
-        (prog, errors)
+        (prog, errors, stats)
     }
 
     /// Builds a program from already-parsed modules.
@@ -286,6 +414,7 @@ impl Program {
                         Err(error) => {
                             let err = BuildError::Lower {
                                 file: name.clone(),
+                                function: f.name.clone(),
                                 error,
                             };
                             match errors.as_deref_mut() {
@@ -422,6 +551,61 @@ mod tests {
         assert!(matches!(&errors[0], BuildError::Parse { .. }));
         // All three files keep their SourceMap slots.
         assert_eq!(prog.source.len(), 3);
+    }
+
+    #[test]
+    fn recovering_build_keeps_healthy_functions_of_a_corrupted_file() {
+        let (prog, errors, stats) = Program::build_recovering(
+            &[(
+                "mixed.c",
+                "int ok(void) { return 1; }\n\
+                 int poisoned(void) { int x = $$; return 0; }\n\
+                 garbled dropped_fn(void) { return 2; }\n\
+                 int also_ok(void) { return 3; }\n",
+            )],
+            &[],
+        );
+        assert!(prog.defines_function("ok"));
+        assert!(prog.defines_function("also_ok"));
+        assert!(prog.defines_function("poisoned"));
+        assert!(!prog.defines_function("dropped_fn"));
+        assert!(prog.func_by_name("poisoned").unwrap().recovered);
+        assert!(!prog.func_by_name("ok").unwrap().recovered);
+        // Exactly one error per corrupted function, none for healthy ones.
+        let funcs: Vec<_> = errors.iter().map(|e| e.function()).collect();
+        assert_eq!(funcs, vec![Some("dropped_fn"), Some("poisoned")]);
+        assert_eq!(stats.functions_dropped, 1);
+        assert_eq!(stats.poisoned_stmts, 1);
+        assert_eq!(stats.files_dropped, 0);
+        assert_eq!(stats.lex_errors, 2);
+        assert_eq!(stats.parse_errors, 2);
+    }
+
+    #[test]
+    fn recovering_build_collapses_a_hopeless_file_to_one_error() {
+        let (prog, errors, stats) = Program::build_recovering(
+            &[
+                ("junk.c", "@@ %% ?? garbage ## $$\n"),
+                ("good.c", "int fine(void) { return 1; }"),
+            ],
+            &[],
+        );
+        assert_eq!(prog.funcs.len(), 1);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].file(), "junk.c");
+        assert_eq!(errors[0].function(), None);
+        assert_eq!(stats.files_dropped, 1);
+        assert_eq!(stats.functions_dropped, 0);
+    }
+
+    #[test]
+    fn recovering_build_is_clean_on_clean_input() {
+        let sources = [("a.c", "int f(void) { if (1) { return 1; } return 0; }")];
+        let (prog, errors, stats) = Program::build_recovering(&sources, &[]);
+        assert!(errors.is_empty());
+        assert_eq!(stats, RecoverStats::default());
+        assert_eq!(prog.funcs.len(), 1);
+        assert!(!prog.funcs[0].recovered);
     }
 
     #[test]

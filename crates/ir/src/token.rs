@@ -98,6 +98,11 @@ pub enum TokenKind {
     /// `#endif`.
     HashEndif,
 
+    /// A region the lexer could not tokenise. Only produced by
+    /// [`crate::lexer::lex_recovering`]; the strict [`crate::lexer::lex`]
+    /// entry point reports the same region as a hard `LexError` instead.
+    Error,
+
     /// End of input.
     Eof,
 }
@@ -140,6 +145,7 @@ impl TokenKind {
             TokenKind::Int(v) => format!("integer `{v}`"),
             TokenKind::Str(_) => "string literal".into(),
             TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Error => "invalid token".into(),
             TokenKind::Eof => "end of input".into(),
             other => format!("{other:?}"),
         }

@@ -146,6 +146,20 @@ pub const HARDEN_DEGRADED_PRUNE: &str = "harden.degraded.prune";
 pub const HARDEN_DEGRADED_RANK: &str = "harden.degraded.rank";
 
 // ---------------------------------------------------------------------------
+// Parse recovery (error-recovering front end).
+
+/// Regions the lexer could not tokenise (one per `Error` token).
+pub const RECOVER_LEX_ERRORS: &str = "recover.lex_errors";
+/// Parse errors survived by panic-mode recovery.
+pub const RECOVER_PARSE_ERRORS: &str = "recover.parse_errors";
+/// Statements replaced by poisoned placeholder regions.
+pub const RECOVER_POISONED_STMTS: &str = "recover.poisoned_stmts";
+/// Functions dropped whole because recovery could not salvage them.
+pub const RECOVER_FUNCTIONS_DROPPED: &str = "recover.functions_dropped";
+/// Files dropped whole (nothing in them survived recovery).
+pub const RECOVER_FILES_DROPPED: &str = "recover.files_dropped";
+
+// ---------------------------------------------------------------------------
 // Sentinel (supervised parallel executor).
 
 /// Work units enqueued for this run.
@@ -261,6 +275,11 @@ pub const ALL: &[&str] = &[
     HARDEN_DEGRADED_POINTER,
     HARDEN_DEGRADED_PRUNE,
     HARDEN_DEGRADED_RANK,
+    RECOVER_LEX_ERRORS,
+    RECOVER_PARSE_ERRORS,
+    RECOVER_POISONED_STMTS,
+    RECOVER_FUNCTIONS_DROPPED,
+    RECOVER_FILES_DROPPED,
     SENTINEL_UNITS,
     SENTINEL_UNITS_COMPLETED,
     SENTINEL_UNITS_SCANNED,

@@ -22,12 +22,19 @@
 //! scripted fate (live / fixed / suppressed / churned) — the ground truth
 //! behind `vcheck history` and the `tools/ci.sh history` step.
 //!
+//! [`corrupt`] plants a committed file of known-good planted bugs and
+//! corrupts exactly one function per [`corrupt::CorruptKind`] (truncation,
+//! deleted brace, lexer garbage, unterminated string, mangled signature),
+//! stating the fate of every planted bug — the ground truth behind
+//! `tools/ci.sh recovery`.
+//!
 //! [`faults`] mutates a generated application with seeded pathologies
 //! (truncated files, degenerate CFGs, absurd arity, missing blame, injected
 //! panics) and states the evidence a robust pipeline run must produce for
 //! each — the adversarial workload behind `tools/ci.sh faults`.
 
 pub mod codegen;
+pub mod corrupt;
 pub mod delta;
 pub mod faults;
 pub mod generate;
@@ -35,6 +42,14 @@ pub mod life;
 pub mod profile;
 pub mod truth;
 
+pub use corrupt::{
+    corrupt,
+    plant_fault_file,
+    BugFate,
+    CorruptKind,
+    Corruption,
+    FaultFile, //
+};
 pub use delta::{
     generate_delta,
     DeltaProfile,

@@ -18,6 +18,16 @@ cargo test --workspace -q
 echo "==> cargo test -p vc-workload --test faults -q (32 seeds)"
 cargo test -p vc-workload --test faults -q
 
+# recovery: the parse-recovery corruption sweep
+# (crates/workload/tests/recovery.rs) — 32 seeded apps, each corrupted five
+# ways (truncation, deleted brace, lexer garbage, unterminated string,
+# mangled signature); zero escaped panics, every planted bug outside the
+# corrupted region keeps its fingerprint, exactly one function-granular
+# parse failure per corruption, and byte-identical reports across --jobs
+# and a journaled --resume on corrupted input.
+echo "==> cargo test -p vc-workload --test recovery -q (32 seeds x 5 corruption kinds)"
+cargo test -p vc-workload --test recovery -q
+
 # crash: the kill-at-random-point sweep (crates/workload/tests/crash.rs) —
 # child processes abort mid-journal-append (clean and torn) at every grid
 # offset; resuming from the survivor journal must lose and duplicate
