@@ -36,6 +36,7 @@ use valuecheck::{
     history::history_scan,
     pipeline::{run_with_obs, Options},
     sentinel::SentinelConfig,
+    serve::{ServeConfig, ServeEngine},
     suppress::SuppressStore,
 };
 use vc_ir::Program;
@@ -150,6 +151,41 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
         drift_lines: 6,
     });
 
+    // The warm-daemon workload behind `scan/serve_warm`: the nfs-ganesha
+    // tree on disk, a warmed ServeEngine, and a one-file edit per run —
+    // the editor-loop case the daemon exists for. The engine carries its
+    // parse and unit caches across runs; only the edited file's dirty
+    // closure re-analyzes.
+    let serve_app = &apps[1].0; // AppProfile::all() Table 2 order: nfs-ganesha
+    let serve_dir = std::env::temp_dir().join(format!("vc-perf-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    for (path, content) in &serve_app.sources {
+        let full = serve_dir.join(path);
+        std::fs::create_dir_all(full.parent().unwrap()).expect("perf serve tree dir");
+        std::fs::write(full, content).expect("perf serve tree write");
+    }
+    // Probe the smallest file: the editor-loop case is a small edit, and
+    // the warm cost of an edit scales with the edited file's size (it is
+    // the only file that re-parses).
+    let probe_src = serve_app
+        .sources
+        .iter()
+        .min_by_key(|(_, content)| content.len())
+        .expect("serve app has sources");
+    let probe_path = serve_dir.join(&probe_src.0);
+    let probe_base = probe_src.1.clone();
+    let probe_edited = format!("{probe_base}\nint vc_warm_probe(void) {{ return 1; }}\n");
+    let mut engine = ServeEngine::new(
+        &serve_dir,
+        ServeConfig {
+            opts,
+            defines: serve_app.defines.clone(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("perf serve engine starts");
+    engine.scan(None).expect("perf serve warmup scan");
+
     let stage_names = [
         "stage.detect",
         "stage.authorship",
@@ -159,8 +195,9 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
     let mut total: Vec<u64> = Vec::with_capacity(config.runs);
     let mut history: Vec<u64> = Vec::with_capacity(config.runs);
     let mut recovery: Vec<u64> = Vec::with_capacity(config.runs);
+    let mut serve_warm: Vec<u64> = Vec::with_capacity(config.runs);
     let mut stages: Vec<Vec<u64>> = vec![Vec::with_capacity(config.runs); stage_names.len()];
-    for _ in 0..config.runs.max(1) {
+    for run in 0..config.runs.max(1) {
         let mut stage_ns = [0u64; 4];
         let t0 = Instant::now();
         injected_delay();
@@ -214,7 +251,30 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
             std::hint::black_box(&prog);
         }
         recovery.push(t2.elapsed().as_nanos() as u64);
+
+        // Warm rescan after a one-file edit: flip the probe function in
+        // and out so every run re-analyzes exactly one file's closure
+        // against warm caches.
+        let edited = if run % 2 == 0 {
+            &probe_edited
+        } else {
+            &probe_base
+        };
+        std::fs::write(&probe_path, edited).expect("perf serve probe edit");
+        let t3 = Instant::now();
+        injected_delay();
+        let resp = engine.scan(None).expect("perf serve warm scan");
+        assert!(
+            resp.unit_hits > 0,
+            "warm rescan must hit the unit cache (got {} hits / {} misses)",
+            resp.unit_hits,
+            resp.unit_misses
+        );
+        std::hint::black_box(&resp);
+        serve_warm.push(t3.elapsed().as_nanos() as u64);
     }
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&serve_dir);
 
     let env = env_fingerprint();
     let scan = PerfReport {
@@ -233,6 +293,11 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
             PerfCase {
                 name: "scan/parse_recovery".to_string(),
                 median_ns: median(recovery),
+                runs: config.runs,
+            },
+            PerfCase {
+                name: "scan/serve_warm".to_string(),
+                median_ns: median(serve_warm),
                 runs: config.runs,
             },
         ],

@@ -4,10 +4,16 @@
 //! Usage: vcheck <project-dir> [options]
 //!        vcheck delta <project-dir> --from REV --to REV [options]
 //!        vcheck history <project-dir> [options]
+//!        vcheck serve <project-dir> [options]
 //!
 //!   <project-dir>        directory with *.c sources and, ideally, a
 //!                        history.json (see vc_vcs::HistorySpec)
 //!   --define SYM         enable a preprocessor symbol (repeatable)
+//!   --deadline-ms N      wall-clock deadline for the whole scan; on expiry
+//!                        the remaining functions are skipped, the partial
+//!                        report is printed with every row marked
+//!                        low-confidence plus a `deadline exceeded` failure
+//!                        record, and vcheck exits 3
 //!   --all                keep non-cross-scope unused definitions too
 //!   --no-rank            keep detection order instead of DOK ranking
 //!   --no-prune           disable all pruning patterns
@@ -45,9 +51,14 @@
 //! ```
 //!
 //! Malformed source files are reported to stderr (with line:column spans)
-//! and skipped; analysis continues over the files that parse. Exit status:
-//! 0 with no findings, 1 with findings, 2 on usage/load errors (or when
-//! every file fails to parse).
+//! and skipped; analysis continues over the files that parse. A directory
+//! with zero `.c` files is a clean project: empty report, exit 0.
+//!
+//! Exit status contract (scan): 0 with no findings, 1 with findings, 2 on
+//! usage/load errors (or when every file fails to parse), 3 when
+//! `--deadline-ms` expired and the report is partial. An exit status of 3
+//! means the printed findings are real but incomplete — re-run with a
+//! larger deadline for the full report.
 //!
 //! The `delta` subcommand scans two revisions of the project's history and
 //! classifies every finding as new / fixed / persisting using drift-stable
@@ -91,6 +102,24 @@
 //! their own line (trailing). Exit status: 0 when nothing is live and
 //! unsuppressed at head, 1 otherwise, 2 on usage/load errors. All outputs
 //! are byte-identical for any `--jobs` value and across `--resume`.
+//!
+//! The `serve` subcommand runs vcheck as a long-lived warm-scan daemon
+//! speaking JSON-lines over stdin/stdout (see DESIGN.md §14):
+//!
+//! ```text
+//!   --deadline-ms N      default per-request deadline (requests may
+//!                        override with a "deadline_ms" field)
+//!   --queue-depth N      pending requests before the reader sheds
+//!                        (default 64)
+//!   --snapshot FILE      flush the latest findings as a snapshot store on
+//!                        shutdown/EOF
+//! ```
+//!
+//! plus `--define/--all/--no-rank/--no-prune/--budget-steps/--budget-ms`
+//! with scan semantics. Warm replies are byte-identical to a cold scan of
+//! the same tree. Exit status: 0 on `{"op":"shutdown"}` or stdin EOF, 2 on
+//! startup errors; malformed requests, panics, and deadline overruns are
+//! answered on the protocol, never fatal.
 
 use std::path::PathBuf;
 
@@ -109,13 +138,14 @@ use valuecheck::{
         run_with_obs,
         Options, //
     },
-    project::load_dir,
+    project::{load_dir, load_dir_or_empty},
     prune::PruneConfig,
     rank::RankConfig,
     sentinel::{
         salt_strings,
         SentinelConfig, //
     },
+    serve::{run_daemon, ServeConfig, ServeEngine},
     suppress::SuppressStore,
 };
 use vc_ir::Program;
@@ -141,6 +171,10 @@ fn main() {
         Some("history") => {
             args.next();
             history_main(args);
+        }
+        Some("serve") => {
+            args.next();
+            serve_main(args);
         }
         _ => scan_main(args),
     }
@@ -509,6 +543,99 @@ fn history_main(mut args: impl Iterator<Item = String>) -> ! {
     std::process::exit(if funnel.live > 0 { 1 } else { 0 });
 }
 
+fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut dir: Option<PathBuf> = None;
+    let mut config = ServeConfig::default();
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--define" => {
+                config.defines.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--define needs a symbol")),
+                );
+            }
+            "--all" => config.opts.cross_scope_only = false,
+            "--no-rank" => {
+                config.opts.rank = RankConfig {
+                    enabled: false,
+                    ..RankConfig::default()
+                };
+            }
+            "--no-prune" => {
+                config.opts.prune = PruneConfig {
+                    config_dependency: false,
+                    cursor: false,
+                    unused_hints: false,
+                    peer_definitions: false,
+                    ..PruneConfig::default()
+                };
+            }
+            "--deadline-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--deadline-ms needs a number"));
+                config.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--queue-depth" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--queue-depth needs a number"));
+                config.queue_depth = n.max(1);
+            }
+            "--budget-steps" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--budget-steps needs a number"));
+                config.opts.harden = config.opts.harden.with_step_budget(n);
+            }
+            "--budget-ms" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--budget-ms needs a number"));
+                config.opts.harden = config.opts.harden.with_time_budget_ms(n);
+            }
+            "--snapshot" => {
+                config.snapshot = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--snapshot needs a path")),
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: vcheck serve <project-dir> [--define SYM]... [--all] [--no-rank] \
+                     [--no-prune] [--deadline-ms N] [--queue-depth N] [--budget-steps N] \
+                     [--budget-ms N] [--snapshot FILE]\n\nRequests (JSON lines on stdin): \
+                     {{\"op\":\"scan\"}}, {{\"op\":\"update\",\"files\":[..]}}, \
+                     {{\"op\":\"status\"}}, {{\"op\":\"shutdown\"}}"
+                );
+                std::process::exit(0);
+            }
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| die("missing <project-dir>"));
+    let engine =
+        ServeEngine::new(&dir, config).unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
+    eprintln!(
+        "vcheck serve: watching {} (JSON lines on stdin)",
+        dir.display()
+    );
+    let code = run_daemon(
+        engine,
+        std::io::BufReader::new(std::io::stdin()),
+        std::io::stdout(),
+    );
+    std::process::exit(code);
+}
+
 fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     let mut dir: Option<PathBuf> = None;
     let mut defines: Vec<String> = Vec::new();
@@ -520,6 +647,7 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     let mut trace: Option<PathBuf> = None;
     let mut profile: Option<PathBuf> = None;
     let mut fail_fast = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut sconf = SentinelConfig::default();
 
     while let Some(a) = args.next() {
@@ -528,6 +656,13 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
                 defines.push(
                     args.next()
                         .unwrap_or_else(|| die("--define needs a symbol")),
+                );
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--deadline-ms needs a number")),
                 );
             }
             "--all" => opts.cross_scope_only = false,
@@ -616,11 +751,13 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
                 eprintln!(
                     "Usage: vcheck <project-dir> [--define SYM]... [--all] [--no-rank] \
                      [--no-prune] [--top N] [--json] [--stats] [--metrics-json FILE] \
-                     [--trace FILE] [--profile FILE] [--budget-steps N] [--budget-ms N] [--jobs N] \
+                     [--trace FILE] [--profile FILE] [--budget-steps N] [--budget-ms N] \
+                     [--deadline-ms N] [--jobs N] \
                      [--retry K] [--unit-deadline-ms N] [--journal FILE] [--resume] \
                      [--fail-fast]\n       vcheck delta <project-dir> --from REV --to REV \
                      [options] (see `vcheck delta --help`)\n       vcheck history <project-dir> \
-                     [options] (see `vcheck history --help`)"
+                     [options] (see `vcheck history --help`)\n       vcheck serve <project-dir> \
+                     [options] (see `vcheck serve --help`)"
                 );
                 std::process::exit(0);
             }
@@ -632,13 +769,90 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
     }
     let dir = dir.unwrap_or_else(|| die("missing <project-dir>"));
 
-    let project = load_dir(&dir).unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
-    if !project.has_history {
+    // A directory with no `.c` files is a clean project (empty report,
+    // exit 0), not a usage error — CI can point vcheck at a repo that
+    // happens to contain no C sources.
+    let project =
+        load_dir_or_empty(&dir).unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
+    if !project.has_history && !project.sources.is_empty() {
         eprintln!(
             "vcheck: no history.json found — using a single-author working-tree history; \
              cross-scope detection is limited to library return values"
         );
     }
+
+    if let Some(ms) = deadline_ms {
+        // A deadlined scan runs through the serve engine in one-shot mode:
+        // the same code path the daemon uses, so the partial-result
+        // semantics (skip remaining functions, mark every row
+        // low-confidence, append a failure record) are identical, and an
+        // un-deadlined run through it is byte-identical to this batch path.
+        let config = ServeConfig {
+            opts,
+            defines: defines.clone(),
+            deadline: None,
+            queue_depth: 1,
+            snapshot: None,
+        };
+        let mut engine = ServeEngine::new(&dir, config)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
+        let resp = engine
+            .scan(Some(ms))
+            .unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));
+        eprintln!(
+            "vcheck: {} unused definitions, {} cross-scope, {} pruned, {} reported",
+            resp.raw_candidates,
+            resp.cross_scope_candidates,
+            resp.pruned,
+            resp.report.rows.len(),
+        );
+        if resp.deadline_exceeded {
+            eprintln!(
+                "vcheck: deadline of {ms}ms exceeded — report is partial, every row is marked \
+                 low-confidence (exit 3)"
+            );
+        }
+        if !resp.report.failures.is_empty() {
+            eprintln!(
+                "vcheck: {} unit(s) of work failed and were isolated:",
+                resp.report.failures.len()
+            );
+            for f in &resp.report.failures {
+                eprintln!("vcheck:   {f}");
+            }
+        }
+        let mut report = resp.report.clone();
+        if let Some(n) = top {
+            report.rows.truncate(n);
+        }
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.to_csv());
+        }
+        if stats {
+            eprint!("{}", engine.obs().registry.snapshot().render_text());
+        }
+        if let Some(path) = metrics_json {
+            let text = engine
+                .obs()
+                .registry
+                .snapshot()
+                .to_json_export()
+                .to_string_pretty();
+            std::fs::write(&path, text)
+                .unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+        }
+        let code = if resp.deadline_exceeded {
+            3
+        } else if report.rows.is_empty() {
+            0
+        } else {
+            1
+        };
+        std::process::exit(code);
+    }
+
     let obs = ObsSession::new();
     if fail_fast {
         opts.harden.isolate = false;

@@ -274,13 +274,19 @@ impl SnapshotStore {
             file_name.to_string_lossy(),
             std::process::id()
         ));
-        {
+        let write_and_rename = || -> std::io::Result<()> {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(out.as_bytes())?;
             f.sync_all()?;
-        }
-        if let Err(e) = std::fs::rename(&tmp, path) {
+            drop(f);
+            std::fs::rename(&tmp, path)
+        };
+        if let Err(e) = write_and_rename() {
+            // Any failure — create, write, fsync, or rename — must not leave
+            // `.tmp` debris behind: a long-lived daemon saves on every
+            // shutdown and would otherwise accumulate orphans.
             let _ = std::fs::remove_file(&tmp);
+            vc_obs::counter_inc(vc_obs::names::HARDEN_SNAPSHOT_SAVE_FAILED);
             return Err(e);
         }
         // Make the rename itself durable (best-effort: directory fsync is
@@ -740,6 +746,36 @@ mod tests {
             leftovers.is_empty(),
             "temp files left behind: {leftovers:?}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_removes_its_temp_file_and_counts() {
+        let dir = std::env::temp_dir().join(format!("vc-snap-failsave-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Make the destination a non-empty directory: the temp file is
+        // created and written, but the atomic rename over it must fail.
+        let path = dir.join("store.snap");
+        std::fs::create_dir_all(path.join("occupied")).unwrap();
+        let obs = vc_obs::ObsSession::new();
+        let result = {
+            let _g = obs.install();
+            let mut store = SnapshotStore::default();
+            store.commit = Some(CommitId(1));
+            store.save(&path)
+        };
+        assert!(result.is_err(), "rename over a non-empty dir must fail");
+        assert_eq!(
+            obs.registry
+                .counter(vc_obs::names::HARDEN_SNAPSHOT_SAVE_FAILED),
+            1
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "store.snap")
+            .collect();
+        assert!(leftovers.is_empty(), "temp debris left: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

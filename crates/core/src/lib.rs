@@ -61,6 +61,7 @@ pub mod prune;
 pub mod rank;
 pub mod report;
 pub mod sentinel;
+pub mod serve;
 pub mod suppress;
 
 pub use authorship::{

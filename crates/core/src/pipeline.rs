@@ -227,9 +227,9 @@ pub fn run_at_commit(
 
 /// Everything downstream of detection: authorship, cross-scope filtering,
 /// pruning, ranking, report assembly, and the funnel accounting. Shared by
-/// the sequential and sentinel front halves so both produce identical
-/// output for identical detection outcomes.
-fn run_stages(
+/// the sequential and sentinel front halves — and by the serve warm path —
+/// so all produce identical output for identical detection outcomes.
+pub(crate) fn run_stages(
     prog: &Program,
     repo: &Repository,
     opts: &Options,

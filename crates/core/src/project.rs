@@ -38,15 +38,24 @@ impl Project {
 /// findings are then limited to library-return-value cases, and `vcheck`
 /// warns accordingly.
 pub fn load_dir(dir: &Path) -> io::Result<Project> {
-    let mut sources: Vec<(String, String)> = Vec::new();
-    collect_c_files(dir, dir, &mut sources)?;
-    sources.sort_by(|a, b| a.0.cmp(&b.0));
-    if sources.is_empty() {
+    let project = load_dir_or_empty(dir)?;
+    if project.sources.is_empty() {
         return Err(io::Error::new(
             io::ErrorKind::NotFound,
             format!("no .c files under {}", dir.display()),
         ));
     }
+    Ok(project)
+}
+
+/// [`load_dir`] that accepts a directory with zero `.c` files, returning an
+/// empty project instead of `NotFound`. This is the contract `vcheck scan`
+/// exposes (empty report, exit 0): a repository that happens to contain no
+/// C sources is clean, not broken. The directory itself must still exist.
+pub fn load_dir_or_empty(dir: &Path) -> io::Result<Project> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    collect_c_files(dir, dir, &mut sources)?;
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
 
     let history_path = dir.join("history.json");
     if history_path.exists() {
@@ -150,6 +159,24 @@ mod tests {
             Some("alice".to_string())
         );
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_loads_as_empty_project() {
+        let dir = tmpdir("empty");
+        // `tmpdir` creates `src/` but writes no files: zero `.c` sources.
+        assert!(load_dir(&dir).is_err(), "strict load still rejects");
+        let p = load_dir_or_empty(&dir).unwrap();
+        assert!(p.sources.is_empty());
+        assert!(!p.has_history);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_still_an_error() {
+        let dir = std::env::temp_dir().join(format!("vc-no-such-dir-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load_dir_or_empty(&dir).is_err());
     }
 
     #[test]

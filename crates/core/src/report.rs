@@ -114,6 +114,13 @@ impl Report {
 
     /// Renders the report as pretty-printed JSON: `{"rows": [...]}`.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// The report as a [`Json`] value, for embedding in larger documents
+    /// (the serve protocol replies with the report inline). Rendering this
+    /// with `to_string_pretty` is byte-identical to [`Report::to_json`].
+    pub fn to_json_value(&self) -> Json {
         let rows = self
             .rows
             .iter()
@@ -166,7 +173,6 @@ impl Report {
             ("rows".into(), Json::Arr(rows)),
             ("failures".into(), Json::Arr(failures)),
         ])
-        .to_string_pretty()
     }
 
     /// Number of findings.

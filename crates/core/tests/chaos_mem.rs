@@ -1,0 +1,85 @@
+//! Warm-state memory stability: a long-lived `vcheck serve` engine must
+//! not grow without bound. 200 scan cycles over a chaos workload — with
+//! the fault file flapping between pristine and corrupted every cycle, so
+//! parse and unit caches keep invalidating and re-filling — must keep
+//! `live_bytes` inside a fixed band around the post-warmup value. The
+//! generational cache sweeps are what make this hold: entries the current
+//! tree does not use are dropped each request.
+//!
+//! Lives in its own integration-test binary because it needs the counting
+//! global allocator and quiet allocation conditions (a single #[test]).
+
+use std::fs;
+
+use valuecheck::serve::{ServeConfig, ServeEngine};
+use vc_workload::chaos::{generate_chaos, ChaosStep};
+
+#[global_allocator]
+static ALLOC: vc_obs::CountingAlloc = vc_obs::CountingAlloc;
+
+#[test]
+fn two_hundred_warm_cycles_hold_live_bytes_steady() {
+    let plan = generate_chaos(5);
+    let dir = std::env::temp_dir().join(format!("vc-chaos-mem-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    for (path, content) in &plan.initial_tree {
+        let full = dir.join(path);
+        fs::create_dir_all(full.parent().unwrap()).unwrap();
+        fs::write(full, content).unwrap();
+    }
+    // The flapping edit: the first corrupted variant of the fault file
+    // from the plan, against its pristine content.
+    let (fault_path, corrupted) = plan
+        .segments
+        .iter()
+        .flat_map(|s| &s.steps)
+        .find_map(|s| match s {
+            ChaosStep::Edit { path, content } => Some((path.clone(), content.clone())),
+            _ => None,
+        })
+        .expect("plan contains an edit");
+    let pristine = plan
+        .initial_tree
+        .iter()
+        .find(|(p, _)| *p == fault_path)
+        .unwrap()
+        .1
+        .clone();
+
+    let mut engine = ServeEngine::new(&dir, ServeConfig::default()).unwrap();
+
+    const WARMUP: usize = 20;
+    const CYCLES: usize = 200;
+    // Fixed band: warm steady-state may wobble with hash-map growth and
+    // registry strings, but a leak of even a few KB per cycle would walk
+    // far past this over 180 post-warmup cycles.
+    const BAND_BYTES: i64 = 8 << 20;
+
+    let mut baseline = 0i64;
+    let mut peak_drift = 0i64;
+    for cycle in 0..CYCLES {
+        let content = if cycle % 2 == 0 {
+            &corrupted
+        } else {
+            &pristine
+        };
+        fs::write(dir.join(&fault_path), content).unwrap();
+        let resp = engine.scan(None).expect("warm scan succeeds");
+        assert!(!resp.report.rows.is_empty() || resp.raw_candidates > 0);
+        let live = vc_obs::alloc::global_stats().live_bytes;
+        if cycle + 1 == WARMUP {
+            baseline = live;
+        } else if cycle + 1 > WARMUP {
+            peak_drift = peak_drift.max((live - baseline).abs());
+            assert!(
+                (live - baseline).abs() <= BAND_BYTES,
+                "cycle {cycle}: live_bytes {live} drifted {} from post-warmup baseline \
+                 {baseline} (band {BAND_BYTES})",
+                live - baseline,
+            );
+        }
+    }
+    assert!(baseline > 0, "counting allocator active");
+    eprintln!("chaos_mem: baseline {baseline}B, peak drift {peak_drift}B over {CYCLES} cycles");
+    let _ = fs::remove_dir_all(&dir);
+}

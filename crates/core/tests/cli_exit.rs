@@ -109,6 +109,72 @@ fn surviving_clean_code_still_exits_zero() {
 }
 
 #[test]
+fn empty_project_dir_exits_zero_with_empty_report() {
+    // A directory with zero `.c` files is a clean project, not a usage
+    // error: CI can point vcheck at a repo with no C sources.
+    let dir = project("emptydir", &[]);
+    fs::create_dir_all(dir.join("sub")).unwrap();
+    let out = vcheck(&dir);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.lines().count(),
+        1,
+        "header-only CSV; stdout: {stdout}"
+    );
+    assert!(stdout.starts_with("rank,file,line"), "stdout: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked"),
+        "no panic on an empty tree; stderr: {stderr}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn expired_deadline_exits_three_with_partial_low_confidence_report() {
+    let dir = project("deadline", &[("a.c", BUGGY_FN)]);
+    // A zero deadline expires before the first function is analyzed.
+    let out = Command::new(env!("CARGO_BIN_EXE_vcheck"))
+        .arg(&dir)
+        .args(["--deadline-ms", "0"])
+        .output()
+        .expect("vcheck runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "stderr: {stderr}");
+    // A generous deadline behaves exactly like a plain scan.
+    let out = Command::new(env!("CARGO_BIN_EXE_vcheck"))
+        .arg(&dir)
+        .args(["--deadline-ms", "60000"])
+        .output()
+        .expect("vcheck runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let deadlined_stdout = out.stdout.clone();
+    let plain = vcheck(&dir);
+    assert_eq!(
+        deadlined_stdout, plain.stdout,
+        "an unexpired deadline must not change the report bytes"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn whole_file_loss_uses_the_file_level_diagnostic() {
     let dir = project(
         "onegood",

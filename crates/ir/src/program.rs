@@ -95,7 +95,7 @@ impl SourceMap {
 }
 
 /// An error raised while building a program.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum BuildError {
     /// A parse failure. With recovery enabled this is function-granular:
     /// `function: Some(..)` means only that item was dropped (or survived
@@ -165,6 +165,173 @@ pub struct RecoverStats {
     pub files_dropped: u64,
 }
 
+impl RecoverStats {
+    /// Accumulates another file's stats into this aggregate.
+    pub fn absorb(&mut self, other: RecoverStats) {
+        self.lex_errors += other.lex_errors;
+        self.parse_errors += other.parse_errors;
+        self.poisoned_stmts += other.poisoned_stmts;
+        self.functions_dropped += other.functions_dropped;
+        self.files_dropped += other.files_dropped;
+    }
+}
+
+/// The recovered parse of one source file, cacheable by content: the
+/// salvaged module (`None` when recovery salvaged nothing), the
+/// function-granular parse errors in report order, and the file's
+/// [`RecoverStats`] contribution.
+#[derive(Clone, Debug)]
+struct RecoveredFile {
+    module: Option<std::sync::Arc<Module>>,
+    errors: Vec<BuildError>,
+    stats: RecoverStats,
+}
+
+/// A content-keyed cache of per-file parse recovery, for callers that
+/// rebuild the same tree repeatedly with small edits (the `vcheck serve`
+/// warm path). Keys bind the file's position, name, *and* content, so a
+/// renamed, reordered, or edited file always misses; every build sweeps
+/// entries for files no longer in the tree, bounding the cache at one entry
+/// per current file.
+#[derive(Debug, Default)]
+pub struct ParseCache {
+    entries: HashMap<u64, RecoveredFile>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ParseCache {
+    /// Cache key for one file: FNV-1a over position, name, and content,
+    /// with `0xFF` field separators (no legal byte sequence collides
+    /// across field boundaries).
+    fn key(id: FileId, name: &str, src: &str) -> u64 {
+        const FNV_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_SEED;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+            }
+            h = (h ^ 0xFF).wrapping_mul(FNV_PRIME);
+        };
+        eat(&id.0.to_le_bytes());
+        eat(name.as_bytes());
+        eat(src.as_bytes());
+        h
+    }
+
+    /// Files served from cache across the cache's lifetime.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Files that had to be parsed across the cache's lifetime.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached entry (quarantine: the next build is cold).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The per-file half of [`Program::build_recovering`]: parse with recovery
+/// and fold the diagnostics into function-granular [`BuildError`]s plus a
+/// [`RecoverStats`] contribution. Pure in `(id, name, src)`, which is what
+/// makes it cacheable.
+fn recover_file(name: &str, id: FileId, src: &str) -> RecoveredFile {
+    let mut errors = Vec::new();
+    let mut stats = RecoverStats::default();
+    let rec = parse_with_recovery(id, src);
+    stats.lex_errors += rec.lex_errors.len() as u64;
+    stats.parse_errors += rec.diags.len() as u64;
+
+    if rec.module.items.is_empty() && !(rec.diags.is_empty() && rec.lex_errors.is_empty()) {
+        // Nothing salvaged: collapse every diagnostic into one file-level
+        // failure, as before recovery existed.
+        stats.files_dropped += 1;
+        let error = rec
+            .diags
+            .into_iter()
+            .next()
+            .map(|d| d.error)
+            .unwrap_or_else(|| {
+                ParseError::from(
+                    rec.lex_errors
+                        .into_iter()
+                        .next()
+                        .expect("either a lex or a parse diagnostic exists"),
+                )
+            });
+        errors.push(BuildError::Parse {
+            file: name.to_string(),
+            function: None,
+            error,
+        });
+        return RecoveredFile {
+            module: None,
+            errors,
+            stats,
+        };
+    }
+
+    // One error per dropped item; for functions that survived with
+    // poisoned regions, remember the first diagnostic per function.
+    let mut poisoned_first: HashMap<String, ParseError> = HashMap::new();
+    for d in rec.diags {
+        if d.dropped_item {
+            stats.functions_dropped += 1;
+            errors.push(BuildError::Parse {
+                file: name.to_string(),
+                function: d.function,
+                error: d.error,
+            });
+        } else {
+            match d.function {
+                Some(f) => {
+                    poisoned_first.entry(f).or_insert(d.error);
+                }
+                None => errors.push(BuildError::Parse {
+                    file: name.to_string(),
+                    function: None,
+                    error: d.error,
+                }),
+            }
+        }
+    }
+    for item in &rec.module.items {
+        if let Item::Func(f) = item {
+            stats.poisoned_stmts += f.body.poisoned_count() as u64;
+            if let Some(error) = poisoned_first.remove(&f.name) {
+                errors.push(BuildError::Parse {
+                    file: name.to_string(),
+                    function: Some(f.name.clone()),
+                    error,
+                });
+            }
+        }
+    }
+    // Diagnostics attributed to a function whose item was dropped
+    // afterwards stay covered by that item's single dropped error.
+
+    RecoveredFile {
+        module: Some(std::sync::Arc::new(rec.module)),
+        errors,
+        stats,
+    }
+}
+
 /// A compiled program: all lowered functions plus program-wide tables.
 #[derive(Clone, Debug, Default)]
 pub struct Program {
@@ -214,9 +381,9 @@ impl Program {
                 function: None,
                 error,
             })?;
-            modules.push(((*name).to_string(), module));
+            modules.push(((*name).to_string(), std::sync::Arc::new(module)));
         }
-        Self::assemble(map, modules, defines, None)
+        Self::assemble(map, &modules, defines, None)
     }
 
     /// Fault-tolerant [`build`](Self::build): parsing recovers at statement
@@ -253,83 +420,50 @@ impl Program {
         sources: &[(&str, &str)],
         defines: &[String],
     ) -> (Program, Vec<BuildError>, RecoverStats) {
+        Self::build_recovering_cached(sources, defines, &mut ParseCache::default())
+    }
+
+    /// [`build_recovering`](Self::build_recovering) with a warm
+    /// [`ParseCache`]: files whose `(position, name, content)` triple is
+    /// unchanged since the previous build reuse their recovered parse
+    /// (module, diagnostics, and stats) instead of re-lexing. Assembly —
+    /// signature collection and lowering — always runs fresh over the full
+    /// module set, so the resulting [`Program`] is byte-for-byte the one a
+    /// cold [`build_recovering`](Self::build_recovering) would produce.
+    pub fn build_recovering_cached(
+        sources: &[(&str, &str)],
+        defines: &[String],
+        cache: &mut ParseCache,
+    ) -> (Program, Vec<BuildError>, RecoverStats) {
         let mut map = SourceMap::default();
-        let mut modules = Vec::new();
+        let mut modules: Vec<(String, std::sync::Arc<Module>)> = Vec::new();
         let mut errors = Vec::new();
         let mut stats = RecoverStats::default();
+        let mut next = HashMap::with_capacity(sources.len());
         for (name, src) in sources {
             let id = map.add((*name).to_string(), (*src).to_string());
-            let rec = parse_with_recovery(id, src);
-            stats.lex_errors += rec.lex_errors.len() as u64;
-            stats.parse_errors += rec.diags.len() as u64;
-
-            if rec.module.items.is_empty() && !(rec.diags.is_empty() && rec.lex_errors.is_empty()) {
-                // Nothing salvaged: collapse every diagnostic into one
-                // file-level failure, as before recovery existed.
-                stats.files_dropped += 1;
-                let error = rec
-                    .diags
-                    .into_iter()
-                    .next()
-                    .map(|d| d.error)
-                    .unwrap_or_else(|| {
-                        ParseError::from(
-                            rec.lex_errors
-                                .into_iter()
-                                .next()
-                                .expect("either a lex or a parse diagnostic exists"),
-                        )
-                    });
-                errors.push(BuildError::Parse {
-                    file: (*name).to_string(),
-                    function: None,
-                    error,
-                });
-                continue;
-            }
-
-            // One error per dropped item; for functions that survived with
-            // poisoned regions, remember the first diagnostic per function.
-            let mut poisoned_first: HashMap<String, ParseError> = HashMap::new();
-            for d in rec.diags {
-                if d.dropped_item {
-                    stats.functions_dropped += 1;
-                    errors.push(BuildError::Parse {
-                        file: (*name).to_string(),
-                        function: d.function,
-                        error: d.error,
-                    });
-                } else {
-                    match d.function {
-                        Some(f) => {
-                            poisoned_first.entry(f).or_insert(d.error);
-                        }
-                        None => errors.push(BuildError::Parse {
-                            file: (*name).to_string(),
-                            function: None,
-                            error: d.error,
-                        }),
-                    }
+            let key = ParseCache::key(id, name, src);
+            let rec = match cache.entries.remove(&key) {
+                Some(rec) => {
+                    cache.hits += 1;
+                    rec
                 }
-            }
-            for item in &rec.module.items {
-                if let Item::Func(f) = item {
-                    stats.poisoned_stmts += f.body.poisoned_count() as u64;
-                    if let Some(error) = poisoned_first.remove(&f.name) {
-                        errors.push(BuildError::Parse {
-                            file: (*name).to_string(),
-                            function: Some(f.name.clone()),
-                            error,
-                        });
-                    }
+                None => {
+                    cache.misses += 1;
+                    recover_file(name, id, src)
                 }
+            };
+            errors.extend(rec.errors.iter().cloned());
+            stats.absorb(rec.stats);
+            if let Some(m) = &rec.module {
+                modules.push(((*name).to_string(), m.clone()));
             }
-            // Diagnostics attributed to a function whose item was dropped
-            // afterwards stay covered by that item's single dropped error.
-
-            modules.push(((*name).to_string(), rec.module));
+            next.insert(key, rec);
         }
-        let prog = Self::assemble(map, modules, defines, Some(&mut errors))
+        // Generational sweep: only files present in this build survive, so
+        // a long-lived cache cannot grow past the current tree.
+        cache.entries = next;
+        let prog = Self::assemble(map, &modules, defines, Some(&mut errors))
             .expect("lenient assembly collects errors instead of failing");
         (prog, errors, stats)
     }
@@ -343,7 +477,11 @@ impl Program {
         for (name, _) in &modules {
             map.add(name.clone(), String::new());
         }
-        Self::assemble(map, modules, defines, None)
+        let modules: Vec<(String, std::sync::Arc<Module>)> = modules
+            .into_iter()
+            .map(|(n, m)| (n, std::sync::Arc::new(m)))
+            .collect();
+        Self::assemble(map, &modules, defines, None)
     }
 
     /// Pass 1 + 2 over parsed modules. With `errors: Some(..)` the build is
@@ -351,7 +489,7 @@ impl Program {
     /// skipped. With `None`, the first lowering error aborts the build.
     fn assemble(
         source: SourceMap,
-        modules: Vec<(String, Module)>,
+        modules: &[(String, std::sync::Arc<Module>)],
         defines: &[String],
         mut errors: Option<&mut Vec<BuildError>>,
     ) -> Result<Program, BuildError> {
@@ -361,7 +499,7 @@ impl Program {
         let mut func_ret: HashMap<String, Type> = HashMap::new();
         let mut defined: HashMap<String, ()> = HashMap::new();
         let mut protos: Vec<ExternFunc> = Vec::new();
-        for (_, module) in &modules {
+        for (_, module) in modules {
             for item in &module.items {
                 match item {
                     Item::Struct(s) => {
@@ -406,7 +544,7 @@ impl Program {
             defines,
         };
         let mut funcs = Vec::new();
-        for (name, module) in &modules {
+        for (name, module) in modules {
             for item in &module.items {
                 if let Item::Func(f) = item {
                     match lower_function(&ctx, f) {
@@ -672,5 +810,81 @@ mod tests {
         .unwrap();
         assert_eq!(prog.types.len(), 1);
         assert_eq!(prog.funcs.len(), 1);
+    }
+
+    /// Sources mixing healthy, poisoned, and hopeless files — every path
+    /// through `recover_file` — used to prove cached rebuilds are inert.
+    const CACHE_SOURCES: &[(&str, &str)] = &[
+        ("good.c", "int fine(void) { return 1; }\n"),
+        (
+            "mixed.c",
+            "int ok(void) { return 1; }\n\
+             int poisoned(void) { int x = $$; return 0; }\n\
+             garbled dropped_fn(void) { return 2; }\n",
+        ),
+        ("junk.c", "@@ %% ?? garbage ## $$\n"),
+    ];
+
+    #[test]
+    fn cached_rebuild_is_byte_identical_to_cold() {
+        let (cold, cold_errs, cold_stats) = Program::build_recovering(CACHE_SOURCES, &[]);
+        let mut cache = ParseCache::default();
+        let (first, _, _) = Program::build_recovering_cached(CACHE_SOURCES, &[], &mut cache);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+        let (warm, warm_errs, warm_stats) =
+            Program::build_recovering_cached(CACHE_SOURCES, &[], &mut cache);
+        assert_eq!(cache.hits(), 3, "second build reuses every file");
+        assert_eq!(warm_stats, cold_stats);
+        assert_eq!(
+            warm_errs.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+            cold_errs.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+        );
+        for prog in [&first, &warm] {
+            assert_eq!(prog.funcs.len(), cold.funcs.len());
+            for (a, b) in prog.funcs.iter().zip(cold.funcs.iter()) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.file, b.file);
+                assert_eq!(a.recovered, b.recovered);
+                assert_eq!(a.inst_count(), b.inst_count());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_misses_on_edit_and_sweeps_removed_files() {
+        let mut cache = ParseCache::default();
+        let _ = Program::build_recovering_cached(CACHE_SOURCES, &[], &mut cache);
+        assert_eq!(cache.len(), 3);
+        // Edit one file: that file misses, the others hit.
+        let edited: Vec<(&str, &str)> = vec![
+            ("good.c", "int fine(void) { return 2; }\n"),
+            CACHE_SOURCES[1],
+            CACHE_SOURCES[2],
+        ];
+        let (prog, _, _) = Program::build_recovering_cached(&edited, &[], &mut cache);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 4);
+        assert!(prog.defines_function("fine"));
+        // Drop two files: the sweep forgets them.
+        let shrunk: Vec<(&str, &str)> = vec![CACHE_SOURCES[0]];
+        let _ = Program::build_recovering_cached(&shrunk, &[], &mut cache);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_key_binds_file_position() {
+        // The same (name, content) at a different FileId must miss: spans
+        // inside the cached module are bound to the original id.
+        let mut cache = ParseCache::default();
+        let _ = Program::build_recovering_cached(CACHE_SOURCES, &[], &mut cache);
+        let reordered: Vec<(&str, &str)> =
+            vec![CACHE_SOURCES[1], CACHE_SOURCES[0], CACHE_SOURCES[2]];
+        let (prog, _, _) = Program::build_recovering_cached(&reordered, &[], &mut cache);
+        assert_eq!(cache.hits(), 1, "only junk.c kept its position");
+        let ok = prog.func_by_name("ok").unwrap();
+        assert_eq!(prog.source.name(ok.file), "mixed.c");
     }
 }

@@ -144,6 +144,27 @@ pub const HARDEN_DEGRADED_POINTER: &str = "harden.degraded.pointer";
 pub const HARDEN_DEGRADED_PRUNE: &str = "harden.degraded.prune";
 /// Rank stage degraded to input order.
 pub const HARDEN_DEGRADED_RANK: &str = "harden.degraded.rank";
+/// Snapshot saves that failed (temp file removed, stale snapshot kept).
+pub const HARDEN_SNAPSHOT_SAVE_FAILED: &str = "harden.snapshot_save_failed";
+
+// ---------------------------------------------------------------------------
+// Serve (warm scan daemon).
+
+/// Requests accepted off the wire (parsed as JSON objects).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Malformed or unknown requests answered with an error reply.
+pub const SERVE_BAD_REQUESTS: &str = "serve.bad_requests";
+/// Requests shed by the bounded queue under overload.
+pub const SERVE_SHED: &str = "serve.shed";
+/// Warm-state quarantines: a panic or checksum mismatch forced the next
+/// request onto a cold rebuild.
+pub const SERVE_STATE_REBUILDS: &str = "serve.state_rebuilds";
+/// Requests whose deadline expired (partial, low-confidence reply).
+pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline_exceeded";
+/// Function analyses served from the warm unit cache.
+pub const SERVE_UNIT_HITS: &str = "serve.unit_hits";
+/// Function analyses that ran because no warm unit applied.
+pub const SERVE_UNIT_MISSES: &str = "serve.unit_misses";
 
 // ---------------------------------------------------------------------------
 // Parse recovery (error-recovering front end).
@@ -275,6 +296,14 @@ pub const ALL: &[&str] = &[
     HARDEN_DEGRADED_POINTER,
     HARDEN_DEGRADED_PRUNE,
     HARDEN_DEGRADED_RANK,
+    HARDEN_SNAPSHOT_SAVE_FAILED,
+    SERVE_REQUESTS,
+    SERVE_BAD_REQUESTS,
+    SERVE_SHED,
+    SERVE_STATE_REBUILDS,
+    SERVE_DEADLINE_EXCEEDED,
+    SERVE_UNIT_HITS,
+    SERVE_UNIT_MISSES,
     RECOVER_LEX_ERRORS,
     RECOVER_PARSE_ERRORS,
     RECOVER_POISONED_STMTS,

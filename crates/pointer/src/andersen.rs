@@ -7,10 +7,9 @@
 //! construction, so function pointers are resolved during solving and
 //! indirect calls bind their arguments to the discovered callees.
 
-use std::collections::{
-    BTreeSet,
-    HashMap,
-    HashSet, //
+use std::{
+    collections::BTreeSet,
+    rc::Rc, //
 };
 
 use vc_ir::{
@@ -29,10 +28,9 @@ use vc_ir::{
     TempId, //
 };
 
-use crate::node::{
-    Interner,
-    MemObj,
-    PtVar, //
+use crate::{
+    fasthash::{FastMap, FastSet},
+    node::{Interner, MemObj},
 };
 
 /// A value source feeding a constraint: a pointer variable or a literal
@@ -82,6 +80,10 @@ pub struct PointsTo {
     call_edges: BTreeSet<(FuncId, String)>,
     /// Per-function temps of each parameter index, for binding.
     config: Config,
+    /// Per-function base of the dense temp variable id space (see
+    /// [`Solver::temp_var`]); `temp_base[f] + t` is the variable id of
+    /// temp `t` in function `f`.
+    temp_base: Vec<u32>,
     /// Whether the solver stopped on budget exhaustion: the relation is
     /// partial (an under-approximation) and must not be trusted for
     /// may-alias queries.
@@ -93,22 +95,39 @@ struct Solver<'p> {
     config: Config,
     scope: Option<BTreeSet<FileId>>,
     interner: Interner,
+    /// Dense variable ids without hashing: temps occupy `0..total_temps`
+    /// (`temp_base[f] + t`), and the slot variable of object `o` is
+    /// `total_temps + o` (object ids are themselves dense).
+    temp_base: Vec<u32>,
+    total_temps: u32,
+    /// Memoized object ids of plain `MemObj::Local` objects, indexed by
+    /// `local_base[f] + l` (`u32::MAX` = not yet interned). Avoids a hash
+    /// of the enum for the hottest object kind during generation.
+    local_base: Vec<u32>,
+    local_obj: Vec<u32>,
+    /// Memoized object ids of named objects (globals, function addresses,
+    /// string literals, extern returns), keyed by name so repeat lookups
+    /// neither clone the name into a fresh `MemObj` nor hash the enum.
+    global_objs: FastMap<String, u32>,
+    func_objs: FastMap<String, u32>,
+    str_objs: FastMap<String, u32>,
+    extern_objs: FastMap<String, u32>,
     pts: Vec<BTreeSet<u32>>,
     copy_edges: Vec<Vec<u32>>,
-    copy_seen: HashSet<(u32, u32)>,
+    copy_seen: FastSet<(u32, u32)>,
     loads: Vec<Vec<(u32, Option<u32>)>>,
     stores: Vec<Vec<(Src, Option<u32>)>>,
     geps: Vec<Vec<(u32, u32)>>,
     sites: Vec<IndirectSite>,
-    sites_by_var: HashMap<u32, Vec<usize>>,
-    bound: HashSet<(usize, String)>,
+    sites_by_var: FastMap<u32, Vec<usize>>,
+    bound: FastSet<(usize, String)>,
     worklist: Vec<u32>,
     queued: Vec<bool>,
     /// Worklist pops performed before reaching the fixpoint.
     propagations: u64,
     call_edges: BTreeSet<(FuncId, String)>,
     /// name -> (FuncId, param temps, return sources).
-    func_info: HashMap<String, (FuncId, Vec<u32>, Vec<Src>)>,
+    func_info: FastMap<String, Rc<(FuncId, Vec<u32>, Vec<Src>)>>,
 }
 
 impl PointsTo {
@@ -142,6 +161,7 @@ impl PointsTo {
             pts: solver.pts,
             call_edges: solver.call_edges,
             config,
+            temp_base: solver.temp_base,
             exhausted,
         };
         if exhausted {
@@ -160,11 +180,12 @@ impl PointsTo {
 
     /// The points-to set of a temp, as memory objects.
     pub fn points_to(&self, func: FuncId, temp: TempId) -> Vec<&MemObj> {
-        match self.interner.lookup_var(&PtVar::Temp(func, temp)) {
-            Some(v) => self.pts[v as usize]
-                .iter()
-                .map(|&o| self.interner.obj_ref(o))
-                .collect(),
+        let v = match self.temp_base.get(func.0 as usize) {
+            Some(base) => (base + temp.0) as usize,
+            None => return Vec::new(),
+        };
+        match self.pts.get(v) {
+            Some(set) => set.iter().map(|&o| self.interner.obj_ref(o)).collect(),
             None => Vec::new(),
         }
     }
@@ -221,25 +242,43 @@ impl PointsTo {
 
 impl<'p> Solver<'p> {
     fn new(prog: &'p Program, config: Config) -> Self {
+        let mut temp_base = Vec::with_capacity(prog.funcs.len());
+        let mut local_base = Vec::with_capacity(prog.funcs.len());
+        let mut total_temps: u32 = 0;
+        let mut total_locals: u32 = 0;
+        for f in &prog.funcs {
+            temp_base.push(total_temps);
+            local_base.push(total_locals);
+            total_temps += f.temp_origins.len() as u32;
+            total_locals += f.locals.len() as u32;
+        }
         Self {
             prog,
             config,
             scope: None,
             interner: Interner::new(),
+            temp_base,
+            total_temps,
+            local_base,
+            local_obj: vec![u32::MAX; total_locals as usize],
+            global_objs: FastMap::default(),
+            func_objs: FastMap::default(),
+            str_objs: FastMap::default(),
+            extern_objs: FastMap::default(),
             pts: Vec::new(),
             copy_edges: Vec::new(),
-            copy_seen: HashSet::new(),
+            copy_seen: FastSet::default(),
             loads: Vec::new(),
             stores: Vec::new(),
             geps: Vec::new(),
             sites: Vec::new(),
-            sites_by_var: HashMap::new(),
-            bound: HashSet::new(),
+            sites_by_var: FastMap::default(),
+            bound: FastSet::default(),
             worklist: Vec::new(),
             queued: Vec::new(),
             propagations: 0,
             call_edges: BTreeSet::new(),
-            func_info: HashMap::new(),
+            func_info: FastMap::default(),
         }
     }
 
@@ -255,19 +294,62 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn var(&mut self, v: PtVar) -> u32 {
-        let id = self.interner.var(v);
+    fn temp_var(&mut self, f: FuncId, t: TempId) -> u32 {
+        let id = self.temp_base[f.0 as usize] + t.0;
         self.ensure_var(id);
         id
     }
 
-    fn temp_var(&mut self, f: FuncId, t: TempId) -> u32 {
-        self.var(PtVar::Temp(f, t))
+    fn slot_of(&mut self, o: u32) -> u32 {
+        let id = self.total_temps + o;
+        self.ensure_var(id);
+        id
     }
 
-    fn slot_of(&mut self, o: u32) -> u32 {
-        let id = self.interner.slot_var(o);
-        self.ensure_var(id);
+    fn global_obj(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.global_objs.get(name) {
+            return id;
+        }
+        let id = self.interner.obj(MemObj::Global(name.to_string()));
+        self.global_objs.insert(name.to_string(), id);
+        id
+    }
+
+    fn func_obj(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.func_objs.get(name) {
+            return id;
+        }
+        let id = self.interner.obj(MemObj::Func(name.to_string()));
+        self.func_objs.insert(name.to_string(), id);
+        id
+    }
+
+    fn str_obj(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.str_objs.get(s) {
+            return id;
+        }
+        let id = self.interner.obj(MemObj::Str(s.to_string()));
+        self.str_objs.insert(s.to_string(), id);
+        id
+    }
+
+    fn extern_obj(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.extern_objs.get(name) {
+            return id;
+        }
+        let id = self.interner.obj(MemObj::Extern(name.to_string()));
+        self.extern_objs.insert(name.to_string(), id);
+        id
+    }
+
+    fn local_obj(&mut self, f: FuncId, l: LocalId) -> u32 {
+        let idx = (self.local_base[f.0 as usize] + l.0) as usize;
+        let memo = self.local_obj[idx];
+        if memo != u32::MAX {
+            return memo;
+        }
+        let id = self.interner.obj(MemObj::Local(f, l));
+        self.local_obj[idx] = id;
         id
     }
 
@@ -320,11 +402,11 @@ impl<'p> Solver<'p> {
         match op {
             Operand::Temp(t) => Some(Src::Var(self.temp_var(f, *t))),
             Operand::FuncAddr(n) => {
-                let o = self.interner.obj(MemObj::Func(n.clone()));
+                let o = self.func_obj(n);
                 Some(Src::Obj(o))
             }
             Operand::Str(s) => {
-                let o = self.interner.obj(MemObj::Str(s.clone()));
+                let o = self.str_obj(s);
                 Some(Src::Obj(o))
             }
             Operand::Const(_) | Operand::Null => None,
@@ -334,14 +416,14 @@ impl<'p> Solver<'p> {
     /// The object a direct place denotes, if any.
     fn place_obj(&mut self, f: FuncId, p: &Place) -> Option<u32> {
         match p {
-            Place::Local(l) => Some(self.interner.obj(MemObj::Local(f, *l))),
+            Place::Local(l) => Some(self.local_obj(f, *l)),
             Place::Field(l, n) => {
-                let base = self.interner.obj(MemObj::Local(f, *l));
+                let base = self.local_obj(f, *l);
                 self.obj_field(base, *n)
             }
-            Place::Global(g) => Some(self.interner.obj(MemObj::Global(g.clone()))),
+            Place::Global(g) => Some(self.global_obj(g)),
             Place::GlobalField(g, n) => {
-                let base = self.interner.obj(MemObj::Global(g.clone()));
+                let base = self.global_obj(g);
                 self.obj_field(base, *n)
             }
             Place::Deref(_) | Place::DerefField(_, _) => None,
@@ -381,7 +463,7 @@ impl<'p> Solver<'p> {
                 }
             }
             self.func_info
-                .insert(f.name.clone(), (fid, param_temps, rets));
+                .insert(f.name.clone(), Rc::new((fid, param_temps, rets)));
         }
 
         for (fi, f) in self.prog.funcs.iter().enumerate() {
@@ -509,7 +591,8 @@ impl<'p> Solver<'p> {
     }
 
     fn bind_direct(&mut self, caller: FuncId, name: &str, args: &[Option<Src>], dst: Option<u32>) {
-        if let Some((_fid, param_temps, rets)) = self.func_info.get(name).cloned() {
+        if let Some(info) = self.func_info.get(name).cloned() {
+            let (_fid, param_temps, rets) = &*info;
             for (i, arg) in args.iter().enumerate() {
                 if let (Some(src), Some(&pv)) = (arg, param_temps.get(i)) {
                     if pv != u32::MAX {
@@ -518,13 +601,13 @@ impl<'p> Solver<'p> {
                 }
             }
             if let Some(d) = dst {
-                for r in rets {
+                for &r in rets {
                     self.add_src(r, d);
                 }
             }
         } else if let Some(d) = dst {
             // Unknown function: returns an opaque object.
-            let o = self.interner.obj(MemObj::Extern(name.to_string()));
+            let o = self.extern_obj(name);
             self.add_addr(d, o);
         }
         let _ = caller;

@@ -11,6 +11,7 @@
 
 pub mod alias;
 pub mod andersen;
+pub mod fasthash;
 pub mod node;
 
 pub use alias::AliasUses;

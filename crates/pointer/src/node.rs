@@ -1,13 +1,13 @@
 //! Node space of the pointer analysis: abstract memory objects and pointer
 //! variables, with interning to dense ids.
 
-use std::collections::HashMap;
-
 use vc_ir::{
     FuncId,
     LocalId,
     TempId, //
 };
+
+use crate::fasthash::FastMap;
 
 /// An abstract memory object (an allocation site in Andersen's terms).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,9 +66,9 @@ pub enum PtVar {
 #[derive(Debug, Default)]
 pub struct Interner {
     objs: Vec<MemObj>,
-    obj_ids: HashMap<MemObj, u32>,
+    obj_ids: FastMap<MemObj, u32>,
     vars: Vec<PtVar>,
-    var_ids: HashMap<PtVar, u32>,
+    var_ids: FastMap<PtVar, u32>,
 }
 
 impl Interner {

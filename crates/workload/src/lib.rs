@@ -32,7 +32,14 @@
 //! (truncated files, degenerate CFGs, absurd arity, missing blame, injected
 //! panics) and states the evidence a robust pipeline run must produce for
 //! each — the adversarial workload behind `tools/ci.sh faults`.
+//!
+//! [`chaos`] scripts seeded request streams against the `vcheck serve`
+//! daemon — on-disk corruption, malformed lines, oversized bursts against
+//! a wedged worker, injected panics, mid-stream kill+restart — and states
+//! the recovery contract (zero daemon exits, warm replies byte-identical
+//! to cold scans, balanced counters) behind `tools/ci.sh serve`.
 
+pub mod chaos;
 pub mod codegen;
 pub mod corrupt;
 pub mod delta;
@@ -42,6 +49,12 @@ pub mod life;
 pub mod profile;
 pub mod truth;
 
+pub use chaos::{
+    generate_chaos,
+    ChaosPlan,
+    ChaosSegment,
+    ChaosStep, //
+};
 pub use corrupt::{
     corrupt,
     plant_fault_file,

@@ -57,6 +57,18 @@ cargo test -p vc-workload --test delta -q
 echo "==> cargo test -p vc-workload --test history -q"
 cargo test -p vc-workload --test history -q
 
+# serve: chaos-proven recovery of the warm scan daemon
+# (crates/core/tests/chaos.rs) — seeded request streams against the real
+# `vcheck serve` binary, interleaving on-disk corruption, malformed lines,
+# oversized bursts against a wedged worker, injected panics, and mid-stream
+# kill+restart; zero unexpected daemon exits, every clean warm reply
+# byte-identical to a cold batch scan of the same tree, and balanced
+# protocol/funnel counters. The memory observatory (chaos_mem.rs) holds
+# live_bytes inside a fixed band over 200 warm cycles.
+echo "==> cargo test -p valuecheck --test chaos --test chaos_mem -q (serve chaos)"
+cargo test -p valuecheck --test chaos -q
+cargo test -p valuecheck --test chaos_mem -q
+
 # bench: the perf observatory (crates/bench/src/perf.rs) — a deterministic
 # scaled scan measured median-of-N, written as BENCH_scan.json /
 # BENCH_stages.json and gated against the committed bench/baseline.json
