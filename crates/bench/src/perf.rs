@@ -196,6 +196,7 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
     let mut history: Vec<u64> = Vec::with_capacity(config.runs);
     let mut recovery: Vec<u64> = Vec::with_capacity(config.runs);
     let mut serve_warm: Vec<u64> = Vec::with_capacity(config.runs);
+    let mut summary: Vec<u64> = Vec::with_capacity(config.runs);
     let mut stages: Vec<Vec<u64>> = vec![Vec::with_capacity(config.runs); stage_names.len()];
     for run in 0..config.runs.max(1) {
         let mut stage_ns = [0u64; 4];
@@ -272,6 +273,24 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
         );
         std::hint::black_box(&resp);
         serve_warm.push(t3.elapsed().as_nanos() as u64);
+
+        // Summary construction in isolation (not nested inside
+        // stage.detect): one pass building every function's dataflow
+        // summary — the unit of work detect and prune now share.
+        let t4 = Instant::now();
+        injected_delay();
+        for (_, prog) in &apps {
+            let interner = vc_dataflow::summary::SigInterner::new(prog);
+            for (fi, f) in prog.funcs.iter().enumerate() {
+                let s = vc_dataflow::summary::build_summary(
+                    f,
+                    interner.sig_of(vc_ir::FuncId(fi as u32)),
+                    vc_obs::Budget::UNLIMITED,
+                );
+                std::hint::black_box(&s);
+            }
+        }
+        summary.push(t4.elapsed().as_nanos() as u64);
     }
     drop(engine);
     let _ = std::fs::remove_dir_all(&serve_dir);
@@ -313,6 +332,11 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
                 median_ns: median(samples),
                 runs: config.runs,
             })
+            .chain(std::iter::once(PerfCase {
+                name: "stages/stage.summary".to_string(),
+                median_ns: median(summary),
+                runs: config.runs,
+            }))
             .collect(),
         env,
     };

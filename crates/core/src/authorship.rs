@@ -57,12 +57,13 @@ pub struct AuthorshipCtx<'a> {
     pub prog: &'a Program,
     /// The version-control history.
     pub repo: &'a Repository,
-    /// Program-wide call-site index (callee name → sites).
-    pub call_index: HashMap<String, Vec<CallSite>>,
+    /// Program-wide call-site index (callee name → sites), borrowed from
+    /// the program's lazily-built cache.
+    pub call_index: &'a HashMap<String, Vec<CallSite>>,
 }
 
 impl<'a> AuthorshipCtx<'a> {
-    /// Builds a context, indexing call sites once.
+    /// Builds a context over the program's shared call-site index.
     pub fn new(prog: &'a Program, repo: &'a Repository) -> Self {
         Self {
             prog,

@@ -1,53 +1,42 @@
 //! Cross-scope unused-definition detection — the algorithm of Fig. 4.
 //!
-//! The detector runs the liveness analysis of §4.1 extended with the
-//! *define set* of §4.2: alongside the live-variable set, each program point
-//! tracks, per variable, the set of next definitions downstream. When a
-//! store is found dead, the define set names exactly the definitions that
-//! overwrite it — the spans whose authors the authorship phase compares.
+//! The detector consumes the per-function [`FnSummary`] (dead stores with
+//! their §4.2 overwriter spans, escape set, call-result map) computed once
+//! by `vc_dataflow::summary` and shared with the prune stage, instead of
+//! re-solving liveness per consumer. Candidates are the summary's dead
+//! stores, classified into the paper's scenarios.
 //!
 //! Exclusions mirror the paper: address-taken locals (the value may be read
-//! through a pointer) and locals the pointer analysis marks as aliased-read
-//! are never candidates.
+//! through a pointer) are never candidates. The precise aliased-read set of
+//! the pointer analysis is a subset of the address-taken set (local objects
+//! only enter points-to sets through `&x`), so the escape check subsumes
+//! the alias query and no eager whole-program pointer solve is needed.
+//! Pointer facts are consulted on demand — per candidate, per
+//! pointer-closed component — only to resolve indirect-call callees
+//! ([`vc_pointer::demand::DemandPointer`]).
 
-use std::collections::{
-    BTreeMap,
-    BTreeSet,
-    HashMap, //
-};
-
-use vc_dataflow::{
-    framework::{
-        solve_budgeted,
-        DataflowAnalysis,
-        Direction, //
-    },
-    liveness::escaped_locals,
-    varset::VarKeySet,
+use vc_dataflow::summary::{
+    build_summary,
+    CallTarget,
+    FnSummary,
+    SigId,
+    SigInterner,
+    Summaries, //
 };
 use vc_ir::{
-    cfg::Cfg,
     ir::{
-        BlockId,
-        Callee,
         Inst,
         LocalKind,
         Operand,
         StoreInfo,
-        TempId,
         TempOrigin, //
     },
     FuncId,
     Function,
-    Program,
-    Span,
-    VarKey, //
+    Program, //
 };
 use vc_obs::Budget;
-use vc_pointer::{
-    AliasUses,
-    PointsTo, //
-};
+use vc_pointer::demand::DemandPointer;
 
 use crate::{
     candidate::{
@@ -82,209 +71,87 @@ impl Default for DetectConfig {
     }
 }
 
-/// The joint fact of Fig. 4: live variables plus the define set.
-#[derive(Clone, Debug, PartialEq, Default)]
-struct LiveDefFact {
-    live: VarKeySet,
-    /// For each key, the spans of the next definitions downstream.
-    defs: BTreeMap<VarKey, BTreeSet<Span>>,
+/// Detects unused-definition candidates in one function. Builds a one-off
+/// summary and demand oracle; pipeline callers share them across functions
+/// instead (see [`detect_program_hardened`]).
+pub fn detect_function(prog: &Program, fid: FuncId) -> Vec<Candidate> {
+    let interner = SigInterner::new(prog);
+    let oracle = DemandPointer::new(prog, vc_pointer::Config::default(), true);
+    let summary = build_summary(prog.func(fid), interner.sig_of(fid), Budget::UNLIMITED);
+    detect_from_summary(prog.func(fid), fid, &summary, Some(&oracle))
 }
 
-struct LiveDefAnalysis;
-
-impl LiveDefFact {
-    /// Applies one instruction's backward transfer.
-    fn transfer(&mut self, inst: &Inst) {
-        match inst {
-            Inst::Load { place, .. } | Inst::AddrOf { place, .. } => {
-                if let Some(key) = place.var_key() {
-                    self.live.insert(key);
-                }
-            }
-            Inst::Store { place, span, .. } => {
-                if let Some(key) = place.var_key() {
-                    self.live.remove_killed(key);
-                    // This store becomes the (sole) next definition for
-                    // everything it overwrites.
-                    if let VarKey::Local(l) = key {
-                        let stale: Vec<VarKey> = self
-                            .defs
-                            .range(VarKey::Field(l, 0)..=VarKey::Field(l, u32::MAX))
-                            .map(|(k, _)| *k)
-                            .collect();
-                        for k in stale {
-                            self.defs.remove(&k);
-                        }
-                    }
-                    self.defs.insert(key, BTreeSet::from([*span]));
-                }
-            }
-            Inst::Bin { .. } | Inst::Un { .. } | Inst::Call { .. } => {}
-        }
-    }
-
-    /// The overwriting definitions of `key` at this point: exact entry plus,
-    /// for field keys, whole-variable stores.
-    fn overwriters(&self, key: VarKey) -> Vec<Span> {
-        let mut out: BTreeSet<Span> = self.defs.get(&key).cloned().unwrap_or_default();
-        if let VarKey::Field(l, _) = key {
-            if let Some(extra) = self.defs.get(&VarKey::Local(l)) {
-                out.extend(extra.iter().copied());
-            }
-        }
-        out.into_iter().collect()
-    }
-}
-
-impl DataflowAnalysis for LiveDefAnalysis {
-    type Fact = LiveDefFact;
-    const DIRECTION: Direction = Direction::Backward;
-
-    fn boundary_fact(&self, _f: &Function) -> LiveDefFact {
-        LiveDefFact::default()
-    }
-
-    fn init_fact(&self, _f: &Function) -> LiveDefFact {
-        LiveDefFact::default()
-    }
-
-    fn join(&self, into: &mut LiveDefFact, from: &LiveDefFact) {
-        into.live.union_with(&from.live);
-        for (k, spans) in &from.defs {
-            into.defs
-                .entry(*k)
-                .or_default()
-                .extend(spans.iter().copied());
-        }
-    }
-
-    fn transfer_block(&self, f: &Function, bb: BlockId, fact: &mut LiveDefFact) {
-        for inst in f.block(bb).insts.iter().rev() {
-            fact.transfer(inst);
-        }
-    }
-}
-
-/// Maps each call-result temp of a function to its possible callees.
-fn call_result_map(
+/// One detection unit: build the function's summary under the liveness
+/// [`Budget`], then derive its candidates. When the fixpoint is cut short
+/// the candidates are still produced — from the partial facts — but marked
+/// [`Candidate::low_confidence`] (the degradation ladder's "keep, don't
+/// drop" tier).
+pub(crate) fn detect_unit(
     prog: &Program,
     fid: FuncId,
-    f: &Function,
-    pts: Option<&PointsTo>,
-) -> HashMap<TempId, Vec<String>> {
-    let mut out = HashMap::new();
-    for bb in &f.blocks {
-        for inst in &bb.insts {
-            if let Inst::Call {
-                dst: Some(d),
-                callee,
-                ..
-            } = inst
-            {
-                let names = match callee {
-                    Callee::Direct(n) => vec![n.clone()],
-                    Callee::Indirect(t) => match pts {
-                        Some(p) => p.resolve_fn_ptr(fid, *t),
-                        None => Vec::new(),
-                    },
-                };
-                out.insert(*d, names);
-            }
-        }
-    }
-    let _ = prog;
-    out
-}
-
-/// Detects unused-definition candidates in one function.
-pub fn detect_function(
-    prog: &Program,
-    fid: FuncId,
-    pts: Option<&PointsTo>,
-    alias: Option<&AliasUses>,
-) -> Vec<Candidate> {
-    detect_function_budgeted(prog, fid, pts, alias, Budget::UNLIMITED).0
-}
-
-/// [`detect_function`] under a liveness [`Budget`]. When the fixpoint is
-/// cut short the function's candidates are still produced — from the
-/// partial facts — but marked [`Candidate::low_confidence`] (the
-/// degradation ladder's "keep, don't drop" tier). Returns the candidates
-/// and whether the budget ran out.
-pub fn detect_function_budgeted(
-    prog: &Program,
-    fid: FuncId,
-    pts: Option<&PointsTo>,
-    alias: Option<&AliasUses>,
+    sig: SigId,
+    oracle: Option<&DemandPointer>,
     budget: Budget,
-) -> (Vec<Candidate>, bool) {
+) -> (FnSummary, Vec<Candidate>) {
     let f = prog.func(fid);
-    let cfg = Cfg::new(f);
-    let facts = solve_budgeted(f, &cfg, &LiveDefAnalysis, budget);
-    let escaped = escaped_locals(f);
-    let retvals = call_result_map(prog, fid, f, pts);
+    let summary = build_summary(f, sig, budget);
+    let cands = detect_from_summary(f, fid, &summary, oracle);
+    (summary, cands)
+}
 
-    let excluded = |key: VarKey| -> bool {
-        let l = key.local();
-        if escaped.contains(&l) {
-            return true;
-        }
-        if let Some(a) = alias {
-            if a.is_aliased_read(fid, l) {
-                return true;
-            }
-        }
-        false
-    };
-
-    let mut out = Vec::new();
-    for (bid, bb) in f.iter_blocks() {
-        let mut fact = facts.exit(bid).clone();
-        for inst in bb.insts.iter().rev() {
-            if let Inst::Store {
-                place,
-                value,
-                info,
-                span,
-            } = inst
-            {
-                if let Some(key) = place.var_key() {
-                    if !fact.live.contains_covering(key) && !excluded(key) {
-                        let local = f.local(key.local());
-                        let scenario = classify(f, &retvals, value, info);
-                        out.push(Candidate {
-                            func: fid,
-                            func_name: f.name.clone(),
-                            key,
-                            var_name: f.var_key_name(key),
-                            span: *span,
-                            scenario,
-                            overwriters: fact.overwriters(key),
-                            info: info.clone(),
-                            synthetic: local.kind == LocalKind::Synthetic,
-                            unused_attr: local.unused_attr,
-                            // Degraded facts (budget exhaustion) and degraded
-                            // source (parse recovery) both keep the candidate
-                            // at reduced confidence rather than dropping it.
-                            low_confidence: facts.exhausted || f.recovered,
-                        });
-                    }
-                }
-            }
-            fact.transfer(inst);
-        }
+/// Derives candidates from an already-built summary: each dead store
+/// becomes one candidate, classified into the paper's scenarios. The
+/// summary's dead list is in the detector's historical discovery order
+/// (blocks ascending, instructions descending), so the final sort produces
+/// byte-identical reports.
+pub(crate) fn detect_from_summary(
+    f: &Function,
+    fid: FuncId,
+    summary: &FnSummary,
+    oracle: Option<&DemandPointer>,
+) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(summary.dead.len());
+    for d in &summary.dead {
+        // Fetch the store's value operand for classification; a summary is
+        // always content-matched to `f`, so the lookup cannot miss (guarded
+        // defensively anyway).
+        let Some(Inst::Store { value, .. }) = f.block(d.block).insts.get(d.inst_idx) else {
+            continue;
+        };
+        let local = f.local(d.key.local());
+        let scenario = classify(f, fid, summary, oracle, value, &d.info);
+        out.push(Candidate {
+            func: fid,
+            func_name: f.name.clone(),
+            key: d.key,
+            var_name: f.var_key_name(d.key),
+            span: d.span,
+            scenario,
+            overwriters: d.overwriters.clone(),
+            info: d.info.clone(),
+            synthetic: local.kind == LocalKind::Synthetic,
+            unused_attr: local.unused_attr,
+            // Degraded facts (budget exhaustion) and degraded source
+            // (parse recovery) both keep the candidate at reduced
+            // confidence rather than dropping it.
+            low_confidence: summary.exhausted || f.recovered,
+        });
     }
     // Drop synthetic helper slots that are not call results (e.g. ternary
     // staging slots): they are compiler artifacts, not source definitions.
     out.retain(|c| !c.synthetic || matches!(c.scenario, Scenario::RetVal { .. }));
-    out.sort_by_key(|c| (c.span, c.var_name.clone()));
-    (out, facts.exhausted)
+    out.sort_by(|a, b| (a.span, &a.var_name).cmp(&(b.span, &b.var_name)));
+    out
 }
 
-/// Classifies a dead store into the paper's scenarios.
+/// Classifies a dead store into the paper's scenarios. Indirect call
+/// results trigger the only pointer query detection ever makes, resolved
+/// on demand from the candidate's pointer-closed component.
 fn classify(
     f: &Function,
-    retvals: &HashMap<TempId, Vec<String>>,
+    fid: FuncId,
+    summary: &FnSummary,
+    oracle: Option<&DemandPointer>,
     value: &Operand,
     info: &StoreInfo,
 ) -> Scenario {
@@ -292,10 +159,15 @@ fn classify(
         return Scenario::Param { index: *index };
     }
     if let Operand::Temp(t) = value {
-        if let Some(callees) = retvals.get(t) {
-            return Scenario::RetVal {
-                callees: callees.clone(),
+        if let Some(target) = summary.call_dsts.get(t) {
+            let callees = match target {
+                CallTarget::Direct(n) => vec![n.clone()],
+                CallTarget::Indirect(ct) => match oracle {
+                    Some(o) => o.resolve_fn_ptr(fid, *ct),
+                    None => Vec::new(),
+                },
             };
+            return Scenario::RetVal { callees };
         }
         if matches!(
             f.temp_origins.get(t.0 as usize),
@@ -319,11 +191,15 @@ fn classify(
 pub struct DetectOutcome {
     /// Candidates from every function that completed.
     pub candidates: Vec<Candidate>,
+    /// The per-function summaries built during detection, handed to the
+    /// prune stage so it never re-solves liveness.
+    pub summaries: Summaries,
     /// One record per poisoned function (panic inside the isolation
     /// boundary) or poisoned pointer solve.
     pub failures: Vec<FailureRecord>,
-    /// Whether the pointer stage fell back to the conservative
-    /// field-insensitive oracle (budget exhaustion or panic).
+    /// Whether any demand pointer solve degraded (budget exhaustion or
+    /// panic); indirect callees from that component resolve to the empty
+    /// set, which only widens suppression.
     pub pointer_degraded: bool,
     /// Functions whose liveness budget ran out (their candidates are
     /// marked low-confidence).
@@ -332,21 +208,22 @@ pub struct DetectOutcome {
 
 /// Detects candidates across the whole program.
 ///
-/// Runs the pointer analysis once (when enabled) and reuses it for every
-/// function, mirroring the paper's per-bitcode SVF invocation. Runs with
-/// default hardening (fault isolation on, no budgets); use
-/// [`detect_program_hardened`] for explicit control.
+/// Builds the demand pointer oracle once (when enabled) and shares it
+/// across functions; components solve lazily, only when a candidate's
+/// classification needs indirect-call callees. Runs with default hardening
+/// (fault isolation on, no budgets); use [`detect_program_hardened`] for
+/// explicit control.
 pub fn detect_program(prog: &Program, config: DetectConfig) -> Vec<Candidate> {
     detect_program_hardened(prog, config, HardenConfig::default()).candidates
 }
 
-/// [`detect_program`] under a [`HardenConfig`]: the pointer solve and each
+/// [`detect_program`] under a [`HardenConfig`]: pointer components and each
 /// function's detection run inside unwind boundaries with their stage
 /// budgets, implementing the degradation ladder:
 ///
-/// - pointer budget exhausted (or pointer solve panicked) → conservative
-///   field-insensitive may-alias oracle, counted as
-///   `harden.degraded.pointer`;
+/// - pointer budget exhausted (or a component solve panicked) → that
+///   component's indirect callees resolve to the conservative empty set,
+///   counted as `harden.degraded.pointer`;
 /// - liveness budget exhausted → candidates kept, marked low-confidence,
 ///   counted as `harden.degraded.liveness`;
 /// - panic inside one function's detection → that function is poisoned
@@ -357,98 +234,93 @@ pub fn detect_program_hardened(
     hconf: HardenConfig,
 ) -> DetectOutcome {
     let mut out = DetectOutcome::default();
-    let (pts, alias) = pointer_stage(prog, config, hconf, &mut out);
-    detect_with(prog, pts, alias, hconf, out)
+    let oracle = demand_oracle(prog, config, hconf);
+    let interner = SigInterner::new(prog);
+    detect_with(prog, oracle.as_ref(), &interner, hconf, &mut out);
+    finalize_pointer_stage(oracle.as_ref(), &mut out);
+    out
 }
 
-/// The whole-program pointer/alias stage, isolated as one unit. Shared by
-/// the sequential detection loop above and the parallel
-/// [`sentinel`](crate::sentinel) executor: it runs once, single-threaded,
-/// before any per-function unit is scheduled, and its degradations are
-/// recorded into `out`.
-pub(crate) fn pointer_stage(
+/// Builds the demand pointer oracle (component partition only — no
+/// solving). Shared by the sequential detection loop above, the parallel
+/// [`sentinel`](crate::sentinel) executor, and the serve engine.
+pub(crate) fn demand_oracle(
     prog: &Program,
     config: DetectConfig,
     hconf: HardenConfig,
-    out: &mut DetectOutcome,
-) -> (Option<PointsTo>, Option<AliasUses>) {
+) -> Option<DemandPointer<'_>> {
     if !config.use_alias_analysis {
-        return (None, None);
+        return None;
     }
     let pointer_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_POINTER);
-    let solved = harden::isolated(hconf.isolate, || {
-        let pts = PointsTo::solve_with(
-            prog,
-            vc_pointer::Config {
-                field_sensitive: config.field_sensitive_pointers,
-                budget: hconf.pointer_budget,
-            },
-        );
-        let exhausted = pts.exhausted();
-        let uses = if exhausted {
-            AliasUses::conservative(prog)
-        } else {
-            AliasUses::compute(prog, &pts)
-        };
-        (pts, uses, exhausted)
-    });
+    let oracle = DemandPointer::new(
+        prog,
+        vc_pointer::Config {
+            field_sensitive: config.field_sensitive_pointers,
+            budget: hconf.pointer_budget,
+        },
+        hconf.isolate,
+    );
     pointer_mem.finish();
-    match solved {
-        Ok((pts, uses, exhausted)) => {
-            if exhausted {
-                out.pointer_degraded = true;
-                vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_POINTER);
-                // The partial points-to relation is discarded: an
-                // under-approximation must not feed may-alias queries
-                // or indirect-call resolution.
-                (None, Some(uses))
-            } else {
-                (Some(pts), Some(uses))
-            }
-        }
-        Err(message) => {
-            out.pointer_degraded = true;
-            vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_POINTER);
-            vc_obs::counter_inc(vc_obs::names::HARDEN_POISONED_POINTER);
-            out.failures.push(FailureRecord {
+    Some(oracle)
+}
+
+/// Folds the oracle's accumulated degradations into the outcome after all
+/// detection units ran: a poisoned component solve becomes a pointer-stage
+/// failure record; budget exhaustion becomes the `harden.degraded.pointer`
+/// tier (the partial relation was discarded — an under-approximation must
+/// not feed indirect-call resolution).
+pub(crate) fn finalize_pointer_stage(oracle: Option<&DemandPointer>, out: &mut DetectOutcome) {
+    let Some(o) = oracle else { return };
+    if let Some(message) = o.panic_message() {
+        out.pointer_degraded = true;
+        vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_POINTER);
+        vc_obs::counter_inc(vc_obs::names::HARDEN_POISONED_POINTER);
+        out.failures.insert(
+            0,
+            FailureRecord {
                 stage: FailStage::Pointer,
                 file: "<program>".to_string(),
                 function: None,
                 message,
-            });
-            (None, Some(AliasUses::conservative(prog)))
-        }
+            },
+        );
+    } else if o.degraded() {
+        out.pointer_degraded = true;
+        vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_POINTER);
     }
 }
 
-/// Per-function detection loop over an already-settled pointer stage.
+/// Per-function detection loop over a shared demand oracle, inserting each
+/// completed function's summary into `out.summaries` for the prune stage.
 fn detect_with(
     prog: &Program,
-    pts: Option<PointsTo>,
-    alias: Option<AliasUses>,
+    oracle: Option<&DemandPointer>,
+    interner: &SigInterner,
     hconf: HardenConfig,
-    mut out: DetectOutcome,
-) -> DetectOutcome {
+    out: &mut DetectOutcome,
+) {
     vc_obs::counter_add(vc_obs::names::DETECT_FUNCTIONS, prog.funcs.len() as u64);
     for fi in 0..prog.funcs.len() {
         let fid = FuncId(fi as u32);
         let f = prog.func(fid);
         let detected = harden::isolated(hconf.isolate, || {
             harden::failpoint(FailStage::Detect, &f.name);
-            detect_function_budgeted(
+            detect_unit(
                 prog,
                 fid,
-                pts.as_ref(),
-                alias.as_ref(),
+                interner.sig_of(fid),
+                oracle,
                 hconf.liveness_budget,
             )
         });
         match detected {
-            Ok((cands, exhausted)) => {
-                if exhausted {
+            Ok((summary, cands)) => {
+                if summary.exhausted {
                     out.liveness_degraded += 1;
                     vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_LIVENESS);
                 }
+                out.summaries.insert(fid, summary);
                 out.candidates.extend(cands);
             }
             Err(message) => {
@@ -462,7 +334,6 @@ fn detect_with(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -646,13 +517,22 @@ mod tests {
     #[test]
     fn pointer_budget_exhaustion_falls_back_to_conservative_oracle() {
         // Exhausting the Andersen budget must not kill the run or drop
-        // alias-free findings: the detector swaps in the conservative
-        // address-taken oracle (a superset of the precise aliased-read set,
-        // so suppression only grows) and flags the degradation. `z` has no
-        // pointer involvement and must survive; `y` is address-taken and
-        // stays suppressed under both oracles.
+        // alias-free findings: the exhausted component's partial relation is
+        // discarded (indirect callees resolve to the conservative empty set,
+        // which only widens suppression) and the degradation is flagged. `z`
+        // has no pointer involvement and must survive; `y` is address-taken
+        // and stays suppressed under both oracles. The indirect call gives
+        // the demand oracle a component to actually solve (and exhaust).
         let src = "void write_it(int *p) { *p = 3; }\n\
-                   void f(void) { int y = 1; y = 2; write_it(&y); int z = 1; z = 2; use(z); }";
+                   int ha(void) { return 1; }\n\
+                   void f(void) {\n\
+                     int y = 1; y = 2; write_it(&y);\n\
+                     int *fp = ha;\n\
+                     int r = fp();\n\
+                     r = 7;\n\
+                     use(r);\n\
+                     int z = 1; z = 2; use(z);\n\
+                   }";
         let prog = Program::build(&[("a.c", src)], &[]).unwrap();
         let precise =
             detect_program_hardened(&prog, DetectConfig::default(), HardenConfig::default());

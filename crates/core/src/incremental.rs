@@ -33,15 +33,17 @@ use std::{
     sync::Arc,
 };
 
+use vc_dataflow::summary::{
+    SigInterner,
+    Summaries, //
+};
 use vc_ir::{
     program::BuildError,
     FuncId,
     Program, //
 };
-use vc_pointer::{
-    AliasUses,
-    PointsTo, //
-};
+use vc_obs::Budget;
+use vc_pointer::demand::DemandPointer;
 use vc_vcs::{
     CommitId,
     Repository, //
@@ -50,9 +52,10 @@ use vc_vcs::{
 use crate::{
     authorship::AuthorshipCtx,
     candidate::Candidate,
-    detect::detect_function,
+    detect::detect_unit,
     prune::{
         prune,
+        PeerScope,
         PeerStats,
         PruneConfig, //
     },
@@ -452,8 +455,11 @@ pub fn analyze_commit(
 
 /// The incremental fast path: analyses `commit` against a program already
 /// built for that snapshot (the equivalent of the paper's pre-compiled
-/// bitcode). Pointer analysis, alias facts, detection, and peer statistics
-/// are all scoped to the commit's changed files.
+/// bitcode). Detection runs only for the changed files' functions, each
+/// producing its summary once; pointer facts are resolved on demand per
+/// indirect-call candidate; peer statistics are scoped (via
+/// redundant-summary elimination) to the callees and signatures the
+/// surviving candidates actually reference.
 pub fn analyze_commit_in(
     prog: &Program,
     repo: &Repository,
@@ -474,11 +480,9 @@ pub fn analyze_commit_in(
         .map(|f| f.id)
         .collect();
 
-    // Per-file pointer analysis, as the paper runs SVF (§7): only the
-    // changed files' functions contribute constraints.
-    let pts = PointsTo::solve_files(prog, &changed_ids);
-    let alias = AliasUses::compute_files(prog, &pts, &changed_ids);
-
+    let interner = SigInterner::new(prog);
+    let oracle = DemandPointer::new(prog, vc_pointer::Config::default(), true);
+    let mut summaries = Summaries::default();
     let mut candidates: Vec<Candidate> = Vec::new();
     let mut analysed = 0usize;
     for (fi, f) in prog.funcs.iter().enumerate() {
@@ -486,12 +490,16 @@ pub fn analyze_commit_in(
             continue;
         }
         analysed += 1;
-        candidates.extend(detect_function(
+        let fid = FuncId(fi as u32);
+        let (summary, cands) = detect_unit(
             prog,
-            FuncId(fi as u32),
-            Some(&pts),
-            Some(&alias),
-        ));
+            fid,
+            interner.sig_of(fid),
+            Some(&oracle),
+            Budget::UNLIMITED,
+        );
+        summaries.insert(fid, summary);
+        candidates.extend(cands);
     }
 
     vc_obs::counter_inc(vc_obs::names::INCREMENTAL_COMMITS);
@@ -507,24 +515,12 @@ pub fn analyze_commit_in(
         .filter(|a| a.cross_scope)
         .collect();
     // Peer statistics scoped to what the candidates actually reference:
-    // the §8.6 incremental fast path (dead stores are only recomputed for
-    // functions sharing a relevant callee or signature).
-    let mut callees: HashSet<String> = HashSet::new();
-    let mut sigs: HashSet<Vec<vc_ir::types::Type>> = HashSet::new();
-    for a in &attributed {
-        match &a.candidate.scenario {
-            crate::candidate::Scenario::RetVal { callees: cs } => {
-                callees.extend(cs.iter().cloned());
-            }
-            crate::candidate::Scenario::Param { .. } => {
-                let f = prog.func(a.candidate.func);
-                sigs.insert(f.params.iter().map(|p| p.ty.clone()).collect());
-            }
-            crate::candidate::Scenario::Overwritten => {}
-        }
-    }
-    let peers = PeerStats::compute_scoped(prog, &callees, &sigs);
-    let outcome = prune(prog, prune_config, &peers, attributed);
+    // the §8.6 incremental fast path (summaries are only built for
+    // functions sharing a relevant callee or signature; everything else is
+    // eliminated before analysis).
+    let scope = PeerScope::from_items(&interner, &attributed);
+    let peers = PeerStats::compute_with(prog, interner, &mut summaries, Some(&scope));
+    let outcome = prune(prog, prune_config, &peers, &summaries, attributed);
     let findings = rank(prog, repo, rank_config, outcome.kept);
 
     CommitFindings {

@@ -11,6 +11,7 @@
 
 use std::time::Duration;
 
+use vc_dataflow::summary::SigInterner;
 use vc_ir::Program;
 use vc_obs::ObsSession;
 use vc_vcs::Repository;
@@ -32,6 +33,7 @@ use crate::{
     },
     prune::{
         prune,
+        PeerScope,
         PeerStats,
         PruneConfig,
         PruneOutcome,
@@ -239,7 +241,9 @@ pub(crate) fn run_stages(
     run_span: vc_obs::Span,
 ) -> Analysis {
     let candidates = outcome.candidates;
+    let mut summaries = outcome.summaries;
     let mut failures = outcome.failures;
+    let interner = SigInterner::new(prog);
     let raw_candidates = candidates.len();
 
     let authorship_span = obs.span("stage.authorship", "pipeline");
@@ -279,15 +283,20 @@ pub(crate) fn run_stages(
 
     let prune_span = obs.span("stage.prune", "pipeline");
     let prune_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_PRUNE);
-    let peers = PeerStats::compute(prog);
+    // Peer statistics consume the summaries detection already built;
+    // redundant-summary elimination skips every function that cannot
+    // answer a peer question the surviving candidates ask.
+    let scope = PeerScope::from_items(&interner, &filtered);
+    let peers = PeerStats::compute_with(prog, interner, &mut summaries, Some(&scope));
     // Pruning degrades whole-stage: a panic keeps every candidate (reports
     // may contain extra false positives, but nothing is lost).
     let prune_outcome = match harden::isolated(opts.harden.isolate, {
         let filtered = filtered.clone();
         let peers = &peers;
+        let summaries = &summaries;
         move || {
             harden::failpoint(FailStage::Prune, "<program>");
-            prune(prog, &opts.prune, peers, filtered)
+            prune(prog, &opts.prune, peers, summaries, filtered)
         }
     }) {
         Ok(outcome) => outcome,

@@ -10,14 +10,19 @@ use std::collections::{
     HashSet, //
 };
 
-use vc_dataflow::dead_stores;
+use vc_dataflow::summary::{
+    SelfDelta,
+    SigId,
+    SigInterner,
+    Summaries, //
+};
 use vc_ir::{
-    cfg::Cfg,
     ir::{
         Inst,
         StoreInfo, //
     },
-    types::Type,
+    FileId,
+    FuncId,
     Program,
     VarKey, //
 };
@@ -113,6 +118,39 @@ impl PruneOutcome {
     }
 }
 
+/// The cross-scope questions a candidate set can ask of the peer
+/// statistics: which callees' retval-ignore rates matter, and which
+/// (interned) signatures' parameter-unuse rates matter. Redundant-summary
+/// elimination drops every function that can answer neither question
+/// before its summary is ever built.
+#[derive(Clone, Debug, Default)]
+pub struct PeerScope {
+    /// Callees some candidate's RetVal scenario names.
+    pub callees: HashSet<String>,
+    /// Signatures some candidate's Param scenario belongs to.
+    pub sigs: HashSet<SigId>,
+}
+
+impl PeerScope {
+    /// The scope induced by a candidate set: the only peer questions the
+    /// prune stage will ever ask about these items.
+    pub fn from_items(interner: &SigInterner, items: &[Attributed]) -> PeerScope {
+        let mut scope = PeerScope::default();
+        for item in items {
+            match &item.candidate.scenario {
+                Scenario::RetVal { callees } => {
+                    scope.callees.extend(callees.iter().cloned());
+                }
+                Scenario::Param { .. } => {
+                    scope.sigs.insert(interner.sig_of(item.candidate.func));
+                }
+                Scenario::Overwritten => {}
+            }
+        }
+        scope
+    }
+}
+
 /// Program-wide usage statistics backing peer-definition pruning:
 /// per callee, how many call sites exist and how many ignore the result;
 /// per function signature and parameter index, how many functions leave the
@@ -121,126 +159,124 @@ impl PruneOutcome {
 pub struct PeerStats {
     /// callee name → (call sites, sites whose result is unused).
     pub retval: HashMap<String, (usize, usize)>,
-    /// (signature, param index) → (functions with that signature, functions
-    /// whose parameter at the index is unused).
-    pub params: HashMap<(Vec<Type>, usize), (usize, usize)>,
+    /// (interned signature, param index) → (functions with that signature,
+    /// functions whose parameter at the index is unused).
+    pub params: HashMap<(SigId, usize), (usize, usize)>,
+    /// The signature interner the `params` keys were minted from.
+    sigs: SigInterner,
 }
 
 impl PeerStats {
-    /// Computes peer statistics for a program.
+    /// Computes peer statistics for a program, building summaries as
+    /// needed into a throwaway store. Pipeline callers use
+    /// [`PeerStats::compute_with`] to share the detect stage's summaries
+    /// and scope the work to the surviving candidates.
+    pub fn compute(prog: &Program) -> PeerStats {
+        let mut summaries = Summaries::default();
+        Self::compute_with(prog, SigInterner::new(prog), &mut summaries, None)
+    }
+
+    /// Computes peer statistics from shared per-function summaries.
     ///
     /// A call site's return value counts as unused when the store of the
     /// result (explicit or synthetic) is a dead store; call sites whose
     /// result feeds an expression directly have no such store and count as
     /// used. A parameter counts as unused when its entry definition is dead.
-    pub fn compute(prog: &Program) -> PeerStats {
-        Self::compute_filtered(prog, None, None)
-    }
-
-    /// Computes peer statistics restricted to the given callees and
-    /// parameter signatures — the incremental analyzer's fast path (§8.6):
-    /// only functions that call a relevant callee or share a relevant
-    /// signature need their dead stores computed.
-    pub fn compute_scoped(
+    ///
+    /// With a [`PeerScope`], redundant-summary elimination applies: a
+    /// function that neither calls a scoped callee nor shares a scoped
+    /// signature cannot contribute to any peer question the candidate set
+    /// will ask, so its summary is skipped entirely (counted as
+    /// `summary.eliminated`). Cached summaries are reused (counted as
+    /// `summary.reused`); missing ones are built on demand.
+    pub fn compute_with(
         prog: &Program,
-        callees: &std::collections::HashSet<String>,
-        sigs: &std::collections::HashSet<Vec<Type>>,
+        sigs: SigInterner,
+        summaries: &mut Summaries,
+        scope: Option<&PeerScope>,
     ) -> PeerStats {
-        Self::compute_filtered(prog, Some(callees), Some(sigs))
-    }
-
-    fn compute_filtered(
-        prog: &Program,
-        callees: Option<&std::collections::HashSet<String>>,
-        sigs: Option<&std::collections::HashSet<Vec<Type>>>,
-    ) -> PeerStats {
-        let mut stats = PeerStats::default();
-        // Count call sites per callee (an index scan; no analysis).
+        let mut stats = PeerStats {
+            retval: HashMap::new(),
+            params: HashMap::new(),
+            sigs,
+        };
+        // Count call sites per callee (an index scan; no analysis) and,
+        // when scoped, collect the callers whose summaries can still
+        // contribute retval-unused counts.
+        let mut relevant_callers: HashSet<FuncId> = HashSet::new();
         for (callee, sites) in prog.call_index() {
-            if callees.map(|cs| cs.contains(&callee)).unwrap_or(true) {
-                stats.retval.entry(callee).or_default().0 = sites.len();
+            let wanted = scope.map(|s| s.callees.contains(callee)).unwrap_or(true);
+            if wanted {
+                if scope.is_some() {
+                    relevant_callers.extend(sites.iter().map(|s| s.caller));
+                }
+                stats.retval.entry(callee.clone()).or_default().0 = sites.len();
             }
         }
-        for f in &prog.funcs {
-            let sig: Vec<Type> = f.params.iter().map(|p| p.ty.clone()).collect();
-            let sig_relevant = sigs.map(|ss| ss.contains(&sig)).unwrap_or(true);
-            let calls_relevant = match callees {
-                None => true,
-                Some(cs) => f.blocks.iter().any(|bb| {
-                    bb.insts.iter().any(|inst| {
-                        matches!(
-                            inst,
-                            Inst::Call {
-                                callee: vc_ir::ir::Callee::Direct(name),
-                                ..
-                            } if cs.contains(name)
-                        )
-                    })
-                }),
+        for (fi, f) in prog.funcs.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            let sig = stats.sigs.sig_of(fid);
+            let (sig_relevant, calls_relevant) = match scope {
+                None => (true, true),
+                Some(s) => (s.sigs.contains(&sig), relevant_callers.contains(&fid)),
             };
             if !sig_relevant && !calls_relevant {
+                // Redundant-summary elimination: no peer question this
+                // candidate set asks can reach this function.
+                vc_obs::counter_inc(vc_obs::names::SUMMARY_ELIMINATED);
                 continue;
             }
-            Self::accumulate(&mut stats, f, &sig, sig_relevant, calls_relevant, callees);
-        }
-        stats
-    }
-
-    fn accumulate(
-        stats: &mut PeerStats,
-        f: &vc_ir::Function,
-        sig: &[Type],
-        sig_relevant: bool,
-        calls_relevant: bool,
-        callees: Option<&std::collections::HashSet<String>>,
-    ) {
-        let cfg = Cfg::new(f);
-        let dead = dead_stores(f, &cfg);
-        let dead_keys: HashSet<(u32, usize)> =
-            dead.iter().map(|d| (d.block.0, d.inst_idx)).collect();
-        // Dead retval stores.
-        if calls_relevant {
-            for (bid, bb) in f.iter_blocks() {
-                for (idx, inst) in bb.insts.iter().enumerate() {
-                    if let Inst::Store {
-                        info: StoreInfo::RetVal { callee, .. },
-                        ..
-                    } = inst
-                    {
-                        let wanted = callees.map(|cs| cs.contains(callee)).unwrap_or(true);
-                        if wanted && dead_keys.contains(&(bid.0, idx)) {
+            let summary = summaries.get_or_build(f, fid, sig);
+            // Dead retval stores.
+            if calls_relevant {
+                for d in &summary.dead {
+                    if let StoreInfo::RetVal { callee, .. } = &d.info {
+                        let wanted = scope.map(|s| s.callees.contains(callee)).unwrap_or(true);
+                        if wanted {
                             stats.retval.entry(callee.clone()).or_default().1 += 1;
                         }
                     }
                 }
             }
-        }
-        // Parameter usage per signature.
-        if sig_relevant {
-            for (i, p) in f.params.iter().enumerate() {
-                let entry = stats.params.entry((sig.to_vec(), i)).or_default();
-                entry.0 += 1;
-                let param_dead = dead.iter().any(|d| {
-                    d.key == VarKey::Local(p.local) && matches!(d.info, StoreInfo::ParamInit { .. })
-                });
-                if param_dead {
-                    entry.1 += 1;
+            // Parameter usage per signature.
+            if sig_relevant {
+                for (i, p) in f.params.iter().enumerate() {
+                    let entry = stats.params.entry((sig, i)).or_default();
+                    entry.0 += 1;
+                    let param_dead = summary.dead.iter().any(|d| {
+                        d.key == VarKey::Local(p.local)
+                            && matches!(d.info, StoreInfo::ParamInit { .. })
+                    });
+                    if param_dead {
+                        entry.1 += 1;
+                    }
                 }
             }
         }
+        stats
+    }
+
+    /// The interned signature of `fid` under the interner these stats were
+    /// built with.
+    pub fn sig_of(&self, fid: FuncId) -> SigId {
+        self.sigs.sig_of(fid)
     }
 }
 
-/// Runs the pruning pipeline over attributed candidates.
+/// Runs the pruning pipeline over attributed candidates, consulting the
+/// shared per-function summaries (cursor facts) and a per-file line index
+/// built lazily, once per file (unused hints).
 pub fn prune(
     prog: &Program,
     config: &PruneConfig,
     peers: &PeerStats,
+    summaries: &Summaries,
     items: Vec<Attributed>,
 ) -> PruneOutcome {
     let mut out = PruneOutcome::default();
+    let mut lines: HashMap<FileId, Vec<&str>> = HashMap::new();
     for item in items {
-        match prune_one(prog, config, peers, &item) {
+        match prune_one(prog, config, peers, summaries, &mut lines, &item) {
             Some(reason) => out.pruned.push((item, reason)),
             None => out.kept.push(item),
         }
@@ -250,10 +286,12 @@ pub fn prune(
 
 /// Applies the pipeline to one candidate; returns the first reason that
 /// fires, or `None` to keep it.
-fn prune_one(
-    prog: &Program,
+fn prune_one<'p>(
+    prog: &'p Program,
     config: &PruneConfig,
     peers: &PeerStats,
+    summaries: &Summaries,
+    lines: &mut HashMap<FileId, Vec<&'p str>>,
     item: &Attributed,
 ) -> Option<PruneReason> {
     let cand = &item.candidate;
@@ -270,43 +308,50 @@ fn prune_one(
 
     // §5.2 Cursor: the definition is a constant self-offset and every
     // self-offset of this variable in the function uses the same constant.
+    // The summary's per-key delta map answers this without rescanning the
+    // instruction stream per candidate.
     if config.cursor {
         if let StoreInfo::SelfOffset { delta } = cand.info {
-            let mut all_same = true;
-            for bb in &f.blocks {
-                for inst in &bb.insts {
-                    if let Inst::Store {
-                        place,
-                        info: StoreInfo::SelfOffset { delta: d },
-                        ..
-                    } = inst
-                    {
-                        if place.var_key() == Some(cand.key) && *d != delta {
-                            all_same = false;
-                        }
-                    }
-                }
-            }
-            if all_same {
+            let uniform = match summaries.get(cand.func) {
+                Some(s) => matches!(s.self_offsets.get(&cand.key), Some(SelfDelta::Uniform(_))),
+                // Defensive fallback when no summary reached the prune
+                // stage for this function: the original inline scan.
+                None => !f.blocks.iter().any(|bb| {
+                    bb.insts.iter().any(|inst| {
+                        matches!(
+                            inst,
+                            Inst::Store {
+                                place,
+                                info: StoreInfo::SelfOffset { delta: d },
+                                ..
+                            } if place.var_key() == Some(cand.key) && *d != delta
+                        )
+                    })
+                }),
+            };
+            if uniform {
                 return Some(PruneReason::Cursor);
             }
         }
     }
 
     // §5.3 Unused hints: attributes, or the keyword `unused` on the
-    // definition's source line.
+    // definition's source line. Synthetic spans carry no real source line
+    // (`line() == 0`) and must not be matched against any text.
     if config.unused_hints {
         if cand.unused_attr {
             return Some(PruneReason::UnusedHint);
         }
-        if let Some(file) = prog.source.file(cand.span.file) {
-            if let Some(line) = file
-                .content
-                .lines()
-                .nth((cand.span.line() as usize).saturating_sub(1))
-            {
-                if line.to_ascii_lowercase().contains("unused") {
-                    return Some(PruneReason::UnusedHint);
+        let line_no = cand.span.line() as usize;
+        if line_no > 0 {
+            if let Some(file) = prog.source.file(cand.span.file) {
+                let index = lines
+                    .entry(cand.span.file)
+                    .or_insert_with(|| file.content.lines().collect());
+                if let Some(line) = index.get(line_no - 1) {
+                    if line.to_ascii_lowercase().contains("unused") {
+                        return Some(PruneReason::UnusedHint);
+                    }
                 }
             }
         }
@@ -328,7 +373,7 @@ fn prune_one(
                 }
             }
             Scenario::Param { index } => {
-                let sig: Vec<Type> = f.params.iter().map(|p| p.ty.clone()).collect();
+                let sig = peers.sig_of(cand.func);
                 if let Some((total, unused)) = peers.params.get(&(sig, *index)) {
                     if *total >= config.peer_min_occurrences
                         && (*unused as f64) > (*total as f64) * config.peer_unused_ratio
@@ -350,9 +395,10 @@ mod tests {
     use crate::{
         authorship::AuthorshipCtx,
         detect::{
-            detect_program,
+            detect_program_hardened,
             DetectConfig, //
         },
+        harden::HardenConfig,
     };
     use vc_vcs::{
         FileWrite,
@@ -372,10 +418,17 @@ mod tests {
                 content: src.into(),
             }],
         );
-        let cands = detect_program(&prog, DetectConfig::default());
-        let attributed = AuthorshipCtx::new(&prog, &repo).attribute_all(&cands);
-        let peers = PeerStats::compute(&prog);
-        let outcome = prune(&prog, &PruneConfig::default(), &peers, attributed);
+        let out = detect_program_hardened(&prog, DetectConfig::default(), HardenConfig::default());
+        let attributed = AuthorshipCtx::new(&prog, &repo).attribute_all(&out.candidates);
+        let mut summaries = out.summaries;
+        let peers = PeerStats::compute_with(&prog, SigInterner::new(&prog), &mut summaries, None);
+        let outcome = prune(
+            &prog,
+            &PruneConfig::default(),
+            &peers,
+            &summaries,
+            attributed,
+        );
         (outcome, prog)
     }
 
@@ -515,6 +568,51 @@ mod tests {
                 .map(|(a, r)| (a.candidate.func_name.clone(), *r))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn line_zero_span_is_never_matched_against_line_one() {
+        // Regression: a span with no real source line (`line() == 0`) used
+        // to saturate to line 1 via `saturating_sub`-style arithmetic and
+        // get matched against the file's first line — falsely pruning
+        // whenever line 1 happened to contain "unused".
+        let src = "int unused_helper(void);\nvoid f(void) {\nint a = 1;\nuse(a);\n}\n";
+        let prog = Program::build(&[("a.c", src)], &[]).unwrap();
+        let item = Attributed {
+            candidate: crate::candidate::Candidate {
+                func: FuncId(0),
+                func_name: "f".into(),
+                key: VarKey::Local(vc_ir::ir::LocalId(0)),
+                var_name: "a".into(),
+                span: vc_ir::Span::point(FileId(0), 0, 0),
+                scenario: Scenario::Overwritten,
+                overwriters: Vec::new(),
+                info: StoreInfo::Normal,
+                synthetic: false,
+                unused_attr: false,
+                low_confidence: false,
+            },
+            def_author: None,
+            counterpart_authors: Vec::new(),
+            cross_scope: true,
+            authorship_unknown: false,
+        };
+        let summaries = Summaries::default();
+        let peers = PeerStats::compute(&prog);
+        let out = prune(
+            &prog,
+            &PruneConfig::default(),
+            &peers,
+            &summaries,
+            vec![item],
+        );
+        assert_eq!(
+            out.count(PruneReason::UnusedHint),
+            0,
+            "a line-0 span must not match line 1's text: {:?}",
+            out.pruned
+        );
+        assert_eq!(out.kept.len(), 1);
     }
 
     #[test]

@@ -27,10 +27,11 @@
 //!   chosen journal offset — optionally mid-record, to manufacture torn
 //!   writes — for the kill-at-random-point sweep in the workload crate.
 //!
-//! The pointer/alias stage still runs once, single-threaded, before any
-//! unit is scheduled (it is whole-program and cheap relative to the
-//! per-function fixpoints); it is deterministic, so a resumed run
-//! recomputes it and merges bit-identical facts with the replayed units.
+//! The demand pointer oracle is partitioned once (no solving) before any
+//! unit is scheduled; components solve lazily under the oracle's own lock
+//! when a unit's classification needs indirect-call callees. Component
+//! solves are deterministic, so a resumed run merges bit-identical facts
+//! with the replayed units.
 
 use std::{
     collections::{BTreeMap, HashMap, VecDeque},
@@ -43,6 +44,10 @@ use std::{
     time::{Duration, Instant},
 };
 
+use vc_dataflow::summary::{
+    FnSummary,
+    SigInterner, //
+};
 use vc_ir::{
     FileId,
     FuncId,
@@ -54,10 +59,7 @@ use vc_ir::{
     VarKey, //
 };
 use vc_obs::{ObsSession, MAIN_TID};
-use vc_pointer::{
-    AliasUses,
-    PointsTo, //
-};
+use vc_pointer::demand::DemandPointer;
 
 use crate::{
     candidate::{
@@ -65,8 +67,9 @@ use crate::{
         Scenario, //
     },
     detect::{
-        detect_function_budgeted,
-        pointer_stage,
+        demand_oracle,
+        detect_unit,
+        finalize_pointer_stage,
         DetectConfig,
         DetectOutcome, //
     },
@@ -807,6 +810,10 @@ enum UnitOutcome {
     Ok {
         candidates: Vec<Candidate>,
         exhausted: bool,
+        /// The function's summary, handed to the prune stage. `None` for
+        /// journal-replayed units (summaries are not journaled; the prune
+        /// stage rebuilds on demand).
+        summary: Option<FnSummary>,
     },
     Fail(FailureRecord),
 }
@@ -823,8 +830,8 @@ struct ExecState {
 
 struct Shared<'p> {
     prog: &'p Program,
-    pts: Option<&'p PointsTo>,
-    alias: Option<&'p AliasUses>,
+    oracle: Option<&'p DemandPointer<'p>>,
+    interner: &'p SigInterner,
     hconf: HardenConfig,
     sconf: &'p SentinelConfig,
     state: Mutex<ExecState>,
@@ -843,6 +850,7 @@ impl Shared<'_> {
                 UnitOutcome::Ok {
                     candidates,
                     exhausted,
+                    ..
                 } => UnitRecord::Ok {
                     unit,
                     func: self.prog.func(FuncId(unit as u32)).name.clone(),
@@ -976,11 +984,11 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
                     .span_on(&format!("unit.{}", f.name), "sentinel", tid);
             let _unit_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_WORKER);
             harden::failpoint(FailStage::Detect, &f.name);
-            detect_function_budgeted(
+            detect_unit(
                 shared.prog,
                 fid,
-                shared.pts,
-                shared.alias,
+                shared.interner.sig_of(fid),
+                shared.oracle,
                 shared.hconf.liveness_budget,
             )
         });
@@ -995,14 +1003,16 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
         }
         state.in_flight.remove(&task.unit);
         match result {
-            Ok((candidates, exhausted)) => {
+            Ok((summary, candidates)) => {
                 vc_obs::counter_inc(vc_obs::names::SENTINEL_UNITS_COMPLETED);
+                let exhausted = summary.exhausted;
                 shared.resolve(
                     &mut state,
                     task.unit,
                     UnitOutcome::Ok {
                         candidates,
                         exhausted,
+                        summary: Some(summary),
                     },
                 );
             }
@@ -1102,8 +1112,10 @@ pub fn detect_program_sentinel(
     let total = prog.funcs.len();
     vc_obs::counter_add(vc_obs::names::SENTINEL_UNITS, total as u64);
 
-    // Pointer/alias stage: once, single-threaded, before any unit.
-    let (pts, alias) = pointer_stage(prog, config, hconf, &mut out);
+    // Demand pointer oracle: partitioned once, single-threaded, before any
+    // unit; components solve lazily under the oracle's lock.
+    let oracle = demand_oracle(prog, config, hconf);
+    let interner = SigInterner::new(prog);
 
     // Journal replay (resume) or creation.
     let fingerprint = scan_fingerprint(prog, config, &hconf, sconf);
@@ -1175,8 +1187,8 @@ pub fn detect_program_sentinel(
 
     let shared = Shared {
         prog,
-        pts: pts.as_ref(),
-        alias: alias.as_ref(),
+        oracle: oracle.as_ref(),
+        interner: &interner,
         hconf,
         sconf,
         state: Mutex::new(state),
@@ -1231,20 +1243,25 @@ pub fn detect_program_sentinel(
             } => UnitOutcome::Ok {
                 candidates,
                 exhausted,
+                summary: None,
             },
             UnitRecord::Fail { failure, .. } => UnitOutcome::Fail(failure),
         };
         merged.insert(unit, outcome);
     }
-    for (_, outcome) in merged {
+    for (unit, outcome) in merged {
         match outcome {
             UnitOutcome::Ok {
                 candidates,
                 exhausted,
+                summary,
             } => {
                 if exhausted {
                     out.liveness_degraded += 1;
                     vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_LIVENESS);
+                }
+                if let Some(s) = summary {
+                    out.summaries.insert(FuncId(unit as u32), s);
                 }
                 out.candidates.extend(candidates);
             }
@@ -1254,6 +1271,7 @@ pub fn detect_program_sentinel(
     if let Some(j) = &shared.journal {
         let _ = lock(j).sync();
     }
+    finalize_pointer_stage(oracle.as_ref(), &mut out);
     out
 }
 

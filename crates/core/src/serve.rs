@@ -46,9 +46,14 @@
 //! ## Warm-state invalidation
 //!
 //! Unit-cache keys bind the *content*: file position, file name, file
-//! bytes, function name and ordinal, the function's pointer-analysis
-//! fingerprint (aliased locals + resolved indirect callees + degradation
-//! flag), the preprocessor defines, and the detect/harden configuration.
+//! bytes, function name and ordinal, the function's pointer fingerprint
+//! (resolved indirect callees + degradation flag — a constant for the
+//! common function with no indirect calls, so no pointer component is
+//! solved on its behalf), the preprocessor defines, and the detect/harden
+//! configuration. Each cached unit carries the function's [`FnSummary`]
+//! alongside its candidates, so a warm hit hands the prune stage its
+//! summary without rebuilding dataflow facts (counted under
+//! `summary.reused`).
 //! Any input that could change a function's analysis changes its key, so
 //! a stale entry is unreachable rather than wrong. On top of the keys,
 //! the dirty closure (functions in changed files, plus callers and
@@ -70,6 +75,7 @@ use std::{
     time::{Duration, Instant},
 };
 
+use vc_dataflow::summary::{FnSummary, SigInterner};
 use vc_ir::{
     ir::Callee,
     program::ParseCache,
@@ -78,12 +84,12 @@ use vc_ir::{
     Program, //
 };
 use vc_obs::{Json, ObsSession};
-use vc_pointer::{AliasUses, PointsTo};
+use vc_pointer::demand::DemandPointer;
 
 use crate::{
     candidate::Candidate,
     delta::{fingerprint_ranked, Finding},
-    detect::{detect_function_budgeted, pointer_stage, DetectOutcome},
+    detect::{demand_oracle, detect_unit, finalize_pointer_stage, DetectOutcome},
     harden::{self, FailStage, FailureRecord},
     incremental::SnapshotStore,
     pipeline::{run_stages, Options},
@@ -127,6 +133,9 @@ impl Default for ServeConfig {
 struct CachedUnit {
     candidates: Vec<Candidate>,
     exhausted: bool,
+    /// The function's dataflow summary, reused by the prune stage on a
+    /// warm hit instead of re-solving liveness/defs (`summary.reused`).
+    summary: FnSummary,
 }
 
 /// Warm state carried between requests.
@@ -193,25 +202,16 @@ fn tree_checksum(sources: &[(String, String)]) -> u64 {
     h
 }
 
-/// The part of the pointer stage one function's detection can observe:
-/// which of its locals are aliased-read, how its indirect calls resolve,
-/// and whether the stage degraded. Two requests whose pointer stages agree
-/// on this fingerprint give the function byte-identical candidates.
-fn pointer_fingerprint(
-    fid: FuncId,
-    f: &vc_ir::Function,
-    pts: Option<&PointsTo>,
-    alias: Option<&AliasUses>,
-    degraded: bool,
-) -> u64 {
+/// The part of the pointer analysis one function's detection can observe:
+/// how its indirect calls resolve, and whether the demand solves degraded.
+/// Two requests whose pointer analyses agree on this fingerprint give the
+/// function byte-identical candidates. Functions with no indirect calls
+/// cannot observe the pointer stage at all (the precise aliased-read set
+/// is subsumed by the content-derived escape set), so they hash to a
+/// constant and never force a component solve.
+fn pointer_fingerprint(fid: FuncId, f: &vc_ir::Function, oracle: Option<&DemandPointer>) -> u64 {
     let mut h = FNV_SEED;
-    if let Some(a) = alias {
-        for l in 0..f.locals.len() {
-            if a.is_aliased_read(fid, vc_ir::ir::LocalId(l as u32)) {
-                h = fnv1a_field(h, &(l as u32).to_le_bytes());
-            }
-        }
-    }
+    let mut any = false;
     for bb in &f.blocks {
         for inst in &bb.insts {
             if let vc_ir::ir::Inst::Call {
@@ -219,8 +219,9 @@ fn pointer_fingerprint(
                 ..
             } = inst
             {
-                let names = match pts {
-                    Some(p) => p.resolve_fn_ptr(fid, *t),
+                any = true;
+                let names = match oracle {
+                    Some(o) => o.resolve_fn_ptr(fid, *t),
                     None => Vec::new(),
                 };
                 h = fnv1a_field(h, &t.0.to_le_bytes());
@@ -230,10 +231,11 @@ fn pointer_fingerprint(
             }
         }
     }
-    fnv1a_field(
-        h,
-        &[alias.is_some() as u8, pts.is_some() as u8, degraded as u8],
-    )
+    if !any {
+        return fnv1a_field(h, &[0]);
+    }
+    let degraded = oracle.map(|o| o.degraded()).unwrap_or(false);
+    fnv1a_field(h, &[1, oracle.is_some() as u8, degraded as u8])
 }
 
 /// The warm scan engine: everything `vcheck serve` does to a request,
@@ -481,9 +483,11 @@ impl ServeEngine {
         dirty
     }
 
-    /// The warm detection pass: pointer stage fresh (it is whole-program),
-    /// per-function results from the unit cache when clean and not dirty.
-    /// Mirrors `detect_program_hardened` exactly on a cold cache.
+    /// The warm detection pass: the demand pointer oracle is partitioned
+    /// fresh (components solve lazily, only when an indirect call's
+    /// fingerprint or detection needs them), per-function results come
+    /// from the unit cache when clean and not dirty. Mirrors
+    /// `detect_program_hardened` exactly on a cold cache.
     fn detect_warm(
         &mut self,
         prog: &Program,
@@ -493,7 +497,8 @@ impl ServeEngine {
         let opts = &self.config.opts;
         let hconf = opts.harden;
         let mut out = DetectOutcome::default();
-        let (pts, alias) = pointer_stage(prog, opts.detect, hconf, &mut out);
+        let oracle = demand_oracle(prog, opts.detect, hconf);
+        let interner = SigInterner::new(prog);
         let config_salt = {
             let mut h = FNV_SEED;
             h = fnv1a_field(h, format!("{:?}", opts.detect).as_bytes());
@@ -543,8 +548,7 @@ impl ServeEngine {
                     break;
                 }
             }
-            let pf =
-                pointer_fingerprint(fid, f, pts.as_ref(), alias.as_ref(), out.pointer_degraded);
+            let pf = pointer_fingerprint(fid, f, oracle.as_ref());
             let key = {
                 let mut h = config_salt;
                 h = fnv1a_field(h, &f.file.0.to_le_bytes());
@@ -566,6 +570,7 @@ impl ServeEngine {
                 if let Some(unit) = self.units.get(&key) {
                     hits += 1;
                     vc_obs::counter_inc(vc_obs::names::SERVE_UNIT_HITS);
+                    vc_obs::counter_inc(vc_obs::names::SUMMARY_REUSED);
                     if unit.exhausted {
                         out.liveness_degraded += 1;
                         vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_LIVENESS);
@@ -578,6 +583,9 @@ impl ServeEngine {
                         c.func = fid;
                         c
                     }));
+                    let mut summary = unit.summary.clone();
+                    summary.sig = interner.sig_of(fid);
+                    out.summaries.insert(fid, summary);
                     next_units.insert(key, unit.clone());
                     continue;
                 }
@@ -586,16 +594,17 @@ impl ServeEngine {
             vc_obs::counter_inc(vc_obs::names::SERVE_UNIT_MISSES);
             let detected = harden::isolated(hconf.isolate, || {
                 harden::failpoint(FailStage::Detect, &f.name);
-                detect_function_budgeted(
+                detect_unit(
                     prog,
                     fid,
-                    pts.as_ref(),
-                    alias.as_ref(),
+                    interner.sig_of(fid),
+                    oracle.as_ref(),
                     hconf.liveness_budget,
                 )
             });
             match detected {
-                Ok((cands, exhausted)) => {
+                Ok((summary, cands)) => {
+                    let exhausted = summary.exhausted;
                     if exhausted {
                         out.liveness_degraded += 1;
                         vc_obs::counter_inc(vc_obs::names::HARDEN_DEGRADED_LIVENESS);
@@ -605,8 +614,10 @@ impl ServeEngine {
                         CachedUnit {
                             candidates: cands.clone(),
                             exhausted,
+                            summary: summary.clone(),
                         },
                     );
+                    out.summaries.insert(fid, summary);
                     out.candidates.extend(cands);
                 }
                 Err(message) => {
@@ -622,6 +633,7 @@ impl ServeEngine {
         }
         // Generational sweep: entries the current tree did not touch die.
         self.units = next_units;
+        finalize_pointer_stage(oracle.as_ref(), &mut out);
         if deadline_exceeded {
             for c in &mut out.candidates {
                 c.low_confidence = true;

@@ -19,7 +19,12 @@ use vc_vcs::{
 };
 
 /// The Figure 1a + Figure 8 programs with a two-author history (author 2
-/// rewrites the overwriting lines, making both bugs cross-scope).
+/// rewrites the overwriting lines, making both bugs cross-scope). The
+/// trailing `dispatch` function stores the result of an *indirect* call
+/// into a dead local, so the demand pointer oracle must solve its
+/// component — keeping the `pointer.*` counters and the `pointer.solve`
+/// span live now that functions without indirect calls never touch the
+/// pointer stage.
 fn two_author_setup() -> (Program, Repository) {
     let src = "int next_attr(int *bm);\n\
                int get_permset(void);\n\
@@ -33,6 +38,13 @@ fn two_author_setup() -> (Program, Repository) {
                int ret = get_permset();\n\
                ret = calc_mask();\n\
                if (ret) { handle(); }\n\
+               }\n\
+               int ha(void) { return 1; }\n\
+               void dispatch(void) {\n\
+               int fp = ha;\n\
+               int r = fp();\n\
+               r = 7;\n\
+               use(r);\n\
                }\n";
     let prog = Program::build(&[("nfs.c", src)], &[]).unwrap();
     let mut repo = Repository::new();

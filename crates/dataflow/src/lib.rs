@@ -5,15 +5,20 @@
 //! - a generic worklist [`framework`] (forward/backward, fixed-point),
 //! - field-sensitive [`liveness`] with a flow-sensitive dead-store finder —
 //!   the raw unused-definition detector of the paper's §4.1,
+//! - [`dense`], the bitset-backed liveness the summary builder runs (same
+//!   lattice as [`liveness`], facts as `u64` words over a per-function key
+//!   index),
 //! - forward [`reaching`] definitions and def-use chains,
 //! - [`dominators`] as an independent control-flow oracle,
 //! - [`varset::VarKeySet`], the variable-key set with field-covering
 //!   semantics shared by every client.
 
+pub mod dense;
 pub mod dominators;
 pub mod framework;
 pub mod liveness;
 pub mod reaching;
+pub mod summary;
 pub mod varset;
 
 pub use framework::{
@@ -28,5 +33,15 @@ pub use liveness::{
     escaped_locals,
     live_variables,
     DeadStore, //
+};
+pub use summary::{
+    build_summary,
+    CallTarget,
+    FnSummary,
+    SelfDelta,
+    SigId,
+    SigInterner,
+    Summaries,
+    SummaryDead, //
 };
 pub use varset::VarKeySet;

@@ -4,8 +4,12 @@
 //! variable keeps each of its fields live, and a whole-variable store kills
 //! every field. [`VarKeySet`] centralizes those rules so liveness, the
 //! detector's define-set, and the baselines all agree on them.
-
-use std::collections::BTreeSet;
+//!
+//! The set is backed by a sorted, deduplicated `Vec`: summaries retain one
+//! def set and one use set per function for a whole scan, and a single
+//! flat allocation per set keeps that residency far cheaper than tree
+//! nodes. `VarKey`'s derived order places every `Field(l, _)` run
+//! contiguously, so the covering queries stay range scans.
 
 use vc_ir::{
     LocalId,
@@ -15,7 +19,8 @@ use vc_ir::{
 /// A set of variable keys with field-covering queries.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VarKeySet {
-    set: BTreeSet<VarKey>,
+    /// Sorted and deduplicated.
+    set: Vec<VarKey>,
 }
 
 impl VarKeySet {
@@ -26,12 +31,18 @@ impl VarKeySet {
 
     /// Inserts a key, returning true if it was absent.
     pub fn insert(&mut self, key: VarKey) -> bool {
-        self.set.insert(key)
+        match self.set.binary_search(&key) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.set.insert(pos, key);
+                true
+            }
+        }
     }
 
     /// Exact membership (no covering).
     pub fn contains_exact(&self, key: VarKey) -> bool {
-        self.set.contains(&key)
+        self.set.binary_search(&key).is_ok()
     }
 
     /// Covering membership:
@@ -41,44 +52,46 @@ impl VarKeySet {
     /// - `Field(l, n)` is covered if that field **or the whole variable** is
     ///   present (a whole-variable use reads every field).
     pub fn contains_covering(&self, key: VarKey) -> bool {
-        if self.set.contains(&key) {
+        if self.contains_exact(key) {
             return true;
         }
         match key {
             VarKey::Local(l) => self.any_field_of(l),
-            VarKey::Field(l, _) => self.set.contains(&VarKey::Local(l)),
+            VarKey::Field(l, _) => self.contains_exact(VarKey::Local(l)),
         }
     }
 
     /// Whether any `Field(l, _)` key is present.
     pub fn any_field_of(&self, l: LocalId) -> bool {
-        self.set
-            .range(VarKey::Field(l, 0)..=VarKey::Field(l, u32::MAX))
-            .next()
-            .is_some()
+        let start = self.set.partition_point(|k| *k < VarKey::Field(l, 0));
+        matches!(self.set.get(start), Some(VarKey::Field(fl, _)) if *fl == l)
     }
 
     /// Removes everything a store to `key` overwrites: the key itself, and
     /// for whole-variable stores every field of the variable.
     pub fn remove_killed(&mut self, key: VarKey) {
-        self.set.remove(&key);
+        if let Ok(pos) = self.set.binary_search(&key) {
+            self.set.remove(pos);
+        }
         if let VarKey::Local(l) = key {
-            let fields: Vec<VarKey> = self
-                .set
-                .range(VarKey::Field(l, 0)..=VarKey::Field(l, u32::MAX))
-                .copied()
-                .collect();
-            for f in fields {
-                self.set.remove(&f);
+            let start = self.set.partition_point(|k| *k < VarKey::Field(l, 0));
+            let mut end = start;
+            while matches!(self.set.get(end), Some(VarKey::Field(fl, _)) if *fl == l) {
+                end += 1;
             }
+            self.set.drain(start..end);
         }
     }
 
     /// Unions another set into this one; returns true if anything was added.
     pub fn union_with(&mut self, other: &VarKeySet) -> bool {
         let before = self.set.len();
-        self.set.extend(other.set.iter().copied());
-        self.set.len() != before
+        let mut added = false;
+        for &key in &other.set {
+            added |= self.insert(key);
+        }
+        debug_assert!(added == (self.set.len() != before));
+        added
     }
 
     /// Number of keys.
@@ -99,12 +112,12 @@ impl VarKeySet {
 
 impl FromIterator<VarKey> for VarKeySet {
     fn from_iter<T: IntoIterator<Item = VarKey>>(iter: T) -> Self {
-        Self {
-            set: iter.into_iter().collect(),
-        }
+        let mut set: Vec<VarKey> = iter.into_iter().collect();
+        set.sort_unstable();
+        set.dedup();
+        Self { set }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

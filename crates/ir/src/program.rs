@@ -347,6 +347,10 @@ pub struct Program {
     pub types: TypeTable,
     /// The source map.
     pub source: SourceMap,
+    /// Lazily-built cache behind [`Program::call_index`] — authorship, peer
+    /// pruning, serve invalidation, and the baselines all ask for the same
+    /// index, and the program is immutable once built.
+    call_index_cache: std::sync::OnceLock<HashMap<String, Vec<CallSite>>>,
 }
 
 /// One call site of a function, in the program-wide call index.
@@ -576,6 +580,7 @@ impl Program {
             globals,
             types,
             source,
+            call_index_cache: std::sync::OnceLock::new(),
         })
     }
 
@@ -604,30 +609,34 @@ impl Program {
         self.extern_funcs.iter().find(|f| f.name == name)
     }
 
-    /// Builds the program-wide index of direct call sites, keyed by callee
-    /// name. Used by peer-definition pruning and authorship lookup.
-    pub fn call_index(&self) -> HashMap<String, Vec<CallSite>> {
-        let mut index: HashMap<String, Vec<CallSite>> = HashMap::new();
-        for (fi, f) in self.funcs.iter().enumerate() {
-            for bb in &f.blocks {
-                for inst in &bb.insts {
-                    if let Inst::Call {
-                        dst,
-                        callee: Callee::Direct(name),
-                        span,
-                        ..
-                    } = inst
-                    {
-                        index.entry(name.clone()).or_default().push(CallSite {
-                            caller: FuncId(fi as u32),
-                            span: *span,
-                            dst: *dst,
-                        });
+    /// The program-wide index of direct call sites, keyed by callee name.
+    /// Used by peer-definition pruning, authorship lookup, serve
+    /// invalidation, and the baselines — built once on first demand and
+    /// cached (the program is immutable after construction).
+    pub fn call_index(&self) -> &HashMap<String, Vec<CallSite>> {
+        self.call_index_cache.get_or_init(|| {
+            let mut index: HashMap<String, Vec<CallSite>> = HashMap::new();
+            for (fi, f) in self.funcs.iter().enumerate() {
+                for bb in &f.blocks {
+                    for inst in &bb.insts {
+                        if let Inst::Call {
+                            dst,
+                            callee: Callee::Direct(name),
+                            span,
+                            ..
+                        } = inst
+                        {
+                            index.entry(name.clone()).or_default().push(CallSite {
+                                caller: FuncId(fi as u32),
+                                span: *span,
+                                dst: *dst,
+                            });
+                        }
                     }
                 }
             }
-        }
-        index
+            index
+        })
     }
 
     /// Total number of IR instructions across all functions.

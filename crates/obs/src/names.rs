@@ -98,6 +98,16 @@ pub const DATAFLOW_BLOCK_COUNT: &str = "dataflow.block_count";
 /// Dataflow solves stopped early by the step budget.
 pub const DATAFLOW_BUDGET_EXHAUSTED: &str = "dataflow.budget_exhausted";
 
+/// Per-function summaries built from scratch (one dead-store/liveness
+/// computation each).
+pub const SUMMARY_BUILT: &str = "summary.built";
+/// Per-function summaries served from a cache (detect outcome, serve warm
+/// cache) instead of being rebuilt.
+pub const SUMMARY_REUSED: &str = "summary.reused";
+/// Summaries skipped by redundant-summary elimination: neither the callee
+/// set nor the signature could reach any candidate's cross-scope question.
+pub const SUMMARY_ELIMINATED: &str = "summary.eliminated";
+
 /// Andersen pointer solves started.
 pub const POINTER_SOLVES: &str = "pointer.solves";
 /// Points-to propagations performed.
@@ -277,6 +287,9 @@ pub const ALL: &[&str] = &[
     DATAFLOW_WORKLIST_PUSHES,
     DATAFLOW_BLOCK_COUNT,
     DATAFLOW_BUDGET_EXHAUSTED,
+    SUMMARY_BUILT,
+    SUMMARY_REUSED,
+    SUMMARY_ELIMINATED,
     POINTER_SOLVES,
     POINTER_PROPAGATIONS,
     POINTER_NODES,

@@ -94,6 +94,7 @@ struct Solver<'p> {
     prog: &'p Program,
     config: Config,
     scope: Option<BTreeSet<FileId>>,
+    func_scope: Option<BTreeSet<FuncId>>,
     interner: Interner,
     /// Dense variable ids without hashing: temps occupy `0..total_temps`
     /// (`temp_base[f] + t`), and the slot variable of object `o` is
@@ -139,20 +140,34 @@ impl PointsTo {
 
     /// Runs the analysis with an explicit configuration.
     pub fn solve_with(prog: &Program, config: Config) -> PointsTo {
-        Self::solve_impl(prog, config, None)
+        Self::solve_impl(prog, config, None, None)
     }
 
     /// Runs the analysis restricted to functions defined in `files` — the
     /// paper's per-bitcode-file SVF usage (§7), and the incremental
     /// analyzer's fast path. Out-of-scope callees are treated as externs.
     pub fn solve_files(prog: &Program, files: &BTreeSet<FileId>) -> PointsTo {
-        Self::solve_impl(prog, Config::default(), Some(files))
+        Self::solve_impl(prog, Config::default(), Some(files), None)
     }
 
-    fn solve_impl(prog: &Program, config: Config, scope: Option<&BTreeSet<FileId>>) -> PointsTo {
+    /// Runs the analysis restricted to an explicit function set — the
+    /// demand-driven per-component solve (see `demand`). Out-of-scope
+    /// callees are treated as externs; the caller is responsible for
+    /// passing a set closed under pointer-relevant interactions.
+    pub fn solve_funcs(prog: &Program, funcs: &BTreeSet<FuncId>, config: Config) -> PointsTo {
+        Self::solve_impl(prog, config, None, Some(funcs))
+    }
+
+    fn solve_impl(
+        prog: &Program,
+        config: Config,
+        scope: Option<&BTreeSet<FileId>>,
+        func_scope: Option<&BTreeSet<FuncId>>,
+    ) -> PointsTo {
         let span = vc_obs::span("pointer.solve", "pointer");
         let mut solver = Solver::new(prog, config);
         solver.scope = scope.cloned();
+        solver.func_scope = func_scope.cloned();
         solver.generate();
         let exhausted = solver.run();
         span.end();
@@ -256,6 +271,7 @@ impl<'p> Solver<'p> {
             prog,
             config,
             scope: None,
+            func_scope: None,
             interner: Interner::new(),
             temp_base,
             total_temps,
@@ -432,20 +448,27 @@ impl<'p> Solver<'p> {
 
     // ----- Constraint generation ------------------------------------------
 
-    fn in_scope(&self, f: &vc_ir::Function) -> bool {
-        self.scope
-            .as_ref()
-            .map(|s| s.contains(&f.file))
-            .unwrap_or(true)
+    fn in_scope(&self, fid: FuncId, f: &vc_ir::Function) -> bool {
+        if let Some(s) = &self.scope {
+            if !s.contains(&f.file) {
+                return false;
+            }
+        }
+        if let Some(s) = &self.func_scope {
+            if !s.contains(&fid) {
+                return false;
+            }
+        }
+        true
     }
 
     fn generate(&mut self) {
         // Collect per-function info first: param temps and return sources.
         for (fi, f) in self.prog.funcs.iter().enumerate() {
-            if !self.in_scope(f) {
+            let fid = FuncId(fi as u32);
+            if !self.in_scope(fid, f) {
                 continue;
             }
-            let fid = FuncId(fi as u32);
             let mut param_temps = vec![u32::MAX; f.params.len()];
             for (ti, origin) in f.temp_origins.iter().enumerate() {
                 if let TempOrigin::Param(i) = origin {
@@ -467,10 +490,10 @@ impl<'p> Solver<'p> {
         }
 
         for (fi, f) in self.prog.funcs.iter().enumerate() {
-            if !self.in_scope(f) {
+            let fid = FuncId(fi as u32);
+            if !self.in_scope(fid, f) {
                 continue;
             }
-            let fid = FuncId(fi as u32);
             for bb in &f.blocks {
                 for inst in &bb.insts {
                     self.gen_inst(fid, inst);

@@ -1,0 +1,462 @@
+//! Demand-driven pointer queries over pointer-closed components.
+//!
+//! The eager path solved Andersen's constraints for the whole program up
+//! front, even though detection only consults the points-to relation to
+//! resolve indirect-call targets — and most programs (and all generated
+//! workloads) have few or no function-pointer calls. [`DemandPointer`]
+//! inverts that: construction only partitions the functions into
+//! *pointer-closed components*, and a component is solved the first time a
+//! candidate in it actually asks a question.
+//!
+//! Two functions land in the same component when a pointer fact could flow
+//! between them in the whole-program solve. Cross-function constraints
+//! arise only through shared named objects or call bindings, so the
+//! partition unions each function with:
+//!
+//! - its own name and every direct callee name (covers parameter/return
+//!   binding, and calls into the same extern — extern return objects are
+//!   shared by name),
+//! - every function name whose address it takes (`Operand::FuncAddr`),
+//! - every global it touches (`Place::Global`/`GlobalField`),
+//! - every string literal it references (string objects are shared).
+//!
+//! Solving a component with [`PointsTo::solve_funcs`] then reproduces the
+//! whole-program relation restricted to that component: every constraint
+//! the full solve would apply between two in-component functions is
+//! generated, and no out-of-component constraint can reach an in-component
+//! variable without crossing one of the unions above.
+//!
+//! Degradation mirrors the eager ladder: a budget-exhausted component
+//! solve is discarded (an under-approximation must not feed call
+//! resolution) and resolves to no targets; a panic inside a solve is
+//! caught at this boundary (when isolation is on) and recorded for the
+//! caller to turn into a failure record.
+
+use std::{
+    collections::{
+        BTreeSet,
+        HashMap, //
+    },
+    panic,
+    sync::Mutex, //
+};
+
+use vc_ir::{
+    ir::{
+        Callee,
+        Inst,
+        Operand,
+        Place,
+        Terminator, //
+    },
+    FuncId,
+    Program,
+    TempId, //
+};
+
+use crate::andersen::{
+    Config,
+    PointsTo, //
+};
+
+/// Union-find over `funcs + named atoms`.
+struct Uf {
+    parent: Vec<u32>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn make(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        id
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        let mut c = x;
+        while self.parent[c as usize] != r {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+#[derive(Default)]
+struct DemandState {
+    /// Component root → solved relation; `None` records a degraded solve
+    /// (budget exhaustion or caught panic) that resolves to no targets.
+    solved: HashMap<u32, Option<PointsTo>>,
+    degraded: bool,
+    panic: Option<String>,
+}
+
+/// The demand pointer oracle: cheap to build, solves per component on
+/// first query, safe to share across scan workers.
+pub struct DemandPointer<'p> {
+    prog: &'p Program,
+    config: Config,
+    isolate: bool,
+    /// Function index → component root.
+    comp: Vec<u32>,
+    /// Component root → member functions (program order).
+    members: HashMap<u32, BTreeSet<FuncId>>,
+    state: Mutex<DemandState>,
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
+    }
+}
+
+impl<'p> DemandPointer<'p> {
+    /// Partitions `prog` into pointer-closed components. No solving happens
+    /// here; `isolate` controls whether later demand solves run behind a
+    /// panic boundary.
+    pub fn new(prog: &'p Program, config: Config, isolate: bool) -> Self {
+        fn join<'a>(
+            atoms: &mut HashMap<(u8, &'a str), u32>,
+            uf: &mut Uf,
+            fi: u32,
+            kind: u8,
+            name: &'a str,
+        ) {
+            let next = uf.make();
+            let a = *atoms.entry((kind, name)).or_insert(next);
+            uf.union(fi, a);
+        }
+        fn join_place<'a>(
+            atoms: &mut HashMap<(u8, &'a str), u32>,
+            uf: &mut Uf,
+            fi: u32,
+            p: &'a Place,
+        ) {
+            if let Place::Global(g) | Place::GlobalField(g, _) = p {
+                join(atoms, uf, fi, 1, g.as_str());
+            }
+        }
+        fn join_operand<'a>(
+            atoms: &mut HashMap<(u8, &'a str), u32>,
+            uf: &mut Uf,
+            fi: u32,
+            op: &'a Operand,
+        ) {
+            match op {
+                Operand::FuncAddr(name) => join(atoms, uf, fi, 0, name.as_str()),
+                Operand::Str(s) => join(atoms, uf, fi, 2, s.as_str()),
+                Operand::Temp(_) | Operand::Const(_) | Operand::Null => {}
+            }
+        }
+
+        let n = prog.funcs.len();
+        // Fast path: a program with no indirect calls can never be asked a
+        // question (`resolve_fn_ptr` is only reachable from an
+        // `Callee::Indirect` site), so the partition — a whole-program
+        // union-find hashing every call/global/string name — would be pure
+        // overhead. One cheap allocation-free scan decides.
+        let has_indirect = prog.funcs.iter().any(|f| {
+            f.blocks.iter().any(|bb| {
+                bb.insts.iter().any(|inst| {
+                    matches!(
+                        inst,
+                        Inst::Call {
+                            callee: Callee::Indirect(_),
+                            ..
+                        }
+                    )
+                })
+            })
+        });
+        if !has_indirect {
+            return Self {
+                prog,
+                config,
+                isolate,
+                comp: vec![u32::MAX; n],
+                members: HashMap::new(),
+                state: Mutex::new(DemandState::default()),
+            };
+        }
+        let mut uf = Uf::new(n);
+        let mut atoms: HashMap<(u8, &str), u32> = HashMap::new();
+        for (fi, f) in prog.funcs.iter().enumerate() {
+            let fi = fi as u32;
+            join(&mut atoms, &mut uf, fi, 0, f.name.as_str());
+            for bb in &f.blocks {
+                for inst in &bb.insts {
+                    match inst {
+                        Inst::Load { place, .. } | Inst::AddrOf { place, .. } => {
+                            join_place(&mut atoms, &mut uf, fi, place);
+                        }
+                        Inst::Store { place, value, .. } => {
+                            join_place(&mut atoms, &mut uf, fi, place);
+                            join_operand(&mut atoms, &mut uf, fi, value);
+                        }
+                        Inst::Bin { lhs, rhs, .. } => {
+                            join_operand(&mut atoms, &mut uf, fi, lhs);
+                            join_operand(&mut atoms, &mut uf, fi, rhs);
+                        }
+                        Inst::Un { operand, .. } => join_operand(&mut atoms, &mut uf, fi, operand),
+                        Inst::Call { callee, args, .. } => {
+                            if let Callee::Direct(name) = callee {
+                                join(&mut atoms, &mut uf, fi, 0, name.as_str());
+                            }
+                            for a in args {
+                                join_operand(&mut atoms, &mut uf, fi, a);
+                            }
+                        }
+                    }
+                }
+                match &bb.term {
+                    Terminator::CondBr { cond, .. } => join_operand(&mut atoms, &mut uf, fi, cond),
+                    Terminator::Ret { value: Some(v), .. } => {
+                        join_operand(&mut atoms, &mut uf, fi, v)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut comp = Vec::with_capacity(n);
+        let mut members: HashMap<u32, BTreeSet<FuncId>> = HashMap::new();
+        for fi in 0..n {
+            let root = uf.find(fi as u32);
+            comp.push(root);
+            members.entry(root).or_default().insert(FuncId(fi as u32));
+        }
+        Self {
+            prog,
+            config,
+            isolate,
+            comp,
+            members,
+            state: Mutex::new(DemandState::default()),
+        }
+    }
+
+    /// The functions sharing `fid`'s pointer-closed component (empty on
+    /// the indirect-free fast path, where no partition was built).
+    pub fn members_of(&self, fid: FuncId) -> &BTreeSet<FuncId> {
+        static EMPTY: BTreeSet<FuncId> = BTreeSet::new();
+        self.members
+            .get(&self.comp[fid.0 as usize])
+            .unwrap_or(&EMPTY)
+    }
+
+    /// The function names a function-pointer temp may target, solving the
+    /// temp's component on first demand.
+    pub fn resolve_fn_ptr(&self, func: FuncId, temp: TempId) -> Vec<String> {
+        let root = self.comp[func.0 as usize];
+        let Some(funcs) = self.members.get(&root) else {
+            // Indirect-free fast path: nothing to solve, nothing to target.
+            return Vec::new();
+        };
+        let mut state = self.state.lock().unwrap();
+        if !state.solved.contains_key(&root) {
+            let entry = self.solve_component(funcs, &mut state);
+            state.solved.insert(root, entry);
+        }
+        match state.solved.get(&root) {
+            Some(Some(pts)) => pts.resolve_fn_ptr(func, temp),
+            _ => Vec::new(),
+        }
+    }
+
+    fn solve_component(
+        &self,
+        funcs: &BTreeSet<FuncId>,
+        state: &mut DemandState,
+    ) -> Option<PointsTo> {
+        let mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_POINTER);
+        let solved = if self.isolate {
+            panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                PointsTo::solve_funcs(self.prog, funcs, self.config)
+            }))
+        } else {
+            Ok(PointsTo::solve_funcs(self.prog, funcs, self.config))
+        };
+        mem.finish();
+        match solved {
+            Ok(pts) if pts.exhausted() => {
+                // The partial relation under-approximates: resolving calls
+                // from it could silently drop callees. Degrade to "no
+                // targets" and let the caller flag the run.
+                state.degraded = true;
+                None
+            }
+            Ok(pts) => Some(pts),
+            Err(payload) => {
+                state.degraded = true;
+                let msg = panic_text(payload);
+                if state.panic.is_none() {
+                    state.panic = Some(msg);
+                }
+                None
+            }
+        }
+    }
+
+    /// Whether any demand solve degraded (budget exhaustion or panic).
+    pub fn degraded(&self) -> bool {
+        self.state.lock().unwrap().degraded
+    }
+
+    /// The first caught panic message, if a demand solve poisoned.
+    pub fn panic_message(&self) -> Option<String> {
+        self.state.lock().unwrap().panic.clone()
+    }
+
+    /// Number of components solved so far (for tests).
+    pub fn solved_components(&self) -> usize {
+        self.state.lock().unwrap().solved.len()
+    }
+
+    /// Total number of pointer-closed components in the program.
+    pub fn component_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(src: &str) -> Program {
+        Program::build(&[("a.c", src)], &[]).unwrap()
+    }
+
+    /// A function with an indirect call, appended to partition-shape tests
+    /// so the partition is actually built (an indirect-free program takes
+    /// the fast path and never partitions at all).
+    const TICKLE: &str = "int ha(void) { return 1; }\n\
+                          void tickle(void) { int fp = ha; int r = fp(); use(r); }\n";
+
+    #[test]
+    fn unrelated_functions_stay_in_separate_components() {
+        let p = prog(&format!(
+            "void a(void) {{ int x = 1; use_a(x); }}\n\
+             void b(void) {{ int y = 2; use_b(y); }}\n{TICKLE}",
+        ));
+        let d = DemandPointer::new(&p, Config::default(), true);
+        // a/b call different externs and share nothing: distinct components.
+        assert_ne!(d.comp[0], d.comp[1]);
+    }
+
+    #[test]
+    fn callers_of_the_same_extern_share_a_component() {
+        let p = prog(&format!(
+            "int get(void);\n\
+             void a(void) {{ int x = get(); use(x); }}\n\
+             void b(void) {{ int y = get(); use(y); }}\n{TICKLE}",
+        ));
+        let d = DemandPointer::new(&p, Config::default(), true);
+        let a = p.func_id("a").unwrap();
+        let b = p.func_id("b").unwrap();
+        assert!(d.members_of(a).contains(&b));
+    }
+
+    #[test]
+    fn indirect_free_program_skips_partition_and_resolves_empty() {
+        let p = prog(
+            "void a(void) { int x = 1; use_a(x); }\n\
+             void b(void) { int y = 2; use_b(y); }",
+        );
+        let d = DemandPointer::new(&p, Config::default(), true);
+        assert_eq!(d.component_count(), 0, "no partition built");
+        let a = p.func_id("a").unwrap();
+        assert!(d.resolve_fn_ptr(a, TempId(0)).is_empty());
+        assert!(d.members_of(a).is_empty());
+        assert!(!d.degraded());
+        assert_eq!(d.solved_components(), 0, "nothing was ever solved");
+    }
+
+    #[test]
+    fn demand_resolution_matches_whole_program_solve() {
+        let src = "int handler_a(int x) { return x; }\n\
+                   int handler_b(int x) { return x + 1; }\n\
+                   void dispatch(int which) {\n\
+                     int *fp = handler_a;\n\
+                     if (which) { fp = handler_b; }\n\
+                     int r = fp(3);\n\
+                     use(r);\n\
+                   }";
+        let p = prog(src);
+        let eager = PointsTo::solve(&p);
+        let demand = DemandPointer::new(&p, Config::default(), true);
+        let dispatch = p.func_id("dispatch").unwrap();
+        let f = p.func_by_name("dispatch").unwrap();
+        for ti in 0..f.temp_origins.len() {
+            let t = TempId(ti as u32);
+            let mut a = eager.resolve_fn_ptr(dispatch, t);
+            let mut b = demand.resolve_fn_ptr(dispatch, t);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "temp {ti} diverged");
+        }
+        assert!(!demand.degraded());
+    }
+
+    #[test]
+    fn components_solve_lazily_and_once() {
+        let src = "int ha(void) { return 1; }\n\
+                   void f(int w) { int *fp = ha; int r = fp(); r = w; use(r); }\n\
+                   void quiet(void) { int x = 1; use_q(x); }";
+        let p = prog(src);
+        let obs = vc_obs::ObsSession::new();
+        let _g = obs.install();
+        let d = DemandPointer::new(&p, Config::default(), true);
+        assert_eq!(d.solved_components(), 0);
+        assert_eq!(obs.registry.counter(vc_obs::names::POINTER_SOLVES), 0);
+        let f = p.func_id("f").unwrap();
+        let func = p.func_by_name("f").unwrap();
+        for ti in 0..func.temp_origins.len() {
+            d.resolve_fn_ptr(f, TempId(ti as u32));
+            d.resolve_fn_ptr(f, TempId(ti as u32));
+        }
+        assert_eq!(d.solved_components(), 1);
+        assert_eq!(obs.registry.counter(vc_obs::names::POINTER_SOLVES), 1);
+    }
+
+    #[test]
+    fn exhausted_demand_solve_degrades_to_no_targets() {
+        let src = "int ha(void) { return 1; }\n\
+                   void f(int w) { int *fp = ha; int r = fp(); r = w; use(r); }";
+        let p = prog(src);
+        let d = DemandPointer::new(
+            &p,
+            Config {
+                budget: vc_obs::Budget::steps(0),
+                ..Config::default()
+            },
+            true,
+        );
+        let f = p.func_id("f").unwrap();
+        let func = p.func_by_name("f").unwrap();
+        for ti in 0..func.temp_origins.len() {
+            assert!(d.resolve_fn_ptr(f, TempId(ti as u32)).is_empty());
+        }
+        assert!(d.degraded());
+        assert!(d.panic_message().is_none());
+    }
+}

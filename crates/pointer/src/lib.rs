@@ -11,6 +11,7 @@
 
 pub mod alias;
 pub mod andersen;
+pub mod demand;
 pub mod fasthash;
 pub mod node;
 
@@ -19,4 +20,5 @@ pub use andersen::{
     Config,
     PointsTo, //
 };
+pub use demand::DemandPointer;
 pub use node::MemObj;

@@ -69,6 +69,16 @@ echo "==> cargo test -p valuecheck --test chaos --test chaos_mem -q (serve chaos
 cargo test -p valuecheck --test chaos -q
 cargo test -p valuecheck --test chaos_mem -q
 
+# summaries: the per-function summary layer (crates/core/tests/summaries.rs)
+# — dead-store facts built exactly once per function per cold scan
+# (summary.built == function count, counter-verified), reused rather than
+# rebuilt on a warm `serve` re-scan of an unchanged tree, reports
+# byte-identical across the sequential pipeline / --jobs 4 / serve
+# warm+cold, and cursor prune decisions identical to the pre-summary
+# inline rescan on generated truth workloads.
+echo "==> cargo test -p valuecheck --test summaries -q (summary layer)"
+cargo test -p valuecheck --test summaries -q
+
 # bench: the perf observatory (crates/bench/src/perf.rs) — a deterministic
 # scaled scan measured median-of-N, written as BENCH_scan.json /
 # BENCH_stages.json and gated against the committed bench/baseline.json
