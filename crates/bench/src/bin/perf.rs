@@ -1,23 +1,33 @@
 //! `perf` — the deterministic scaled perf run behind the CI observatory.
 //!
 //! ```text
-//! Usage: perf [--scale S] [--runs N] [--out DIR]
+//! Usage: perf [--scale S] [--runs N] [--out DIR] [--serve-only]
+//!             [--storm-requests N]
 //!
-//!   --scale S   workload scale (default 0.05; 1.0 = paper sizes)
-//!   --runs N    timed runs per case, median reported (default 5)
-//!   --out DIR   where BENCH_scan.json / BENCH_stages.json go (default .)
+//!   --scale S          workload scale (default 0.05; 1.0 = paper sizes)
+//!   --runs N           timed runs per case, median reported (default 5)
+//!   --out DIR          where BENCH_*.json files go (default .)
+//!   --serve-only       run only the serve sustained-throughput storm
+//!                      (writes just BENCH_serve.json)
+//!   --storm-requests N requests in the serve edit storm (default 60)
 //! ```
 //!
-//! Run `perfgate` afterwards to compare the output against the committed
-//! `bench/baseline.json`.
+//! A full run writes three reports: `BENCH_scan.json` and
+//! `BENCH_stages.json` from the batch observatory, and `BENCH_serve.json`
+//! from the seeded edit storm through the warm serve engine (exact
+//! `serve/sustained_p50|p95|p99` latency percentiles plus a
+//! `throughput_rps` figure). Run `perfgate` afterwards to compare all of
+//! them against the committed `bench/baseline.json`.
 
 use std::path::PathBuf;
 
-use vc_bench::perf::{run_perf, PerfConfig};
+use vc_bench::perf::{run_perf, run_serve_bench, PerfConfig, PerfReport, ServeBenchConfig};
 
 fn main() {
     let mut config = PerfConfig::default();
+    let mut storm = ServeBenchConfig::default();
     let mut out = PathBuf::from(".");
+    let mut serve_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -26,6 +36,7 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
+                storm.scale = config.scale;
             }
             "--runs" => {
                 config.runs = args
@@ -36,19 +47,25 @@ fn main() {
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
+            "--serve-only" => serve_only = true,
+            "--storm-requests" => {
+                storm.requests = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--storm-requests needs a number"));
+            }
             "--help" | "-h" => {
-                eprintln!("Usage: perf [--scale S] [--runs N] [--out DIR]");
+                eprintln!(
+                    "Usage: perf [--scale S] [--runs N] [--out DIR] [--serve-only] \
+                     [--storm-requests N]"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument `{other}`")),
         }
     }
 
-    let (scan, stages) = run_perf(&config);
-    for report in [&scan, &stages] {
-        let path = out.join(format!("BENCH_{}.json", report.name));
-        report.save(&path).unwrap_or_else(|e| die(&e));
-        eprintln!("perf: wrote {}", path.display());
+    let print_report = |report: &PerfReport| {
         for c in &report.cases {
             eprintln!(
                 "perf:   {:<28} {:>10.3} ms",
@@ -56,7 +73,27 @@ fn main() {
                 c.median_ns as f64 / 1e6
             );
         }
+    };
+
+    if !serve_only {
+        let (scan, stages) = run_perf(&config);
+        for report in [&scan, &stages] {
+            let path = out.join(format!("BENCH_{}.json", report.name));
+            report.save(&path).unwrap_or_else(|e| die(&e));
+            eprintln!("perf: wrote {}", path.display());
+            print_report(report);
+        }
     }
+
+    let result = run_serve_bench(&storm);
+    let path = out.join("BENCH_serve.json");
+    result.save(&path).unwrap_or_else(|e| die(&e));
+    eprintln!(
+        "perf: wrote {} ({:.1} req/s sustained)",
+        path.display(),
+        result.throughput_rps
+    );
+    print_report(&result.report);
 }
 
 fn die(msg: &str) -> ! {

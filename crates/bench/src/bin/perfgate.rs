@@ -4,9 +4,9 @@
 //! Usage: perfgate [--current-dir DIR] [--baseline FILE]
 //!                 [--ratio R] [--floor-ms N] [--write-baseline]
 //!
-//!   --current-dir DIR   directory holding BENCH_scan.json and
-//!                       BENCH_stages.json from a fresh `perf` run
-//!                       (default .)
+//!   --current-dir DIR   directory holding BENCH_scan.json,
+//!                       BENCH_stages.json, and BENCH_serve.json from a
+//!                       fresh `perf` run (default .)
 //!   --baseline FILE     the committed baseline (default bench/baseline.json)
 //!   --ratio R           max allowed current/baseline ratio (default 1.6)
 //!   --floor-ms N        minimum absolute slowdown before a case can
@@ -73,7 +73,8 @@ fn main() {
     let scan = PerfReport::load(&current_dir.join("BENCH_scan.json")).unwrap_or_else(|e| die(&e));
     let stages =
         PerfReport::load(&current_dir.join("BENCH_stages.json")).unwrap_or_else(|e| die(&e));
-    let current = PerfReport::merged("baseline", &[scan, stages]);
+    let serve = PerfReport::load(&current_dir.join("BENCH_serve.json")).unwrap_or_else(|e| die(&e));
+    let current = PerfReport::merged("baseline", &[scan, stages, serve]);
 
     if write_baseline {
         if let Some(parent) = baseline_path.parent() {

@@ -14,6 +14,13 @@
 //!   authorship, prune, rank) extracted from the span profiler
 //!   ([`vc_obs::profile`]), so a regression names the stage that caused it.
 //!
+//! [`run_serve_bench`] is the third report, `BENCH_serve.json`: a seeded
+//! edit storm through an in-process warm [`ServeEngine`] via the daemon's
+//! own request path, reduced to **exact** latency percentiles
+//! (`serve/sustained_p50|p95|p99`) plus a `throughput_rps` figure — the
+//! sustained editor-loop workload `vcheck serve` exists for, gated by the
+//! same thresholds as the batch cases.
+//!
 //! [`compare`] checks a current report against a committed baseline
 //! (`bench/baseline.json`) with *noise-tolerant* thresholds: a case only
 //! regresses when it is both `ratio`× slower **and** at least `floor_ns`
@@ -343,6 +350,170 @@ pub fn run_perf(config: &PerfConfig) -> (PerfReport, PerfReport) {
     (scan, stages_report)
 }
 
+/// Configuration for the serve sustained-throughput bench.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeBenchConfig {
+    /// Workload scale (matches [`PerfConfig::scale`]).
+    pub scale: f64,
+    /// Requests in the edit storm (each one: edit a file, warm-rescan).
+    pub requests: usize,
+    /// Storm seed: which file each request edits.
+    pub seed: u64,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> ServeBenchConfig {
+        ServeBenchConfig {
+            scale: 1.0,
+            requests: 60,
+            seed: 7,
+        }
+    }
+}
+
+/// The serve bench outcome: exact request-latency percentiles as a
+/// [`PerfReport`] (the gate's unit) plus the sustained request rate.
+#[derive(Clone, Debug)]
+pub struct ServeBenchResult {
+    /// `serve/sustained_p50|p95|p99` cases, values in nanoseconds.
+    pub report: PerfReport,
+    /// Sustained requests per second over the whole storm.
+    pub throughput_rps: f64,
+}
+
+impl ServeBenchResult {
+    /// The `BENCH_serve.json` shape: a standard [`PerfReport`] export plus
+    /// a `throughput_rps` key. [`PerfReport::from_json`] ignores unknown
+    /// keys, so the gate loads this file like any other report.
+    pub fn to_json(&self) -> Json {
+        let mut json = self.report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.push((
+                "throughput_rps".into(),
+                Json::Float((self.throughput_rps * 100.0).round() / 100.0),
+            ));
+        }
+        json
+    }
+
+    /// Writes the result to `path` (pretty JSON).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json().to_string_pretty())
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Deterministic xorshift64* (same stream on every platform/run).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Exact percentile over raw samples (nearest-rank on the sorted vec) —
+/// unlike the serve daemon's log-linear histograms, the bench keeps every
+/// sample, so the gated numbers carry no bucketing error.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs a seeded edit storm through an in-process warm [`ServeEngine`] via
+/// the protocol path (`handle_line`, the same entry the daemon's worker
+/// loop uses, so request telemetry is exercised while being measured) and
+/// reports exact latency percentiles plus sustained throughput.
+///
+/// Every request edits one seeded-random file (toggling a probe function
+/// in or out) and issues `{"op":"scan"}` — the editor-loop workload
+/// `vcheck serve` exists for, sustained rather than one-shot.
+pub fn run_serve_bench(config: &ServeBenchConfig) -> ServeBenchResult {
+    let profile = {
+        let p = AppProfile::all().into_iter().nth(1).expect("nfs-ganesha"); // Table 2 order
+        if (config.scale - 1.0).abs() < 1e-9 {
+            p
+        } else {
+            p.scaled(config.scale)
+        }
+    };
+    let app = generate(&profile);
+    let dir = std::env::temp_dir().join(format!("vc-perf-storm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for (path, content) in &app.sources {
+        let full = dir.join(path);
+        std::fs::create_dir_all(full.parent().unwrap()).expect("storm tree dir");
+        std::fs::write(full, content).expect("storm tree write");
+    }
+    let mut engine = ServeEngine::new(
+        &dir,
+        ServeConfig {
+            opts: Options::paper(),
+            defines: app.defines.clone(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("storm engine starts");
+    // Warm-up request (the cold rebuild) is not part of the measurement.
+    let (warm, _) = engine.handle_line("{\"op\":\"scan\"}", 0);
+    assert_eq!(
+        warm.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "storm warm-up scan must succeed"
+    );
+
+    let mut state = config.seed | 1;
+    let mut toggled = vec![false; app.sources.len()];
+    let mut latencies: Vec<u64> = Vec::with_capacity(config.requests);
+    let t0 = Instant::now();
+    for seq in 1..=config.requests.max(1) as u64 {
+        let i = (xorshift(&mut state) % app.sources.len() as u64) as usize;
+        let (path, base) = &app.sources[i];
+        toggled[i] = !toggled[i];
+        let content = if toggled[i] {
+            format!("{base}\nint vc_storm_probe_{i}(void) {{ return 1; }}\n")
+        } else {
+            base.clone()
+        };
+        std::fs::write(dir.join(path), content).expect("storm edit");
+        let t = Instant::now();
+        injected_delay();
+        let (reply, _) = engine.handle_line("{\"op\":\"scan\"}", seq);
+        latencies.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "storm request {seq} must succeed"
+        );
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_unstable();
+    let case = |name: &str, q: f64| PerfCase {
+        name: format!("serve/sustained_{name}"),
+        median_ns: exact_percentile(&latencies, q),
+        runs: latencies.len(),
+    };
+    ServeBenchResult {
+        report: PerfReport {
+            name: "serve".to_string(),
+            cases: vec![case("p50", 0.50), case("p95", 0.95), case("p99", 0.99)],
+            env: env_fingerprint(),
+        },
+        throughput_rps: if elapsed > 0.0 {
+            latencies.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+    }
+}
+
 impl PerfReport {
     /// The report as JSON (the `BENCH_*.json` shape plus `env`).
     pub fn to_json(&self) -> Json {
@@ -551,6 +722,48 @@ mod tests {
         let regs = compare(&base, &cur, &t);
         assert_eq!(regs.len(), 1);
         assert!(regs[0].reason.contains("missing"));
+    }
+
+    #[test]
+    fn exact_percentiles_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_percentile(&samples, 0.50), 50);
+        assert_eq!(exact_percentile(&samples, 0.95), 95);
+        assert_eq!(exact_percentile(&samples, 0.99), 99);
+        assert_eq!(exact_percentile(&samples, 1.0), 100);
+        assert_eq!(exact_percentile(&[], 0.5), 0);
+        assert_eq!(exact_percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn serve_bench_json_gates_like_a_report() {
+        let result = ServeBenchResult {
+            report: report(&[
+                ("serve/sustained_p50", 1_000_000),
+                ("serve/sustained_p99", 9_000_000),
+            ]),
+            throughput_rps: 41.237,
+        };
+        let json = result.to_json();
+        assert_eq!(
+            json.get("throughput_rps").and_then(Json::as_f64),
+            Some(41.24)
+        );
+        // The gate's loader reads the same file, extra key and all.
+        let back = PerfReport::from_json(&json).unwrap();
+        assert_eq!(back.median_ns("serve/sustained_p50"), Some(1_000_000));
+        assert_eq!(back.median_ns("serve/sustained_p99"), Some(9_000_000));
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = 7 | 1;
+        let mut b = 7 | 1;
+        for _ in 0..100 {
+            let x = xorshift(&mut a);
+            assert_eq!(x, xorshift(&mut b));
+            assert_ne!(x, 0);
+        }
     }
 
     #[test]

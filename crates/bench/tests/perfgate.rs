@@ -9,8 +9,10 @@ use std::{
 
 use vc_bench::perf::{
     run_perf,
+    run_serve_bench,
     set_injected_slowdown_ms,
-    PerfConfig, //
+    PerfConfig,
+    ServeBenchConfig, //
 };
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -24,6 +26,15 @@ fn write_reports(dir: &PathBuf, config: &PerfConfig) {
     let (scan, stages) = run_perf(config);
     scan.save(&dir.join("BENCH_scan.json")).unwrap();
     stages.save(&dir.join("BENCH_stages.json")).unwrap();
+    // A small storm keeps the e2e test fast; the gate treats the serve
+    // report (percentiles + throughput_rps extra key) like any other.
+    let storm = run_serve_bench(&ServeBenchConfig {
+        scale: config.scale,
+        requests: 8,
+        seed: 7,
+    });
+    assert!(storm.throughput_rps > 0.0, "storm measured a request rate");
+    storm.save(&dir.join("BENCH_serve.json")).unwrap();
 }
 
 fn gate(args: &[&str]) -> std::process::ExitStatus {

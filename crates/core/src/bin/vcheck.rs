@@ -5,6 +5,7 @@
 //!        vcheck delta <project-dir> --from REV --to REV [options]
 //!        vcheck history <project-dir> [options]
 //!        vcheck serve <project-dir> [options]
+//!        vcheck tail <event-log> [--since SECS] [--op OP] [--json]
 //!
 //!   <project-dir>        directory with *.c sources and, ideally, a
 //!                        history.json (see vc_vcs::HistorySpec)
@@ -113,13 +114,29 @@
 //!                        (default 64)
 //!   --snapshot FILE      flush the latest findings as a snapshot store on
 //!                        shutdown/EOF
+//!   --trace FILE         write a Chrome trace of every request's span tree
+//!                        on shutdown/EOF (same format as scan --trace)
+//!   --metrics-json FILE  write the versioned metrics snapshot on
+//!                        shutdown/EOF (same schema as scan --metrics-json)
+//!   --event-log FILE     append one JSON-lines record per request
+//!                        (trace id, op, outcome, latency, flags); the file
+//!                        size-rotates to FILE.1 — read with `vcheck tail`
+//!   --event-log-max-bytes N  rotation threshold (default 1 MiB)
 //! ```
 //!
 //! plus `--define/--all/--no-rank/--no-prune/--budget-steps/--budget-ms`
 //! with scan semantics. Warm replies are byte-identical to a cold scan of
-//! the same tree. Exit status: 0 on `{"op":"shutdown"}` or stdin EOF, 2 on
-//! startup errors; malformed requests, panics, and deadline overruns are
-//! answered on the protocol, never fatal.
+//! the same tree, telemetry enabled or not; every reply carries a monotonic
+//! `trace_id`, and `{"op":"status"}` reports per-op latency percentiles,
+//! cache effectiveness, and the request funnel (see DESIGN.md §16). Exit
+//! status: 0 on `{"op":"shutdown"}` or stdin EOF, 2 on startup errors;
+//! malformed requests, panics, and deadline overruns are answered on the
+//! protocol, never fatal.
+//!
+//! The `tail` subcommand renders a serve event log, oldest first (the
+//! rotated `.1` generation first, then the live file): `vcheck tail
+//! serve.events [--since SECS] [--op scan] [--json]`. Exit status: 0, or
+//! 2 when the log does not exist.
 
 use std::path::PathBuf;
 
@@ -128,6 +145,7 @@ use valuecheck::{
         delta_scan,
         DeltaStatus, //
     },
+    eventlog,
     history::{
         history_scan,
         tracks_to_csv, //
@@ -175,6 +193,10 @@ fn main() {
         Some("serve") => {
             args.next();
             serve_main(args);
+        }
+        Some("tail") => {
+            args.next();
+            tail_main(args);
         }
         _ => scan_main(args),
     }
@@ -605,12 +627,36 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
                         .unwrap_or_else(|| die("--snapshot needs a path")),
                 ));
             }
+            "--trace" => {
+                config.trace = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--trace needs a path")),
+                ));
+            }
+            "--metrics-json" => {
+                config.metrics_json = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics-json needs a path")),
+                ));
+            }
+            "--event-log" => {
+                config.event_log = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--event-log needs a path")),
+                ));
+            }
+            "--event-log-max-bytes" => {
+                config.event_log_max_bytes = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--event-log-max-bytes needs a number"));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "Usage: vcheck serve <project-dir> [--define SYM]... [--all] [--no-rank] \
                      [--no-prune] [--deadline-ms N] [--queue-depth N] [--budget-steps N] \
-                     [--budget-ms N] [--snapshot FILE]\n\nRequests (JSON lines on stdin): \
-                     {{\"op\":\"scan\"}}, {{\"op\":\"update\",\"files\":[..]}}, \
+                     [--budget-ms N] [--snapshot FILE] [--trace FILE] [--metrics-json FILE] \
+                     [--event-log FILE] [--event-log-max-bytes N]\n\nRequests (JSON lines on \
+                     stdin): {{\"op\":\"scan\"}}, {{\"op\":\"update\",\"files\":[..]}}, \
                      {{\"op\":\"status\"}}, {{\"op\":\"shutdown\"}}"
                 );
                 std::process::exit(0);
@@ -634,6 +680,67 @@ fn serve_main(mut args: impl Iterator<Item = String>) -> ! {
         std::io::stdout(),
     );
     std::process::exit(code);
+}
+
+/// `vcheck tail FILE`: renders a serve event log (see DESIGN.md §16) as
+/// human-readable lines, oldest first, across the rotation boundary.
+fn tail_main(mut args: impl Iterator<Item = String>) -> ! {
+    let mut path: Option<PathBuf> = None;
+    let mut since: Option<u64> = None;
+    let mut op: Option<String> = None;
+    let mut json = false;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--since" => {
+                since = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--since needs a number of seconds")),
+                );
+            }
+            "--op" => {
+                op = Some(args.next().unwrap_or_else(|| die("--op needs an op name")));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "Usage: vcheck tail <event-log> [--since SECS] [--op OP] [--json]\n\n\
+                     Renders a `vcheck serve --event-log` file, oldest first (including the \
+                     rotated `.1` generation).\n  --since SECS  only events from the last \
+                     SECS seconds\n  --op OP       only events for one op (scan, update, \
+                     status, ...)\n  --json        raw JSON records instead of rendered lines"
+                );
+                std::process::exit(0);
+            }
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(PathBuf::from(other));
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let path = path.unwrap_or_else(|| die("missing <event-log> path"));
+    if !path.exists() && !eventlog::EventLog::rotated_path(&path).exists() {
+        die(&format!("{}: no such event log", path.display()));
+    }
+    let cutoff_ms = since.map(|s| eventlog::now_ms().saturating_sub(s.saturating_mul(1000)));
+    let mut shown = 0usize;
+    for ev in eventlog::read_events(&path) {
+        if cutoff_ms.is_some_and(|c| ev.ts_ms < c) {
+            continue;
+        }
+        if op.as_deref().is_some_and(|want| ev.op != want) {
+            continue;
+        }
+        if json {
+            println!("{}", ev.raw.to_string());
+        } else {
+            println!("{}", ev.render());
+        }
+        shown += 1;
+    }
+    eprintln!("vcheck tail: {shown} event(s)");
+    std::process::exit(0);
 }
 
 fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
@@ -790,9 +897,7 @@ fn scan_main(mut args: impl Iterator<Item = String>) -> ! {
         let config = ServeConfig {
             opts,
             defines: defines.clone(),
-            deadline: None,
-            queue_depth: 1,
-            snapshot: None,
+            ..ServeConfig::default()
         };
         let mut engine = ServeEngine::new(&dir, config)
             .unwrap_or_else(|e| die(&format!("{}: {e}", dir.display())));

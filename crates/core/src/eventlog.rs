@@ -1,0 +1,328 @@
+//! The serve event log: an append-only, size-rotated JSON-lines record of
+//! every request a `vcheck serve` daemon answered.
+//!
+//! One line per request, written *after* the reply is on the wire so the
+//! log never delays an answer. Each record carries the request's
+//! `trace_id`, `seq`, `op`, outcome (`ok` / `error` / `shed` /
+//! `quarantined`), latency in microseconds, the degradation flags
+//! (deadline, rebuild), and — for scan/update requests — the funnel deltas
+//! of that scan. The file is plain JSON lines, so `vcheck tail`, `jq`, or
+//! a log shipper can all consume it.
+//!
+//! ## Rotation
+//!
+//! Appends go to the configured path until it exceeds `max_bytes`; the
+//! file is then renamed to `<path>.1` (replacing any previous generation)
+//! and a fresh file is started. At most two generations exist at any time,
+//! bounding disk use at ~2×`max_bytes` regardless of daemon lifetime.
+//! [`read_events`] reads `<path>.1` before `<path>`, so readers see one
+//! continuous, oldest-first stream across the rotation boundary.
+//!
+//! Writing is best-effort by design: an unwritable log must never take
+//! down the daemon or delay a reply, so I/O errors are swallowed after
+//! counting the event as dropped.
+
+use std::{
+    fs::{File, OpenOptions},
+    io::Write,
+    path::{Path, PathBuf},
+    time::{SystemTime, UNIX_EPOCH},
+};
+
+use vc_obs::Json;
+
+/// Default rotation threshold (1 MiB) — roughly 4k records per generation.
+pub const DEFAULT_MAX_BYTES: u64 = 1 << 20;
+
+/// One parsed event-log record (the fields `vcheck tail` renders).
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Milliseconds since the Unix epoch when the record was appended.
+    pub ts_ms: u64,
+    /// The request's monotonic trace id (0 for shed requests, which never
+    /// reach the engine that assigns ids).
+    pub trace_id: u64,
+    /// The server-assigned request sequence number.
+    pub seq: u64,
+    /// The request op (`scan`, `update`, `status`, ...; `?` when unknown).
+    pub op: String,
+    /// `ok`, `error`, `shed`, or `quarantined`.
+    pub outcome: String,
+    /// Wall-clock latency of the request, in microseconds.
+    pub latency_us: u64,
+    /// Whether the request's deadline expired (partial reply).
+    pub deadline_exceeded: bool,
+    /// Whether the request ran against a cold (rebuilt) warm state.
+    pub rebuilt: bool,
+    /// Funnel deltas for scan/update requests: (raw, reported).
+    pub funnel: Option<(u64, u64)>,
+    /// The raw JSON record, for `--json` style passthrough.
+    pub raw: Json,
+}
+
+impl Event {
+    /// Parses one JSON-lines record. Unknown fields are ignored; missing
+    /// fields default, so records from older daemons still render.
+    pub fn parse(line: &str) -> Option<Event> {
+        let raw = vc_obs::json::parse(line).ok()?;
+        let int = |k: &str| raw.get(k).and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        let flag = |k: &str| raw.get(k).and_then(Json::as_bool).unwrap_or(false);
+        let funnel = raw.get("funnel").map(|f| {
+            let sub = |k: &str| f.get(k).and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+            (sub("raw"), sub("reported"))
+        });
+        Some(Event {
+            ts_ms: int("ts_ms"),
+            trace_id: int("trace_id"),
+            seq: int("seq"),
+            op: raw
+                .get("op")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            outcome: raw
+                .get("outcome")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            latency_us: int("latency_us"),
+            deadline_exceeded: flag("deadline_exceeded"),
+            rebuilt: flag("rebuilt"),
+            funnel,
+            raw,
+        })
+    }
+
+    /// One human-readable line (the `vcheck tail` output format).
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "{:>13.3}  #{:<6} trace={:<6} {:<8} {:<11} {:>9.3}ms",
+            self.ts_ms as f64 / 1000.0,
+            self.seq,
+            self.trace_id,
+            self.op,
+            self.outcome,
+            self.latency_us as f64 / 1000.0,
+        );
+        if let Some((raw, reported)) = self.funnel {
+            line.push_str(&format!("  raw={raw} reported={reported}"));
+        }
+        if self.rebuilt {
+            line.push_str("  [rebuilt]");
+        }
+        if self.deadline_exceeded {
+            line.push_str("  [deadline]");
+        }
+        line
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before 1970).
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The append-side writer: open file handle, running size, rotation.
+#[derive(Debug)]
+pub struct EventLog {
+    path: PathBuf,
+    max_bytes: u64,
+    file: Option<File>,
+    written: u64,
+    /// Records lost to I/O errors (reported via `status`, never fatal).
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Opens (or creates) the log at `path`, appending to any existing
+    /// content. `max_bytes` of 0 means the default threshold.
+    pub fn open(path: &Path, max_bytes: u64) -> EventLog {
+        let max_bytes = if max_bytes == 0 {
+            DEFAULT_MAX_BYTES
+        } else {
+            max_bytes
+        };
+        let written = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let file = OpenOptions::new().create(true).append(true).open(path).ok();
+        EventLog {
+            path: path.to_path_buf(),
+            max_bytes,
+            file,
+            written,
+            dropped: 0,
+        }
+    }
+
+    /// The rotated predecessor's path (`<path>.1`).
+    pub fn rotated_path(path: &Path) -> PathBuf {
+        let mut s = path.as_os_str().to_os_string();
+        s.push(".1");
+        PathBuf::from(s)
+    }
+
+    /// Records lost to I/O errors so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends one record, rotating first if the file is over the
+    /// threshold. Never fails: errors increment `dropped` and are
+    /// otherwise swallowed.
+    pub fn append(&mut self, record: &Json) {
+        if self.written >= self.max_bytes {
+            self.rotate();
+        }
+        let line = record.to_string();
+        let ok = match &mut self.file {
+            Some(f) => writeln!(f, "{line}").and_then(|_| f.flush()).is_ok(),
+            None => false,
+        };
+        if ok {
+            self.written += line.len() as u64 + 1;
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn rotate(&mut self) {
+        self.file = None; // close before the rename (Windows-safe, cheap anywhere)
+        let prev = Self::rotated_path(&self.path);
+        let _ = std::fs::remove_file(&prev);
+        let _ = std::fs::rename(&self.path, &prev);
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .ok();
+        self.written = 0;
+    }
+}
+
+/// Reads the full event stream, oldest first: the rotated generation
+/// (`<path>.1`) if present, then the live file. Unparseable lines (torn
+/// tails from a crash) are skipped, not fatal.
+pub fn read_events(path: &Path) -> Vec<Event> {
+    let mut events = Vec::new();
+    for p in [EventLog::rotated_path(path), path.to_path_buf()] {
+        if let Ok(text) = std::fs::read_to_string(&p) {
+            events.extend(text.lines().filter_map(Event::parse));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vc-eventlog-{}-{name}", std::process::id()))
+    }
+
+    fn record(seq: u64) -> Json {
+        Json::Obj(vec![
+            ("ts_ms".into(), Json::Int(1_000 + seq as i64)),
+            ("trace_id".into(), Json::Int(seq as i64)),
+            ("seq".into(), Json::Int(seq as i64)),
+            ("op".into(), Json::Str("scan".into())),
+            ("outcome".into(), Json::Str("ok".into())),
+            ("latency_us".into(), Json::Int(1500)),
+        ])
+    }
+
+    #[test]
+    fn append_then_read_roundtrips() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(EventLog::rotated_path(&path));
+        let mut log = EventLog::open(&path, 0);
+        for seq in 1..=3 {
+            log.append(&record(seq));
+        }
+        let events = read_events(&path);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[2].trace_id, 3);
+        assert_eq!(events[0].op, "scan");
+        assert_eq!(events[0].outcome, "ok");
+        assert_eq!(log.dropped(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_keeps_one_predecessor_and_a_continuous_stream() {
+        let path = tmp("rotate");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(EventLog::rotated_path(&path));
+        // A tiny threshold: every ~2 records trip a rotation.
+        let mut log = EventLog::open(&path, 200);
+        for seq in 1..=20 {
+            log.append(&record(seq));
+        }
+        assert!(EventLog::rotated_path(&path).exists(), "rotation happened");
+        let events = read_events(&path);
+        // The oldest generation beyond `.1` is gone; the surviving stream
+        // is a contiguous, ordered suffix ending at the newest record.
+        assert!(events.len() >= 2, "both generations contribute");
+        assert_eq!(events.last().unwrap().seq, 20);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "oldest-first across the rotation boundary");
+        for w in seqs.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "contiguous suffix: {seqs:?}");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(EventLog::rotated_path(&path));
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_not_fatal() {
+        let path = tmp("torn");
+        std::fs::write(
+            &path,
+            "{\"seq\":1,\"op\":\"scan\",\"outcome\":\"ok\"}\n{\"seq\":2,\"op\":\"sc",
+        )
+        .unwrap();
+        let events = read_events(&path);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_path_counts_drops_and_never_panics() {
+        let dir = std::env::temp_dir().join(format!("vc-eventlog-dir-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        // A directory is not appendable: every record drops.
+        let mut log = EventLog::open(&dir, 0);
+        log.append(&record(1));
+        assert_eq!(log.dropped(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_is_stable_and_carries_flags() {
+        let mut rec = record(7);
+        if let Json::Obj(fields) = &mut rec {
+            fields.push(("rebuilt".into(), Json::Bool(true)));
+            fields.push((
+                "funnel".into(),
+                Json::Obj(vec![
+                    ("raw".into(), Json::Int(4)),
+                    ("reported".into(), Json::Int(2)),
+                ]),
+            ));
+        }
+        let ev = Event::parse(&rec.to_string()).unwrap();
+        let line = ev.render();
+        assert!(line.contains("#7"), "{line}");
+        assert!(line.contains("trace=7"), "{line}");
+        assert!(line.contains("raw=4 reported=2"), "{line}");
+        assert!(line.contains("[rebuilt]"), "{line}");
+        assert!(!line.contains("[deadline]"), "{line}");
+    }
+}

@@ -51,6 +51,7 @@ pub mod authorship;
 pub mod candidate;
 pub mod delta;
 pub mod detect;
+pub mod eventlog;
 pub mod harden;
 pub mod history;
 pub mod incremental;

@@ -61,6 +61,22 @@
 //! Both caches sweep generationally: entries not used by the current
 //! request are dropped, bounding memory across thousands of requests.
 //!
+//! ## Telemetry (DESIGN.md §16)
+//!
+//! Every request is an observable unit: a monotonic `trace_id` (echoed in
+//! the reply), a `serve.request` span tree (parse → dirty-closure →
+//! detect → prune → rank → reply), a `serve.latency.<op>` histogram
+//! sample, and exactly one outcome counter so the request funnel balances
+//! at any instant: `serve.requests == serve.replies + serve.shed +
+//! serve.errors + serve.quarantined`. `--trace` / `--metrics-json` flush
+//! the Chrome trace and versioned metrics snapshot on shutdown/EOF, with
+//! the same export schema as batch `vcheck scan`; `--event-log` appends a
+//! size-rotated JSON-lines record per request (see [`crate::eventlog`]
+//! and `vcheck tail`). The `status` reply carries per-op p50/p95/p99,
+//! uptime, per-op counts, cache-effectiveness gauges, and
+//! `schema_version` — and degrades gracefully before the first scan
+//! (empty histograms render `null` percentiles, never NaN).
+//!
 //! Test hooks (used by the chaos harness): the `VCHECK_SERVE_FAILPOINTS`
 //! environment variable arms `stage:function` failpoints for the life of
 //! the daemon, and `VCHECK_SERVE_PANIC_SEQS` injects one-shot panics at
@@ -90,6 +106,7 @@ use crate::{
     candidate::Candidate,
     delta::{fingerprint_ranked, Finding},
     detect::{demand_oracle, detect_unit, finalize_pointer_stage, DetectOutcome},
+    eventlog::{now_ms, EventLog},
     harden::{self, FailStage, FailureRecord},
     incremental::SnapshotStore,
     pipeline::{run_stages, Options},
@@ -111,6 +128,17 @@ pub struct ServeConfig {
     /// Where the shutdown flush writes the latest findings snapshot
     /// (`None` disables the flush).
     pub snapshot: Option<PathBuf>,
+    /// Where shutdown/EOF flushes the Chrome trace of every request span
+    /// (same format as batch `vcheck scan --trace`).
+    pub trace: Option<PathBuf>,
+    /// Where shutdown/EOF flushes the versioned metrics snapshot (same
+    /// `schema_version` + env-fingerprint shape as batch `--metrics-json`).
+    pub metrics_json: Option<PathBuf>,
+    /// Append-only JSON-lines event log, one record per request
+    /// (`None` disables it). See [`crate::eventlog`].
+    pub event_log: Option<PathBuf>,
+    /// Event-log rotation threshold in bytes (0 = default 1 MiB).
+    pub event_log_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +149,10 @@ impl Default for ServeConfig {
             deadline: None,
             queue_depth: 64,
             snapshot: None,
+            trace: None,
+            metrics_json: None,
+            event_log: None,
+            event_log_max_bytes: 0,
         }
     }
 }
@@ -255,6 +287,13 @@ pub struct ServeEngine {
     prev: Option<Vec<Finding>>,
     /// One-shot request numbers that panic on arrival (test hook).
     panic_seqs: HashSet<u64>,
+    /// Daemon start time (the `status` reply's uptime).
+    start: Instant,
+    /// Last assigned request trace id; monotonic from 1.
+    next_trace_id: u64,
+    /// The structured event log, shared with the reader thread (shed
+    /// records are written there, off the worker).
+    event_log: Option<Arc<Mutex<EventLog>>>,
 }
 
 impl ServeEngine {
@@ -264,6 +303,10 @@ impl ServeEngine {
         // Probe the tree once so a bad path is a startup error, not a
         // per-request error loop.
         load_dir_or_empty(dir)?;
+        let event_log = config
+            .event_log
+            .as_ref()
+            .map(|p| Arc::new(Mutex::new(EventLog::open(p, config.event_log_max_bytes))));
         Ok(ServeEngine {
             dir: dir.to_path_buf(),
             config,
@@ -273,6 +316,9 @@ impl ServeEngine {
             warm: None,
             prev: None,
             panic_seqs: HashSet::new(),
+            start: Instant::now(),
+            next_trace_id: 0,
+            event_log,
         })
     }
 
@@ -315,10 +361,12 @@ impl ServeEngine {
         let run_span = obs.span("pipeline.run", "pipeline");
 
         // --- Front end (warm): cached parse recovery, fresh assembly. ---
+        let parse_span = obs.span("serve.parse", "serve");
         let parse_mem = vc_obs::MemScope::enter(vc_obs::alloc::SCOPE_PARSE);
         let (prog, parse_errors, stats) =
             Program::build_recovering_cached(&refs, &self.config.defines, &mut self.parse_cache);
         parse_mem.finish();
+        parse_span.end();
         obs.registry.add(
             vc_obs::names::HARDEN_PARSE_FAILURES,
             parse_errors.len() as u64,
@@ -340,7 +388,9 @@ impl ServeEngine {
         // functions by name. Everything in it re-runs unconditionally
         // (the content-keyed unit cache would catch these anyway; the
         // closure is belt and braces against key-collision bugs). ---
+        let dirty_span = obs.span("serve.dirty_closure", "serve");
         let dirty = self.dirty_closure(&prog, &project);
+        dirty_span.end();
 
         // --- Detection (warm): pointer stage fresh, units cached. ---
         let detect_span = obs.span("stage.detect", "pipeline");
@@ -349,6 +399,24 @@ impl ServeEngine {
             self.detect_warm(&prog, &dirty, deadline);
         detect_mem.finish();
         let detect_time = detect_span.end();
+
+        // Cache-effectiveness gauges: how much of the tree the warm state
+        // actually saved this request.
+        let lookups = unit_hits + unit_misses;
+        obs.registry.set_gauge(
+            vc_obs::names::SERVE_WARM_HIT_RATE,
+            if lookups == 0 {
+                0.0
+            } else {
+                unit_hits as f64 / lookups as f64
+            },
+        );
+        obs.registry.set_gauge(
+            vc_obs::names::SERVE_DIRTY_RATIO,
+            // `dirty` holds names (possibly including undefined externals
+            // named at call sites), so clamp into [0, 1].
+            (dirty.len() as f64 / prog.funcs.len().max(1) as f64).min(1.0),
+        );
 
         // --- Back end: shared with batch scan, byte-for-byte. ---
         let mut analysis = run_stages(
@@ -632,6 +700,12 @@ impl ServeEngine {
             }
         }
         // Generational sweep: entries the current tree did not touch die.
+        let swept = self
+            .units
+            .keys()
+            .filter(|k| !next_units.contains_key(k))
+            .count() as u64;
+        vc_obs::counter_add(vc_obs::names::SERVE_UNITS_SWEPT, swept);
         self.units = next_units;
         finalize_pointer_stage(oracle.as_ref(), &mut out);
         if deadline_exceeded {
@@ -644,29 +718,67 @@ impl ServeEngine {
 
     /// Handles one protocol line. Returns the reply and whether the daemon
     /// should shut down after sending it.
+    ///
+    /// Every request is a first-class observable unit: it gets a monotonic
+    /// `trace_id` (echoed in the reply and the `serve.trace_id` gauge), a
+    /// `serve.request` span enclosing its whole lifetime, a
+    /// `serve.latency.<op>` observation, exactly one outcome counter
+    /// (`serve.replies` / `serve.errors` / `serve.quarantined` — together
+    /// with `serve.shed` these partition `serve.requests`), and one
+    /// event-log record.
     pub fn handle_line(&mut self, line: &str, seq: u64) -> (Json, bool) {
         self.obs.registry.add(vc_obs::names::SERVE_REQUESTS, 1);
+        self.next_trace_id += 1;
+        let trace_id = self.next_trace_id;
+        self.obs
+            .registry
+            .set_gauge(vc_obs::names::SERVE_TRACE_ID, trace_id as f64);
+        let started = Instant::now();
+        let req_span = self.obs.span("serve.request", "serve");
+        let (reply, shutdown, tel) = self.dispatch(line, seq);
+        req_span.end();
+        let latency_us = started.elapsed().as_micros() as u64;
+        if tel.known_op {
+            // Only protocol ops get latency histograms and per-op counters:
+            // arbitrary op strings from the wire must not mint metric names.
+            self.obs
+                .registry
+                .observe(&vc_obs::names::serve_latency(&tel.op), latency_us);
+        }
+        self.log_event(event_record(now_ms(), trace_id, seq, &tel, latency_us));
+        (with_trace(reply, trace_id), shutdown)
+    }
+
+    /// Parses and executes one request; returns the reply, the shutdown
+    /// flag, and the request's telemetry. Outcome counters are bumped here,
+    /// *before* the reply is encoded, so a `status` reply's own funnel is
+    /// balanced at the instant it reads the counters.
+    fn dispatch(&mut self, line: &str, seq: u64) -> (Json, bool, ReqTelemetry) {
+        let tel = ReqTelemetry::unknown();
         let req = match vc_obs::json::parse(line) {
             Ok(j @ Json::Obj(_)) => j,
             Ok(_) => {
                 return (
                     self.bad_request(seq, "request must be a JSON object"),
                     false,
+                    tel,
                 )
             }
             Err(e) => {
                 return (
                     self.bad_request(seq, &format!("malformed JSON: {e}")),
                     false,
+                    tel,
                 )
             }
         };
         let op = match req.get("op").and_then(Json::as_str) {
             Some(op) => op.to_string(),
-            None => return (self.bad_request(seq, "missing \"op\""), false),
+            None => return (self.bad_request(seq, "missing \"op\""), false, tel),
         };
         match op.as_str() {
             "scan" | "update" => {
+                let mut tel = self.known_op(&op);
                 let deadline_ms = req
                     .get("deadline_ms")
                     .and_then(Json::as_i64)
@@ -678,12 +790,28 @@ impl ServeEngine {
                     self.scan(deadline_ms)
                 }));
                 match result {
-                    Ok(Ok(resp)) => (scan_reply(seq, &op, &resp), false),
-                    Ok(Err(e)) => (error_reply(seq, &format!("scan failed: {e}")), false),
+                    Ok(Ok(resp)) => {
+                        self.obs.registry.add(vc_obs::names::SERVE_REPLIES, 1);
+                        tel.outcome = "ok";
+                        tel.deadline_exceeded = resp.deadline_exceeded;
+                        tel.rebuilt = resp.rebuilt;
+                        tel.funnel =
+                            Some((resp.raw_candidates as u64, resp.report.rows.len() as u64));
+                        let reply_span = self.obs.span("serve.reply", "serve");
+                        let reply = scan_reply(seq, &op, &resp);
+                        reply_span.end();
+                        (reply, false, tel)
+                    }
+                    Ok(Err(e)) => {
+                        self.obs.registry.add(vc_obs::names::SERVE_ERRORS, 1);
+                        (error_reply(seq, &format!("scan failed: {e}")), false, tel)
+                    }
                     Err(payload) => {
                         // The request died mid-flight: warm state may be
                         // torn, so poison it all. The daemon survives.
                         self.quarantine();
+                        self.obs.registry.add(vc_obs::names::SERVE_QUARANTINED, 1);
+                        tel.outcome = "quarantined";
                         let msg = harden::panic_message(payload);
                         (
                             error_reply(
@@ -691,18 +819,27 @@ impl ServeEngine {
                                 &format!("request panicked (state quarantined): {msg}"),
                             ),
                             false,
+                            tel,
                         )
                     }
                 }
             }
-            "status" => (self.status_reply(seq), false),
+            "status" => {
+                let mut tel = self.known_op(&op);
+                tel.outcome = "ok";
+                self.obs.registry.add(vc_obs::names::SERVE_REPLIES, 1);
+                (self.status_reply(seq), false, tel)
+            }
             "sleep" => {
+                let mut tel = self.known_op(&op);
+                tel.outcome = "ok";
                 let ms = req
                     .get("ms")
                     .and_then(Json::as_i64)
                     .unwrap_or(0)
                     .clamp(0, 10_000);
                 std::thread::sleep(Duration::from_millis(ms as u64));
+                self.obs.registry.add(vc_obs::names::SERVE_REPLIES, 1);
                 (
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(true)),
@@ -710,10 +847,14 @@ impl ServeEngine {
                         ("op".into(), Json::Str("sleep".into())),
                     ]),
                     false,
+                    tel,
                 )
             }
             "shutdown" => {
+                let mut tel = self.known_op(&op);
+                tel.outcome = "ok";
                 self.flush_snapshot();
+                self.obs.registry.add(vc_obs::names::SERVE_REPLIES, 1);
                 (
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(true)),
@@ -721,30 +862,59 @@ impl ServeEngine {
                         ("op".into(), Json::Str("shutdown".into())),
                     ]),
                     true,
+                    tel,
                 )
             }
             other => (
                 self.bad_request(seq, &format!("unknown op `{other}`")),
                 false,
+                tel,
             ),
+        }
+    }
+
+    /// Marks `op` as a recognized protocol op: bumps its `serve.op.<op>`
+    /// counter and returns a telemetry record carrying it.
+    fn known_op(&self, op: &str) -> ReqTelemetry {
+        self.obs.registry.add(&vc_obs::names::serve_op(op), 1);
+        ReqTelemetry {
+            op: op.to_string(),
+            known_op: true,
+            ..ReqTelemetry::unknown()
+        }
+    }
+
+    /// Appends one record to the event log, if one is configured.
+    fn log_event(&self, record: Json) {
+        if let Some(log) = &self.event_log {
+            log.lock().unwrap().append(&record);
         }
     }
 
     fn bad_request(&self, seq: u64, msg: &str) -> Json {
         self.obs.registry.add(vc_obs::names::SERVE_BAD_REQUESTS, 1);
+        self.obs.registry.add(vc_obs::names::SERVE_ERRORS, 1);
         error_reply(seq, msg)
     }
 
+    /// The `status` reply: request-funnel counters, per-op latency
+    /// percentiles, cache effectiveness, and uptime. Must never panic —
+    /// before the first scan every histogram is empty, and empty
+    /// percentiles render as `null`, not NaN or garbage.
     fn status_reply(&self, seq: u64) -> Json {
         let reg = &self.obs.registry;
         let counters = [
             vc_obs::names::SERVE_REQUESTS,
+            vc_obs::names::SERVE_REPLIES,
+            vc_obs::names::SERVE_ERRORS,
+            vc_obs::names::SERVE_QUARANTINED,
             vc_obs::names::SERVE_BAD_REQUESTS,
             vc_obs::names::SERVE_SHED,
             vc_obs::names::SERVE_STATE_REBUILDS,
             vc_obs::names::SERVE_DEADLINE_EXCEEDED,
             vc_obs::names::SERVE_UNIT_HITS,
             vc_obs::names::SERVE_UNIT_MISSES,
+            vc_obs::names::SERVE_UNITS_SWEPT,
             vc_obs::names::FUNNEL_RAW,
             vc_obs::names::FUNNEL_CROSS_SCOPE,
             vc_obs::names::FUNNEL_FAILED,
@@ -759,13 +929,66 @@ impl ServeEngine {
             .iter()
             .map(|r| reg.counter(&vc_obs::names::funnel_pruned(r.label())))
             .sum();
+        // Per-op latency percentiles; `null` until the op has a sample.
+        let ops: Vec<(String, Json)> = ["scan", "update", "status"]
+            .iter()
+            .map(|op| {
+                let h = reg.histogram(&vc_obs::names::serve_latency(op));
+                let pct = |v: u64| {
+                    if h.count == 0 {
+                        Json::Null
+                    } else {
+                        Json::Int(v as i64)
+                    }
+                };
+                (
+                    (*op).to_string(),
+                    Json::Obj(vec![
+                        (
+                            "count".into(),
+                            Json::Int(reg.counter(&vc_obs::names::serve_op(op)) as i64),
+                        ),
+                        ("p50_us".into(), pct(h.p50)),
+                        ("p95_us".into(), pct(h.p95)),
+                        ("p99_us".into(), pct(h.p99)),
+                    ]),
+                )
+            })
+            .collect();
+        let gauge = |name: &str| Json::Float(reg.gauge(name).unwrap_or(0.0));
         let mut fields = vec![
             ("ok".into(), Json::Bool(true)),
             ("seq".into(), Json::Int(seq as i64)),
             ("op".into(), Json::Str("status".into())),
+            (
+                "schema_version".into(),
+                Json::Int(vc_obs::METRICS_SCHEMA_VERSION),
+            ),
+            (
+                "uptime_ms".into(),
+                Json::Int(self.start.elapsed().as_millis() as i64),
+            ),
             ("warm".into(), Json::Bool(self.warm.is_some())),
             ("counters".into(), Json::Obj(counters)),
             ("funnel_pruned".into(), Json::Int(pruned as i64)),
+            ("ops".into(), Json::Obj(ops)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    (
+                        "warm_hit_rate".into(),
+                        gauge(vc_obs::names::SERVE_WARM_HIT_RATE),
+                    ),
+                    (
+                        "dirty_ratio".into(),
+                        gauge(vc_obs::names::SERVE_DIRTY_RATIO),
+                    ),
+                    (
+                        "units_swept".into(),
+                        Json::Int(reg.counter(vc_obs::names::SERVE_UNITS_SWEPT) as i64),
+                    ),
+                ]),
+            ),
         ];
         fields.push((
             "parse_cache".into(),
@@ -775,6 +998,12 @@ impl ServeEngine {
                 ("misses".into(), Json::Int(self.parse_cache.misses() as i64)),
             ]),
         ));
+        if let Some(log) = &self.event_log {
+            fields.push((
+                "event_log_dropped".into(),
+                Json::Int(log.lock().unwrap().dropped() as i64),
+            ));
+        }
         Json::Obj(fields)
     }
 
@@ -817,6 +1046,85 @@ fn error_reply(seq: u64, msg: &str) -> Json {
         ("ok".into(), Json::Bool(false)),
         ("seq".into(), Json::Int(seq as i64)),
         ("error".into(), Json::Str(msg.to_string())),
+    ])
+}
+
+/// Per-request telemetry accumulated during dispatch, consumed by the
+/// latency histogram and the event-log record.
+struct ReqTelemetry {
+    /// The request op (`"?"` when unparseable or unknown).
+    op: String,
+    /// Whether `op` is a recognized protocol op (gates the dynamic
+    /// `serve.latency.<op>` / `serve.op.<op>` metric families).
+    known_op: bool,
+    /// `ok` / `error` / `quarantined` (the reader thread logs `shed`).
+    outcome: &'static str,
+    deadline_exceeded: bool,
+    rebuilt: bool,
+    /// Scan-request funnel deltas: (raw candidates, reported rows).
+    funnel: Option<(u64, u64)>,
+}
+
+impl ReqTelemetry {
+    fn unknown() -> ReqTelemetry {
+        ReqTelemetry {
+            op: "?".to_string(),
+            known_op: false,
+            outcome: "error",
+            deadline_exceeded: false,
+            rebuilt: false,
+            funnel: None,
+        }
+    }
+}
+
+/// Stamps the request's trace id into a reply object.
+fn with_trace(mut reply: Json, trace_id: u64) -> Json {
+    if let Json::Obj(fields) = &mut reply {
+        fields.push(("trace_id".into(), Json::Int(trace_id as i64)));
+    }
+    reply
+}
+
+/// One event-log record (see [`crate::eventlog`] for the read side).
+fn event_record(ts_ms: u64, trace_id: u64, seq: u64, tel: &ReqTelemetry, latency_us: u64) -> Json {
+    let mut fields = vec![
+        ("ts_ms".into(), Json::Int(ts_ms as i64)),
+        ("trace_id".into(), Json::Int(trace_id as i64)),
+        ("seq".into(), Json::Int(seq as i64)),
+        ("op".into(), Json::Str(tel.op.clone())),
+        ("outcome".into(), Json::Str(tel.outcome.to_string())),
+        ("latency_us".into(), Json::Int(latency_us as i64)),
+        (
+            "deadline_exceeded".into(),
+            Json::Bool(tel.deadline_exceeded),
+        ),
+        ("rebuilt".into(), Json::Bool(tel.rebuilt)),
+    ];
+    if let Some((raw, reported)) = tel.funnel {
+        fields.push((
+            "funnel".into(),
+            Json::Obj(vec![
+                ("raw".into(), Json::Int(raw as i64)),
+                ("reported".into(), Json::Int(reported as i64)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// A shed record, written by the reader thread (no trace id: the request
+/// never reached the engine that assigns them).
+fn shed_record(seq: u64) -> Json {
+    Json::Obj(vec![
+        ("ts_ms".into(), Json::Int(now_ms() as i64)),
+        ("trace_id".into(), Json::Int(0)),
+        ("seq".into(), Json::Int(seq as i64)),
+        ("op".into(), Json::Str("?".into())),
+        ("outcome".into(), Json::Str("shed".into())),
+        ("latency_us".into(), Json::Int(0)),
+        ("deadline_exceeded".into(), Json::Bool(false)),
+        ("rebuilt".into(), Json::Bool(false)),
     ])
 }
 
@@ -898,6 +1206,7 @@ where
 {
     engine.arm_env_hooks();
     let obs = engine.obs.clone();
+    let shed_log = engine.event_log.clone();
     let depth = engine.config.queue_depth.max(1);
     let state = Arc::new((
         Mutex::new(QueueState {
@@ -927,8 +1236,13 @@ where
             let mut st = lock.lock().unwrap();
             if st.queue.len() >= depth {
                 drop(st);
-                obs.registry.add(vc_obs::names::SERVE_SHED, 1);
+                // Requests before shed: mid-update observers may see a
+                // request still "in flight", never an outcome without one.
                 obs.registry.add(vc_obs::names::SERVE_REQUESTS, 1);
+                obs.registry.add(vc_obs::names::SERVE_SHED, 1);
+                if let Some(log) = &shed_log {
+                    log.lock().unwrap().append(&shed_record(seq));
+                }
                 let mut w = reader_out.lock().unwrap();
                 let reply = Json::Obj(vec![
                     ("ok".into(), Json::Bool(false)),
@@ -983,17 +1297,40 @@ where
         }
         if shutdown {
             // Drain: everything still queued gets a terminal error reply
-            // rather than silence.
+            // rather than silence. Drained requests still count — the
+            // funnel (`requests == replies + shed + errors + quarantined`)
+            // balances at any observation point, including the final
+            // metrics flush.
             let (lock, _) = &*state;
             let drained: Vec<(u64, String)> = lock.lock().unwrap().queue.drain(..).collect();
             let mut w = out.lock().unwrap();
             for (dseq, _) in drained {
+                engine.obs.registry.add(vc_obs::names::SERVE_REQUESTS, 1);
+                engine.obs.registry.add(vc_obs::names::SERVE_ERRORS, 1);
+                let tel = ReqTelemetry::unknown();
+                engine.log_event(event_record(now_ms(), 0, dseq, &tel, 0));
                 let _ = writeln!(w, "{}", error_reply(dseq, "shutting down").to_string());
             }
             let _ = w.flush();
             break 0;
         }
     };
+    // Telemetry flush: same export shapes as batch `vcheck scan`
+    // (`--metrics-json` = versioned snapshot, `--trace` = Chrome trace).
+    // Best-effort by design — the daemon is already exiting.
+    if let Some(path) = &engine.config.metrics_json {
+        let text = engine
+            .obs
+            .registry
+            .snapshot()
+            .to_json_export()
+            .to_string_pretty();
+        let _ = std::fs::write(path, text);
+    }
+    if let Some(path) = &engine.config.trace {
+        let text = engine.obs.tracer.to_chrome_json().to_string_pretty();
+        let _ = std::fs::write(path, text);
+    }
     // The reader may still be blocked on stdin; do not join unless it
     // already saw EOF. Dropping the handle detaches it — the process exit
     // tears it down.
@@ -1291,6 +1628,155 @@ mod tests {
         assert_eq!(status.get("warm").and_then(Json::as_bool), Some(true));
         let bye = vc_obs::json::parse(lines[2]).unwrap();
         assert_eq!(bye.get("op").and_then(Json::as_str), Some("shutdown"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_before_first_scan_degrades_gracefully() {
+        let dir = tree("coldstatus", &[("a.c", BUGGY)]);
+        let mut eng = ServeEngine::new(&dir, ServeConfig::default()).unwrap();
+        // No scan has ever run: every histogram is empty. The reply must
+        // be well-formed (null percentiles, not NaN), never a panic.
+        let (reply, shutdown) = eng.handle_line("{\"op\":\"status\"}", 1);
+        assert!(!shutdown);
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("warm").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            reply.get("schema_version").and_then(Json::as_i64),
+            Some(vc_obs::METRICS_SCHEMA_VERSION)
+        );
+        assert!(reply.get("uptime_ms").and_then(Json::as_i64).unwrap() >= 0);
+        let scan_ops = reply.get("ops").and_then(|o| o.get("scan")).unwrap();
+        assert_eq!(scan_ops.get("count").and_then(Json::as_i64), Some(0));
+        for pct in ["p50_us", "p95_us", "p99_us"] {
+            assert_eq!(scan_ops.get(pct), Some(&Json::Null), "{pct} must be null");
+        }
+        // The status op itself already has one sample, so its percentiles
+        // will be live on the *next* status. The text must never say NaN.
+        assert!(!reply.to_string().contains("NaN"));
+        // Funnel balance holds with only a status request processed.
+        let reg = &eng.obs.registry;
+        assert_eq!(
+            reg.counter(vc_obs::names::SERVE_REQUESTS),
+            reg.counter(vc_obs::names::SERVE_REPLIES)
+                + reg.counter(vc_obs::names::SERVE_SHED)
+                + reg.counter(vc_obs::names::SERVE_ERRORS)
+                + reg.counter(vc_obs::names::SERVE_QUARANTINED)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_ids_are_monotonic_and_outcomes_partition_requests() {
+        let dir = tree("traceid", &[("a.c", BUGGY)]);
+        let mut eng = ServeEngine::new(&dir, ServeConfig::default()).unwrap();
+        eng.panic_seqs.insert(3);
+        let lines = [
+            "{\"op\":\"scan\"}",
+            "not json",
+            "{\"op\":\"scan\"}", // panics (seq 3)
+            "{\"op\":\"status\"}",
+        ];
+        let mut trace_ids = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let (reply, _) = eng.handle_line(line, i as u64 + 1);
+            trace_ids.push(reply.get("trace_id").and_then(Json::as_i64).unwrap());
+        }
+        assert_eq!(trace_ids, vec![1, 2, 3, 4], "every reply, every outcome");
+        let reg = &eng.obs.registry;
+        assert_eq!(reg.counter(vc_obs::names::SERVE_REQUESTS), 4);
+        assert_eq!(reg.counter(vc_obs::names::SERVE_REPLIES), 2); // scan + status
+        assert_eq!(reg.counter(vc_obs::names::SERVE_ERRORS), 1); // bad JSON
+        assert_eq!(reg.counter(vc_obs::names::SERVE_QUARANTINED), 1); // panic
+        assert_eq!(
+            reg.gauge(vc_obs::names::SERVE_TRACE_ID),
+            Some(4.0),
+            "gauge tracks the last assigned id"
+        );
+        // Latency histograms exist for the ops that ran.
+        assert_eq!(
+            reg.histogram(&vc_obs::names::serve_latency("scan")).count,
+            2
+        );
+        assert_eq!(
+            reg.histogram(&vc_obs::names::serve_latency("status")).count,
+            1
+        );
+        // Every emitted serve metric name is registered.
+        let snap = reg.snapshot();
+        for (name, _) in snap.counters.iter() {
+            assert!(vc_obs::names::is_known(name), "stray counter {name}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_keeps_warm_replies_byte_identical_and_flushes_files() {
+        let dir = tree("telemetry", &[("a.c", BUGGY), ("b.c", CLEAN)]);
+        let trace_path = dir.join("serve.trace.json");
+        let metrics_path = dir.join("serve.metrics.json");
+        let log_path = dir.join("serve.eventlog");
+        let engine = ServeEngine::new(
+            &dir,
+            ServeConfig {
+                trace: Some(trace_path.clone()),
+                metrics_json: Some(metrics_path.clone()),
+                event_log: Some(log_path.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let input = io::Cursor::new(
+            b"{\"op\":\"scan\"}\n{\"op\":\"scan\"}\n{\"op\":\"shutdown\"}\n".to_vec(),
+        );
+        let out = SharedBuf::default();
+        assert_eq!(run_daemon(engine, input, out.clone()), 0);
+
+        // Warm reply bytes (csv + report) match a cold scan of the tree
+        // even with full telemetry enabled.
+        let text = out.text();
+        let warm = vc_obs::json::parse(text.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(warm.get("ok").and_then(Json::as_bool), Some(true));
+        let cold = cold_canonical(&dir, &Options::paper());
+        let cold_text = String::from_utf8(cold).unwrap();
+        let warm_csv = warm.get("csv").and_then(Json::as_str).unwrap();
+        assert!(
+            cold_text.starts_with(warm_csv),
+            "warm csv must be a byte-exact prefix of the cold canonical bytes"
+        );
+
+        // The flushed metrics export carries the batch schema.
+        let metrics = vc_obs::json::parse(&fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert_eq!(
+            metrics.get("schema_version").and_then(Json::as_i64),
+            Some(vc_obs::METRICS_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            metrics.get("env").and_then(Json::as_str),
+            Some(vc_obs::env_fingerprint().as_str())
+        );
+        assert!(metrics
+            .get("histograms")
+            .and_then(|h| h.get("serve.latency.scan"))
+            .is_some());
+
+        // The Chrome trace contains the request span tree.
+        let trace_text = fs::read_to_string(&trace_path).unwrap();
+        for span in ["serve.request", "serve.parse", "serve.dirty_closure"] {
+            assert!(trace_text.contains(span), "trace must contain {span}");
+        }
+
+        // The event log has one record per request, trace ids monotonic.
+        let events = crate::eventlog::read_events(&log_path);
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.trace_id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(events[0].op, "scan");
+        assert!(events[0].rebuilt && !events[1].rebuilt);
+        assert_eq!(events[2].op, "shutdown");
+        assert!(events[0].funnel.is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -73,6 +73,9 @@ struct Daemon {
     stdin: ChildStdin,
     stdout: BufReader<ChildStdout>,
     seq: u64,
+    /// Every `trace_id` observed on a reply, in arrival order. Shed
+    /// replies carry none (they never reach the engine that assigns them).
+    trace_ids: Vec<i64>,
 }
 
 impl Daemon {
@@ -99,6 +102,7 @@ impl Daemon {
             stdin,
             stdout,
             seq: 0,
+            trace_ids: Vec::new(),
         }
     }
 
@@ -123,7 +127,11 @@ impl Daemon {
             "daemon closed stdout mid-conversation (crashed?) at seq {}",
             self.seq
         );
-        vc_obs::json::parse(line.trim_end()).expect("daemon speaks JSON")
+        let reply = vc_obs::json::parse(line.trim_end()).expect("daemon speaks JSON");
+        if let Some(id) = reply.get("trace_id").and_then(Json::as_i64) {
+            self.trace_ids.push(id);
+        }
+        reply
     }
 
     fn request(&mut self, line: &str) -> Json {
@@ -281,6 +289,26 @@ fn run_plan(seed: u64) {
             cross,
             pruned + reported,
             "funnel balances (seed {seed} seg {seg_idx})"
+        );
+        // Request-funnel balance: every counted request resolved to exactly
+        // one of the four outcomes by the time status answered (the status
+        // request itself included — its reply counter is bumped before the
+        // snapshot is read).
+        assert_eq!(
+            Daemon::counter(&status, "serve.requests"),
+            Daemon::counter(&status, "serve.replies")
+                + Daemon::counter(&status, "serve.shed")
+                + Daemon::counter(&status, "serve.errors")
+                + Daemon::counter(&status, "serve.quarantined"),
+            "request funnel balances (seed {seed} seg {seg_idx})"
+        );
+        // Trace ids: every engine-processed request got exactly one, and
+        // they arrived dense and strictly increasing from 1 — unique per
+        // daemon lifetime, FIFO order preserved through chaos.
+        let expected_ids: Vec<i64> = (1..=daemon.trace_ids.len() as i64).collect();
+        assert_eq!(
+            daemon.trace_ids, expected_ids,
+            "trace ids dense + monotonic (seed {seed} seg {seg_idx})"
         );
 
         if seg.graceful {

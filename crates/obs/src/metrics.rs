@@ -1,5 +1,5 @@
 //! A thread-safe metrics registry: monotonic counters, gauges and log-scale
-//! histograms with p50/p95/max summaries.
+//! histograms with p50/p95/p99/max summaries.
 //!
 //! Metrics are created lazily on first use and keyed by dotted names
 //! (`pointer.propagations`, `funnel.raw`, ...). Storage is `BTreeMap` so
@@ -121,6 +121,7 @@ impl Histogram {
             max: self.max,
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
         }
     }
 }
@@ -140,6 +141,8 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// Estimated 95th percentile.
     pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
 }
 
 impl HistogramSummary {
@@ -291,6 +294,7 @@ impl MetricsSnapshot {
                         ("max".into(), Json::Int(h.max as i64)),
                         ("p50".into(), Json::Int(h.p50 as i64)),
                         ("p95".into(), Json::Int(h.p95 as i64)),
+                        ("p99".into(), Json::Int(h.p99 as i64)),
                         ("mean".into(), Json::Float(h.mean())),
                     ]),
                 )
@@ -339,11 +343,12 @@ impl MetricsSnapshot {
             for (k, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {k:<42} n={} mean={:.1} p50={} p95={} max={}",
+                    "  {k:<42} n={} mean={:.1} p50={} p95={} p99={} max={}",
                     h.count,
                     h.mean(),
                     h.p50,
                     h.p95,
+                    h.p99,
                     h.max
                 );
             }
@@ -548,7 +553,47 @@ mod tests {
         assert_eq!(s.sum, u64::MAX);
         assert_eq!(s.p50, u64::MAX);
         assert_eq!(s.p95, u64::MAX);
+        assert_eq!(s.p99, u64::MAX);
         assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_interpolate_across_mixed_magnitudes() {
+        // 45 fast samples (~1ms), 4 slow (~100ms), 1 outlier (~10s): the
+        // shape of a warm serve daemon with occasional cold rebuilds. The
+        // log-linear buckets must keep p50 in the fast band, p95 in the
+        // slow band, and p99 at the outlier's octave.
+        let mut h = Histogram::default();
+        for i in 0..45u64 {
+            h.record(1_000 + i); // ~1ms in µs
+        }
+        for i in 0..4u64 {
+            h.record(100_000 + i * 500); // ~100ms
+        }
+        h.record(10_000_000); // 10s
+        let s = h.summary();
+        assert_eq!(s.count, 50);
+        assert!(
+            (1_000..2_000).contains(&s.p50),
+            "p50 must sit in the fast band: {}",
+            s.p50
+        );
+        assert!(
+            (64_000..128_000).contains(&s.p95),
+            "p95 must sit in the slow band's octave: {}",
+            s.p95
+        );
+        assert!(
+            s.p99 >= 1_000_000,
+            "p99 must reach the outlier's octave: {}",
+            s.p99
+        );
+        // q=1.0 lands in the outlier's bucket; the estimate is its floor
+        // (clamped to the observed range), never above the true max.
+        assert!((8_388_608..=10_000_000).contains(&h.quantile(1.0)));
+        assert_eq!(s.max, 10_000_000, "max is exact, not bucketed");
+        // Ordering is invariant regardless of bucket estimation error.
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 
     #[test]
@@ -569,7 +614,10 @@ mod tests {
         let json = snap.to_json().to_string();
         assert!(!json.contains("NaN"), "json must not contain NaN: {json}");
         let text = snap.render_text();
-        assert!(text.contains("n=0 mean=0.0 p50=0 p95=0 max=0"), "{text}");
+        assert!(
+            text.contains("n=0 mean=0.0 p50=0 p95=0 p99=0 max=0"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -175,6 +175,35 @@ pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline_exceeded";
 pub const SERVE_UNIT_HITS: &str = "serve.unit_hits";
 /// Function analyses that ran because no warm unit applied.
 pub const SERVE_UNIT_MISSES: &str = "serve.unit_misses";
+/// Requests answered with an `"ok": true` reply.
+pub const SERVE_REPLIES: &str = "serve.replies";
+/// Requests answered with an error reply (bad request, shutdown drain, ...).
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Requests whose handler panicked and was quarantined behind an error
+/// reply (the warm state is rebuilt on the next request).
+pub const SERVE_QUARANTINED: &str = "serve.quarantined";
+/// Warm cache units evicted by generational sweeps.
+pub const SERVE_UNITS_SWEPT: &str = "serve.units_swept";
+/// Gauge: the most recently assigned request trace id (monotonic from 1).
+pub const SERVE_TRACE_ID: &str = "serve.trace_id";
+/// Gauge: warm unit-cache hit rate of the latest scan (hits / lookups).
+pub const SERVE_WARM_HIT_RATE: &str = "serve.warm_hit_rate";
+/// Gauge: dirty-closure size of the latest scan over total functions.
+pub const SERVE_DIRTY_RATIO: &str = "serve.dirty_ratio";
+/// Per-op request-latency histograms: `serve.latency.<op>` (µs).
+pub const SERVE_LATENCY_PREFIX: &str = "serve.latency.";
+/// Per-op request counters: `serve.op.<op>`.
+pub const SERVE_OP_PREFIX: &str = "serve.op.";
+
+/// Builds a `serve.latency.<op>` histogram name.
+pub fn serve_latency(op: &str) -> String {
+    format!("{SERVE_LATENCY_PREFIX}{op}")
+}
+
+/// Builds a `serve.op.<op>` counter name.
+pub fn serve_op(op: &str) -> String {
+    format!("{SERVE_OP_PREFIX}{op}")
+}
 
 // ---------------------------------------------------------------------------
 // Parse recovery (error-recovering front end).
@@ -317,6 +346,13 @@ pub const ALL: &[&str] = &[
     SERVE_DEADLINE_EXCEEDED,
     SERVE_UNIT_HITS,
     SERVE_UNIT_MISSES,
+    SERVE_REPLIES,
+    SERVE_ERRORS,
+    SERVE_QUARANTINED,
+    SERVE_UNITS_SWEPT,
+    SERVE_TRACE_ID,
+    SERVE_WARM_HIT_RATE,
+    SERVE_DIRTY_RATIO,
     RECOVER_LEX_ERRORS,
     RECOVER_PARSE_ERRORS,
     RECOVER_POISONED_STMTS,
@@ -347,7 +383,12 @@ pub const ALL: &[&str] = &[
 ];
 
 /// Name families whose suffix is determined at runtime.
-pub const DYNAMIC_PREFIXES: &[&str] = &[FUNNEL_PRUNED_PREFIX, MEM_PREFIX];
+pub const DYNAMIC_PREFIXES: &[&str] = &[
+    FUNNEL_PRUNED_PREFIX,
+    MEM_PREFIX,
+    SERVE_LATENCY_PREFIX,
+    SERVE_OP_PREFIX,
+];
 
 /// Whether `name` is a registered metric name: either one of the fixed
 /// constants in [`ALL`] or an instance of a [`DYNAMIC_PREFIXES`] family.
@@ -377,6 +418,8 @@ mod tests {
     fn dynamic_families_resolve_via_is_known() {
         assert!(is_known(&funnel_pruned("init_store")));
         assert!(is_known(&mem("detect", "alloc_bytes")));
+        assert!(is_known(&serve_latency("scan")));
+        assert!(is_known(&serve_op("status")));
         assert!(is_known(DELTA_NEW));
         assert!(!is_known("typo.counter"));
         assert!(!is_known("funnel.raw2"));

@@ -81,12 +81,19 @@ cargo test -p valuecheck --test summaries -q
 
 # bench: the perf observatory (crates/bench/src/perf.rs) — a deterministic
 # scaled scan measured median-of-N, written as BENCH_scan.json /
-# BENCH_stages.json and gated against the committed bench/baseline.json
-# with noise-tolerant thresholds (both 1.6x slower AND 10ms absolutely
-# slower before a case regresses). Refresh with `tools/perfgate
-# --write-baseline` when a slowdown is intentional.
-echo "==> perf observatory (scaled bench + perfgate)"
+# BENCH_stages.json. The serve_bench step is the sustained-throughput case:
+# a seeded edit storm through the in-process warm serve engine via the
+# daemon's own request path, reduced to exact latency percentiles
+# (serve/sustained_p50|p95|p99) plus req/s, written as BENCH_serve.json.
+# One perfgate run then gates all three reports against the committed
+# bench/baseline.json with noise-tolerant thresholds (both 1.6x slower AND
+# 10ms absolutely slower before a case regresses). Refresh with
+# `tools/perfgate --write-baseline` when a slowdown is intentional.
+echo "==> perf observatory (scaled bench + serve edit storm)"
 cargo run --quiet --release -p vc-bench --bin perf -- --out .
+echo "==> serve_bench: BENCH_serve.json carries sustained req/s + percentiles"
+grep -q '"throughput_rps"' BENCH_serve.json
+grep -q '"serve/sustained_p99"' BENCH_serve.json
 tools/perfgate
 
 echo "==> cargo fmt --check"
